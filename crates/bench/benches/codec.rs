@@ -1,0 +1,60 @@
+//! Criterion benches for the from-scratch codec substrates used by the
+//! dynamic-function payload pipeline: SHA-1, LZSS and base64, plus the
+//! assembled payload encode/decode path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sky_core::mesh::payload::{decode, encode, PayloadBundle};
+use sky_core::workloads::{base64, lzss, sha1::sha1};
+use std::hint::black_box;
+
+fn test_data(len: usize) -> Vec<u8> {
+    // Mildly redundant data resembling source text.
+    b"def handler(event, context):\n    return run(event)\n"
+        .iter()
+        .copied()
+        .cycle()
+        .take(len)
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let data = test_data(256 * 1024);
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    group.bench_function("sha1_256k", |b| {
+        b.iter(|| black_box(sha1(black_box(&data))));
+    });
+
+    group.bench_function("lzss_compress_256k", |b| {
+        b.iter(|| black_box(lzss::compress(black_box(&data))));
+    });
+    let compressed = lzss::compress(&data);
+    group.bench_function("lzss_decompress_256k", |b| {
+        b.iter(|| black_box(lzss::decompress(black_box(&compressed)).expect("valid stream")));
+    });
+
+    group.bench_function("base64_encode_256k", |b| {
+        b.iter(|| black_box(base64::encode(black_box(&data))));
+    });
+    let encoded = base64::encode(&data);
+    group.bench_function("base64_decode_256k", |b| {
+        b.iter(|| black_box(base64::decode(black_box(&encoded)).expect("valid base64")));
+    });
+
+    let bundle = PayloadBundle::source_only("{\"workload\":\"zipper\"}")
+        .with_file("data.bin", data.clone());
+    group.bench_function("payload_encode_256k", |b| {
+        b.iter(|| black_box(encode(black_box(&bundle)).expect("fits the cap")));
+    });
+    let payload = encode(&bundle).expect("fits the cap");
+    group.bench_function("payload_decode_256k", |b| {
+        b.iter(|| black_box(decode(black_box(&payload.body)).expect("valid payload")));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion micro-benchmarks of the twelve workload kernels (real
+//! execution, scale 1). These measure the *host-side* cost of the
+//! kernels; the simulator bills workloads through the performance model,
+//! so these benches exist to keep the kernels honest (non-trivial,
+//! deterministic work) and to track regressions in the substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sky_core::workloads::{execute, EphemeralFs, WorkloadKind, WorkloadRequest};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    for kind in WorkloadKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut fs = EphemeralFs::new();
+                let result = execute(&WorkloadRequest::new(black_box(kind), 42), &mut fs);
+                black_box(result.checksum)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches of the FaaS simulator's hot paths: the event queue,
+//! batch execution (poll throughput), and platform churn ticks. These
+//! bound how fast the experiment binaries can replay the paper's
+//! million-invocation campaigns.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sky_core::cloud::{Arch, Catalog, Provider};
+use sky_core::faas::{BatchRequest, FaasEngine, FleetConfig, RequestBody};
+use sky_core::sim::{EventQueue, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                // Pseudo-shuffled times.
+                q.schedule(SimTime::from_micros(i.wrapping_mul(2654435761) % 1_000_000), i);
+            }
+            let mut last = 0u64;
+            while let Some((t, _)) = q.pop() {
+                last = t.as_micros();
+            }
+            black_box(last)
+        });
+    });
+    group.finish();
+}
+
+fn bench_poll_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faas_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("sleep_poll_1000", |b| {
+        b.iter_with_setup(
+            || {
+                let mut engine =
+                    FaasEngine::new(Catalog::paper_world(42), FleetConfig::new(42));
+                let account = engine.create_account(Provider::Aws);
+                let az = "us-west-1a".parse().expect("valid AZ");
+                let dep = engine.deploy(account, &az, 2048, Arch::X86_64).expect("deploys");
+                (engine, dep)
+            },
+            |(mut engine, dep)| {
+                let requests: Vec<BatchRequest> = (0..1_000)
+                    .map(|i| BatchRequest {
+                        deployment: dep,
+                        offset: SimDuration::from_micros(i * 500),
+                        body: RequestBody::Sleep { duration: SimDuration::from_millis(250) },
+                    })
+                    .collect();
+                black_box(engine.run_batch(requests).len())
+            },
+        );
+    });
+    group.bench_function("day_tick_churn", |b| {
+        b.iter_with_setup(
+            || {
+                let mut engine =
+                    FaasEngine::new(Catalog::paper_world(42), FleetConfig::new(42));
+                let account = engine.create_account(Provider::Aws);
+                for az_name in ["us-west-1a", "us-west-1b", "eu-central-1a"] {
+                    let az = az_name.parse().expect("valid AZ");
+                    let _ = engine.deploy(account, &az, 2048, Arch::X86_64).expect("deploys");
+                }
+                engine
+            },
+            |mut engine| {
+                engine.advance_by(SimDuration::from_days(7));
+                black_box(engine.now())
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_poll_batch);
+criterion_main!(benches);

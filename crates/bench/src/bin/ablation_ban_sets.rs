@@ -1,0 +1,76 @@
+//! **Ablation (§3.5)** — retry ban-set selectivity.
+//!
+//! The paper warns that the retry approach "can be tuned by specifying
+//! the CPUs that are banned … if the retry approach is too selective and
+//! too many CPUs are banned, then the overhead of these retries will
+//! consume any performance benefits." This ablation sweeps ban sets of
+//! increasing selectivity (none, slowest-1, slowest-2, all-but-fastest)
+//! for the zipper function on us-west-1b and reports where the sweet
+//! spot sits.
+
+use sky_bench::{profile_workload, Scale, World, WORLD_SEED};
+use sky_core::cloud::Arch;
+use sky_core::sim::series::Table;
+use sky_core::sim::SimDuration;
+use sky_core::workloads::WorkloadKind;
+use sky_core::{
+    savings_fraction, CharacterizationStore, RetryMode, RouterConfig, RoutingPolicy, SmartRouter,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let burst = scale.pick(1_000, 150);
+    let kind = WorkloadKind::Zipper;
+    let az = World::az("us-west-1b");
+
+    let mut world = World::new(WORLD_SEED);
+    let dep = world
+        .engine
+        .deploy(world.aws, &az, 2048, Arch::X86_64)
+        .expect("deploys");
+    let table = profile_workload(&mut world.engine, dep, kind, scale.pick(1_500, 400));
+    world.engine.advance_by(SimDuration::from_mins(30));
+    let ranking = table.ranking(kind);
+    println!("observed ranking (fastest first): {ranking:?}\n");
+
+    let router =
+        SmartRouter::new(CharacterizationStore::new(), table.clone(), RouterConfig::default());
+    let baseline = router.run_burst(
+        &mut world.engine,
+        kind,
+        burst,
+        &RoutingPolicy::Baseline { az: az.clone() },
+        |_| Some(dep),
+    );
+    let per = |r: &sky_core::BurstReport| r.total_cost_usd() / r.completed.max(1) as f64;
+    let base_cost = per(&baseline);
+
+    let mut out = Table::new(
+        "Ablation: ban-set size vs savings (zipper, us-west-1b)",
+        &["banned CPUs", "savings %", "retried %", "attempts/req", "errors"],
+    );
+    out.row(&["(none: baseline)".into(), "0.0".into(), "0".into(), "1.00".into(), "0".into()]);
+    for n_banned in 1..ranking.len() {
+        world.engine.advance_by(SimDuration::from_mins(15));
+        let banned: Vec<_> =
+            ranking.iter().rev().take(n_banned).map(|&(c, _)| c).collect();
+        let labels: Vec<&str> = banned.iter().map(|c| c.short_label()).collect();
+        let report = router.run_burst(
+            &mut world.engine,
+            kind,
+            burst,
+            &RoutingPolicy::Retry { az: az.clone(), mode: RetryMode::Custom(banned.clone()) },
+            |_| Some(dep),
+        );
+        out.row(&[
+            labels.join("+"),
+            format!("{:.1}", savings_fraction(base_cost, per(&report)) * 100.0),
+            format!("{:.0}", report.retried_fraction() * 100.0),
+            format!("{:.2}", report.attempts as f64 / report.n as f64),
+            report.errors.to_string(),
+        ]);
+    }
+    println!("{}", out.render());
+    println!("Expectation: savings rise while banning genuinely slow CPUs, then the");
+    println!("retry overhead of an over-selective ban set erodes (or reverses) the gain.");
+}

@@ -1,0 +1,58 @@
+//! **Figure 5 / EX-3** — progressive-sampling characterization error on
+//! eleven AZs.
+//!
+//! For each zone, polls until the failure point; after each poll, the
+//! running characterization is compared against the final (saturation)
+//! characterization, yielding the APE-vs-samples curve. Also reports
+//! first-poll error and the polls needed for 95 % accuracy.
+
+use sky_bench::{ex3_zones, Scale, World, WORLD_SEED};
+use sky_core::sim::series::{fmt_usd, Series, Table};
+use sky_core::sim::SimDuration;
+use sky_core::{CampaignConfig, PollConfig, SamplingCampaign};
+
+fn main() {
+    let scale = Scale::from_env();
+    let requests = scale.pick(1_000, 300);
+    let mut world = World::new(WORLD_SEED);
+
+    let mut summary = Table::new(
+        "Figure 5 summary: progressive sampling on 11 AZs",
+        &["az", "polls to failure", "FIs", "1st-poll APE %", "polls to 95%", "cost"],
+    );
+    let mut curves: Vec<Series> = Vec::new();
+    for az in ex3_zones() {
+        let config = CampaignConfig {
+            poll: PollConfig { requests, ..Default::default() },
+            max_polls: scale.pick(60, 12),
+            ..Default::default()
+        };
+        let mut campaign =
+            SamplingCampaign::new(&mut world.engine, world.aws, &az, config).expect("deploys");
+        let result = campaign.run_until_saturation(&mut world.engine);
+        let curve = result.ape_curve();
+        let mut series = Series::new(format!("APE vs FIs — {az}"));
+        for (x, y) in &curve {
+            series.push(*x, *y);
+        }
+        summary.row(&[
+            az.to_string(),
+            result.polls.len().to_string(),
+            result.total_fis().to_string(),
+            format!("{:.1}", curve.first().map(|&(_, y)| y).unwrap_or(0.0)),
+            result
+                .polls_to_accuracy(5.0)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            fmt_usd(result.total_cost_usd),
+        ]);
+        curves.push(series);
+        world.engine.advance_by(SimDuration::from_mins(20));
+    }
+    println!("{}", summary.render());
+    for series in &curves {
+        println!("{}", series.render());
+    }
+    println!("Paper: single poll <=10% APE typically (max 25%), ~6 polls to 95% accuracy,");
+    println!("us-east-2a pegged at 0% (homogeneous), failure points vary 5k-50k calls.");
+}

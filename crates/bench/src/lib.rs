@@ -1,0 +1,252 @@
+//! # sky-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus shared
+//! experiment plumbing in this library and Criterion micro-benchmarks in
+//! `benches/`. Every binary prints the same rows/series the paper
+//! reports; `EXPERIMENTS.md` records paper-vs-measured for each.
+//!
+//! Binaries honour the `SKY_SCALE` environment variable (`full`, the
+//! default, or `quick` for a fast smoke run at reduced sample counts).
+
+use sky_core::cloud::{AzId, Catalog, Provider};
+use sky_core::faas::{AccountId, DeploymentId, FaasEngine, FleetConfig};
+use sky_core::sim::SimDuration;
+use sky_core::workloads::WorkloadKind;
+use sky_core::{
+    BurstReport, CampaignConfig, CharacterizationStore, RetryMode, RouterConfig, RoutingPolicy,
+    RuntimeTable, SamplingCampaign, SmartRouter, WorkloadProfiler,
+};
+
+/// Experiment scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale sample counts (the default).
+    Full,
+    /// Reduced counts for smoke runs (`SKY_SCALE=quick`).
+    Quick,
+}
+
+impl Scale {
+    /// Read the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("SKY_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Pick the `full` or `quick` value.
+    pub fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// The default world seed used by every experiment binary, so their
+/// outputs cross-reference one another.
+pub const WORLD_SEED: u64 = 42;
+
+/// A ready-to-use experiment world: engine + one AWS account.
+pub struct World {
+    /// The fleet engine over the 41-region catalog.
+    pub engine: FaasEngine,
+    /// An AWS account for deployments.
+    pub aws: AccountId,
+}
+
+impl World {
+    /// Build the standard seeded world.
+    pub fn new(seed: u64) -> World {
+        let mut engine = FaasEngine::new(Catalog::paper_world(seed), FleetConfig::new(seed));
+        let aws = engine.create_account(Provider::Aws);
+        World { engine, aws }
+    }
+
+    /// Parse an AZ name.
+    pub fn az(name: &str) -> AzId {
+        name.parse().expect("valid AZ name")
+    }
+}
+
+/// The five EX-4 zones.
+pub fn ex4_zones() -> Vec<AzId> {
+    ["us-west-1a", "us-west-1b", "sa-east-1a", "eu-north-1a", "ca-central-1a"]
+        .iter()
+        .map(|s| World::az(s))
+        .collect()
+}
+
+/// The eleven EX-3 zones.
+pub fn ex3_zones() -> Vec<AzId> {
+    [
+        "ca-central-1a",
+        "eu-north-1a",
+        "ap-northeast-1a",
+        "sa-east-1a",
+        "eu-central-1a",
+        "ap-southeast-2a",
+        "us-west-1a",
+        "us-west-1b",
+        "us-east-2a",
+        "us-east-2b",
+        "us-east-2c",
+    ]
+    .iter()
+    .map(|s| World::az(s))
+    .collect()
+}
+
+/// Profile a workload on a deployment and return the learned table.
+pub fn profile_workload(
+    engine: &mut FaasEngine,
+    deployment: DeploymentId,
+    kind: WorkloadKind,
+    runs: usize,
+) -> RuntimeTable {
+    let mut profiler = WorkloadProfiler::new();
+    profiler.profile(engine, deployment, kind, runs, 200, WORLD_SEED ^ kind as u64);
+    profiler.into_table()
+}
+
+/// Outcome of one day of the EX-5 daily-burst experiment.
+#[derive(Debug, Clone)]
+pub struct DailyOutcome {
+    /// Day index (0-based).
+    pub day: u32,
+    /// Where the optimized strategy ran.
+    pub az: AzId,
+    /// Baseline burst report.
+    pub baseline: BurstReport,
+    /// Optimized burst report.
+    pub optimized: BurstReport,
+    /// Dollars spent on the day's characterization refresh.
+    pub sampling_cost_usd: f64,
+}
+
+impl DailyOutcome {
+    /// Day savings fraction (per completed request, optimized vs
+    /// baseline).
+    pub fn savings(&self) -> f64 {
+        sky_core::savings_fraction(
+            self.baseline.total_cost_usd() / self.baseline.completed.max(1) as f64,
+            self.optimized.total_cost_usd() / self.optimized.completed.max(1) as f64,
+        )
+    }
+}
+
+/// Configuration of a multi-day routing experiment (Figures 10/11,
+/// EX-5 aggregate).
+#[derive(Debug, Clone)]
+pub struct DailyRoutingConfig {
+    /// The workload under test.
+    pub kind: WorkloadKind,
+    /// Number of days.
+    pub days: u32,
+    /// Requests per burst.
+    pub burst: usize,
+    /// Baseline zone.
+    pub baseline_az: AzId,
+    /// The optimized routing policy (re-evaluated daily against fresh
+    /// characterizations).
+    pub policy: RoutingPolicy,
+    /// Zones to re-characterize daily (candidates of the policy).
+    pub sampled_azs: Vec<AzId>,
+    /// Polls per zone per day for the characterization refresh.
+    pub polls_per_day: usize,
+}
+
+/// Run the daily experiment: each day, refresh characterizations with a
+/// few polls per sampled zone, then fire the baseline burst and the
+/// optimized burst, and advance to the next day.
+pub fn run_daily_routing(
+    world: &mut World,
+    table: &RuntimeTable,
+    config: &DailyRoutingConfig,
+) -> Vec<DailyOutcome> {
+    let engine = &mut world.engine;
+    let mut deployments = std::collections::BTreeMap::new();
+    let mut zones = config.sampled_azs.clone();
+    if !zones.contains(&config.baseline_az) {
+        zones.push(config.baseline_az.clone());
+    }
+    for az in &zones {
+        let dep = engine
+            .deploy(world.aws, az, 2048, sky_core::cloud::Arch::X86_64)
+            .expect("zone deploys");
+        deployments.insert(az.clone(), dep);
+    }
+    let mut store = CharacterizationStore::new();
+    let start = engine.now();
+    let mut outcomes = Vec::new();
+    for day in 0..config.days {
+        engine
+            .advance_to(start + SimDuration::from_days(day as u64) + SimDuration::from_hours(1));
+        // Characterization refresh.
+        let mut sampling_cost = 0.0;
+        for az in &config.sampled_azs {
+            let mut campaign = SamplingCampaign::new(
+                engine,
+                world.aws,
+                az,
+                CampaignConfig { deployments: config.polls_per_day.max(2), ..Default::default() },
+            )
+            .expect("campaign deploys");
+            let at = engine.now();
+            campaign.run_polls(engine, config.polls_per_day);
+            sampling_cost += campaign.total_cost_usd();
+            store.record_with_health(
+                az,
+                at,
+                campaign.characterization().to_mix(),
+                campaign.characterization().unique_fis(),
+                campaign.total_cost_usd(),
+                campaign.overall_failure_rate(),
+            );
+        }
+        let router = SmartRouter::new(store.clone(), table.clone(), RouterConfig::default());
+        let baseline = router.run_burst(
+            engine,
+            config.kind,
+            config.burst,
+            &RoutingPolicy::Baseline { az: config.baseline_az.clone() },
+            |az| deployments.get(az).copied(),
+        );
+        engine.advance_by(SimDuration::from_mins(15));
+        let optimized = router.run_burst(engine, config.kind, config.burst, &config.policy, |az| {
+            deployments.get(az).copied()
+        });
+        outcomes.push(DailyOutcome {
+            day,
+            az: optimized.az.clone(),
+            baseline,
+            optimized,
+            sampling_cost_usd: sampling_cost,
+        });
+    }
+    outcomes
+}
+
+/// Cumulative savings across daily outcomes: total optimized spend vs
+/// total baseline spend (per completed request).
+pub fn cumulative_savings(outcomes: &[DailyOutcome]) -> f64 {
+    let base: f64 = outcomes
+        .iter()
+        .map(|o| o.baseline.total_cost_usd() / o.baseline.completed.max(1) as f64)
+        .sum();
+    let opt: f64 = outcomes
+        .iter()
+        .map(|o| o.optimized.total_cost_usd() / o.optimized.completed.max(1) as f64)
+        .sum();
+    sky_core::savings_fraction(base, opt)
+}
+
+/// Display label for a retry mode.
+pub fn mode_label(mode: &RetryMode) -> &'static str {
+    match mode {
+        RetryMode::RetrySlow => "retry-slow",
+        RetryMode::FocusFastest => "focus-fastest",
+        RetryMode::Custom(_) => "custom",
+    }
+}

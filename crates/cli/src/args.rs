@@ -1,0 +1,141 @@
+//! Minimal dependency-free argument parsing for the `skyward` CLI.
+//!
+//! Supports `--flag value`, `--flag=value` and positional arguments; the
+//! command grammar itself lives in `main.rs`.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: positionals in order, flags by name.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+/// Error parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A `--flag` appeared with no value.
+    MissingValue(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending raw value.
+        value: String,
+        /// Expected type description.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgsError::MissingValue(flag) => write!(f, "--{flag} requires a value"),
+            ArgsError::BadValue { flag, value, expected } => {
+                write!(f, "--{flag}={value:?} is not a valid {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parse raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgsError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(flag) = token.strip_prefix("--") {
+                if let Some((name, value)) = flag.split_once('=') {
+                    args.flags.insert(name.to_string(), value.to_string());
+                } else {
+                    match iter.next() {
+                        Some(value) => {
+                            args.flags.insert(flag.to_string(), value);
+                        }
+                        None => return Err(ArgsError::MissingValue(flag.to_string())),
+                    }
+                }
+            } else {
+                args.positionals.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional argument by index.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positionals.get(index).map(|s| s.as_str())
+    }
+
+    /// Number of positionals.
+    pub fn n_positionals(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// Raw string flag.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// Integer flag with default.
+    pub fn flag_u64(&self, name: &str, default: u64) -> Result<u64, ArgsError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                flag: name.to_string(),
+                value: v.clone(),
+                expected: "integer",
+            }),
+        }
+    }
+
+    /// Comma-separated list flag.
+    pub fn flag_list(&self, name: &str) -> Vec<String> {
+        self.flags
+            .get(name)
+            .map(|v| v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let args = parse(&["characterize", "us-west-1b", "--polls", "6", "--seed=9"]);
+        assert_eq!(args.positional(0), Some("characterize"));
+        assert_eq!(args.positional(1), Some("us-west-1b"));
+        assert_eq!(args.n_positionals(), 2);
+        assert_eq!(args.flag_u64("polls", 4).unwrap(), 6);
+        assert_eq!(args.flag_u64("seed", 42).unwrap(), 9);
+        assert_eq!(args.flag_u64("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn list_flag() {
+        let args = parse(&["route", "--candidates", "a, b,c,"]);
+        assert_eq!(args.flag_list("candidates"), vec!["a", "b", "c"]);
+        assert!(args.flag_list("none").is_empty());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = Args::parse(["--polls".to_string()]).unwrap_err();
+        assert_eq!(err, ArgsError::MissingValue("polls".into()));
+    }
+
+    #[test]
+    fn bad_integer_rejected() {
+        let args = parse(&["--polls", "six"]);
+        assert!(matches!(args.flag_u64("polls", 1), Err(ArgsError::BadValue { .. })));
+    }
+}

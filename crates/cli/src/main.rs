@@ -1,0 +1,385 @@
+//! `skyward` — command-line driver for the serverless sky-computing
+//! toolkit.
+//!
+//! ```text
+//! skyward world        [--seed N]
+//! skyward workloads
+//! skyward characterize <az> [--polls N] [--seed N] [--json]
+//! skyward saturate     <az> [--seed N]
+//! skyward profile      <workload> <az> [--runs N] [--seed N]
+//! skyward route        <workload> --baseline <az> [--candidates a,b,c]
+//!                      [--policy baseline|regional|retry-slow|focus|hybrid]
+//!                      [--burst N] [--seed N]
+//! ```
+//!
+//! Everything runs against the seeded simulator; the same seed always
+//! reproduces the same world and the same numbers.
+
+mod args;
+
+use args::Args;
+use sky_core::cloud::{Arch, AzId, Catalog, CpuType, Provider};
+use sky_core::faas::{FaasEngine, FleetConfig};
+use sky_core::sim::series::Table;
+use sky_core::sim::SimDuration;
+use sky_core::workloads::{WorkloadKind, PerfModel};
+use sky_core::{
+    savings_fraction, CampaignConfig, CharacterizationStore, RetryMode, RouterConfig,
+    RoutingPolicy, SamplingCampaign, SmartRouter, WorkloadProfiler,
+};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(raw) {
+        Ok(()) => 0,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `skyward help` for usage");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw).map_err(|e| e.to_string())?;
+    let seed = args.flag_u64("seed", 42).map_err(|e| e.to_string())?;
+    match args.positional(0) {
+        None | Some("help") | Some("--help") => {
+            print_help();
+            Ok(())
+        }
+        Some("world") => {
+            expect_arity(&args, 1)?;
+            cmd_world(seed)
+        }
+        Some("workloads") => cmd_workloads(),
+        Some("characterize") => {
+            expect_arity(&args, 2)?;
+            cmd_characterize(&args, seed)
+        }
+        Some("saturate") => {
+            expect_arity(&args, 2)?;
+            cmd_saturate(&args, seed)
+        }
+        Some("profile") => {
+            expect_arity(&args, 3)?;
+            cmd_profile(&args, seed)
+        }
+        Some("route") => cmd_route(&args, seed),
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Reject stray positional arguments (typos like `characterize us west`).
+fn expect_arity(args: &Args, n: usize) -> Result<(), String> {
+    if args.n_positionals() > n {
+        return Err(format!(
+            "unexpected extra argument {:?}",
+            args.positional(n).unwrap_or("")
+        ));
+    }
+    Ok(())
+}
+
+fn print_help() {
+    println!(
+        "skyward — serverless sky computing toolkit (simulated cloud)\n\
+         \n\
+         commands:\n\
+         \x20 world        [--seed N]                 list regions and zones\n\
+         \x20 workloads                               the Table-1 workload suite\n\
+         \x20 characterize <az> [--polls N]           estimate a zone's CPU mix\n\
+         \x20 saturate     <az>                       poll a zone to its failure point\n\
+         \x20 profile      <workload> <az> [--runs N] per-CPU runtimes for a workload\n\
+         \x20 route        <workload> --baseline <az> [--candidates a,b,c]\n\
+         \x20              [--policy baseline|regional|retry-slow|focus|hybrid]\n\
+         \x20              [--burst N]                compare a policy against the baseline\n\
+         \n\
+         global flags: --seed N (default 42), --json on characterize"
+    );
+}
+
+fn parse_az(name: &str) -> Result<AzId, String> {
+    name.parse().map_err(|_| format!("invalid availability zone {name:?}"))
+}
+
+fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
+    WorkloadKind::from_name(name).ok_or_else(|| {
+        let names: Vec<&str> = WorkloadKind::ALL.iter().map(|k| k.name()).collect();
+        format!("unknown workload {name:?}; choose one of: {}", names.join(", "))
+    })
+}
+
+fn engine_for(seed: u64) -> FaasEngine {
+    FaasEngine::new(Catalog::paper_world(seed), FleetConfig::new(seed))
+}
+
+fn cmd_world(seed: u64) -> Result<(), String> {
+    let catalog = Catalog::paper_world(seed);
+    let mut table = Table::new(
+        format!("skyward world (seed {seed}): 41 regions, 3 providers"),
+        &["provider", "region", "zones"],
+    );
+    for region in catalog.regions() {
+        let zones: Vec<String> = catalog
+            .azs_in_region(&region.id)
+            .map(|az| az.id.to_string())
+            .collect();
+        table.row(&[
+            region.provider.platform_name().to_string(),
+            region.id.to_string(),
+            zones.join(" "),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    let mut table = Table::new(
+        "Table-1 workload suite",
+        &["name", "vCPUs", "base runtime", "description"],
+    );
+    for kind in WorkloadKind::ALL {
+        table.row(&[
+            kind.name().to_string(),
+            format!("{:.1}", kind.vcpus()),
+            format!("{}", PerfModel::base_runtime(kind)),
+            kind.description().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_characterize(args: &Args, seed: u64) -> Result<(), String> {
+    let az = parse_az(args.positional(1).ok_or("characterize needs an <az>")?)?;
+    let polls = args.flag_u64("polls", 6).map_err(|e| e.to_string())? as usize;
+    let mut engine = engine_for(seed);
+    let spec = engine
+        .catalog()
+        .az(&az)
+        .ok_or_else(|| format!("{az} is not in the catalog (try `skyward world`)"))?;
+    let account = engine.create_account(spec.provider);
+    let mut campaign = SamplingCampaign::new(
+        &mut engine,
+        account,
+        &az,
+        CampaignConfig { deployments: polls.max(2), ..Default::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    campaign.run_polls(&mut engine, polls);
+    let mix = campaign.characterization().to_mix();
+    if args.flag("json").is_some() {
+        let json = serde_json::json!({
+            "az": az.to_string(),
+            "polls": polls,
+            "unique_fis": campaign.characterization().unique_fis(),
+            "cost_usd": campaign.total_cost_usd(),
+            "mix": mix.iter().map(|(cpu, share)| {
+                serde_json::json!({"cpu": cpu.model_name(), "share": share})
+            }).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
+        return Ok(());
+    }
+    let mut table = Table::new(
+        format!("{az}: CPU characterization after {polls} poll(s)"),
+        &["cpu", "share %", "model"],
+    );
+    for (cpu, share) in mix.iter() {
+        table.row(&[
+            cpu.short_label().to_string(),
+            format!("{:.1}", share * 100.0),
+            cpu.model_name().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} unique FIs from {} reports; spend ${:.4}",
+        campaign.characterization().unique_fis(),
+        campaign.characterization().reports(),
+        campaign.total_cost_usd()
+    );
+    Ok(())
+}
+
+fn cmd_saturate(args: &Args, seed: u64) -> Result<(), String> {
+    let az = parse_az(args.positional(1).ok_or("saturate needs an <az>")?)?;
+    let mut engine = engine_for(seed);
+    let spec = engine
+        .catalog()
+        .az(&az)
+        .ok_or_else(|| format!("{az} is not in the catalog"))?;
+    let account = engine.create_account(spec.provider);
+    let mut campaign =
+        SamplingCampaign::new(&mut engine, account, &az, CampaignConfig::default())
+            .map_err(|e| e.to_string())?;
+    let result = campaign.run_until_saturation(&mut engine);
+    let mut table = Table::new(
+        format!("{az}: sequential polls to the failure point"),
+        &["poll", "new FIs", "cumulative", "failure %"],
+    );
+    for p in &result.polls {
+        table.row(&[
+            (p.index + 1).to_string(),
+            p.new_fis.to_string(),
+            p.cumulative_fis.to_string(),
+            format!("{:.1}", p.failure_rate() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "saturated={} after {} polls; {} unique FIs; ${:.3} spent; polls to 95% accuracy: {}",
+        result.saturated,
+        result.polls.len(),
+        result.total_fis(),
+        result.total_cost_usd,
+        result
+            .polls_to_accuracy(5.0)
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "-".into()),
+    );
+    Ok(())
+}
+
+fn cmd_profile(args: &Args, seed: u64) -> Result<(), String> {
+    let kind = parse_workload(args.positional(1).ok_or("profile needs a <workload>")?)?;
+    let az = parse_az(args.positional(2).ok_or("profile needs an <az>")?)?;
+    let runs = args.flag_u64("runs", 600).map_err(|e| e.to_string())? as usize;
+    let mut engine = engine_for(seed);
+    let account = engine.create_account(Provider::Aws);
+    let dep = engine
+        .deploy(account, &az, 2048, Arch::X86_64)
+        .map_err(|e| e.to_string())?;
+    let mut profiler = WorkloadProfiler::new();
+    let run = profiler.profile(&mut engine, dep, kind, runs, 200, seed);
+    let table = profiler.table();
+    let mut out = Table::new(
+        format!("{kind} in {az}: observed runtime by CPU ({} completed)", run.completed),
+        &["cpu", "mean ms", "vs 2.5GHz", "samples"],
+    );
+    for (cpu, ms) in table.ranking(kind) {
+        let norm = table
+            .normalized(kind, CpuType::IntelXeon2_5)
+            .iter()
+            .find(|&&(c, _)| c == cpu)
+            .map(|&(_, f)| format!("{f:.2}x"))
+            .unwrap_or_else(|| "-".into());
+        out.row(&[
+            cpu.short_label().to_string(),
+            format!("{ms:.0}"),
+            norm,
+            table.samples(kind, cpu).to_string(),
+        ]);
+    }
+    println!("{}", out.render());
+    println!("profiling spend ${:.3}", run.cost_usd);
+    Ok(())
+}
+
+fn cmd_route(args: &Args, seed: u64) -> Result<(), String> {
+    let kind = parse_workload(args.positional(1).ok_or("route needs a <workload>")?)?;
+    let baseline_az = parse_az(args.flag("baseline").ok_or("route needs --baseline <az>")?)?;
+    let mut candidates: Vec<AzId> = Vec::new();
+    for name in args.flag_list("candidates") {
+        candidates.push(parse_az(&name)?);
+    }
+    if candidates.is_empty() {
+        candidates.push(baseline_az.clone());
+    }
+    let burst = args.flag_u64("burst", 400).map_err(|e| e.to_string())? as usize;
+    let policy_name = args.flag("policy").unwrap_or("hybrid");
+    let policy = match policy_name {
+        "baseline" => RoutingPolicy::Baseline { az: baseline_az.clone() },
+        "regional" => RoutingPolicy::Regional { candidates: candidates.clone() },
+        "retry-slow" => {
+            RoutingPolicy::Retry { az: baseline_az.clone(), mode: RetryMode::RetrySlow }
+        }
+        "focus" => {
+            RoutingPolicy::Retry { az: baseline_az.clone(), mode: RetryMode::FocusFastest }
+        }
+        "hybrid" => RoutingPolicy::Hybrid {
+            candidates: candidates.clone(),
+            mode: RetryMode::RetrySlow,
+        },
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+
+    let mut engine = engine_for(seed);
+    let account = engine.create_account(Provider::Aws);
+    let mut deployments = std::collections::BTreeMap::new();
+    let mut zones = candidates.clone();
+    if !zones.contains(&baseline_az) {
+        zones.push(baseline_az.clone());
+    }
+    for az in &zones {
+        let dep = engine
+            .deploy(account, az, 2048, Arch::X86_64)
+            .map_err(|e| e.to_string())?;
+        deployments.insert(az.clone(), dep);
+    }
+
+    eprintln!("profiling {kind} (600 runs)...");
+    let mut profiler = WorkloadProfiler::new();
+    profiler.profile(&mut engine, deployments[&baseline_az], kind, 600, 200, seed);
+    let table = profiler.into_table();
+    engine.advance_by(SimDuration::from_mins(20));
+
+    eprintln!("characterizing {} zone(s)...", zones.len());
+    let mut store = CharacterizationStore::new();
+    for az in &zones {
+        let mut campaign = SamplingCampaign::new(
+            &mut engine,
+            account,
+            az,
+            CampaignConfig { deployments: 4, ..Default::default() },
+        )
+        .map_err(|e| e.to_string())?;
+        let at = engine.now();
+        campaign.run_polls(&mut engine, 4);
+        store.record(
+            az,
+            at,
+            campaign.characterization().to_mix(),
+            campaign.characterization().unique_fis(),
+            campaign.total_cost_usd(),
+        );
+    }
+
+    let router = SmartRouter::new(store, table, RouterConfig::default());
+    let resolve = |az: &AzId| deployments.get(az).copied();
+    let base = router.run_burst(
+        &mut engine,
+        kind,
+        burst,
+        &RoutingPolicy::Baseline { az: baseline_az.clone() },
+        resolve,
+    );
+    engine.advance_by(SimDuration::from_mins(15));
+    let optimized = router.run_burst(&mut engine, kind, burst, &policy, resolve);
+    let per = |r: &sky_core::BurstReport| r.total_cost_usd() / r.completed.max(1) as f64;
+
+    let mut out = Table::new(
+        format!("{kind}: {policy_name} vs baseline ({baseline_az})"),
+        &["strategy", "az", "$ / 1k requests", "mean ms", "retried", "errors"],
+    );
+    for (label, report) in [("baseline", &base), (policy_name, &optimized)] {
+        out.row(&[
+            label.to_string(),
+            report.az.to_string(),
+            format!("{:.4}", 1_000.0 * per(report)),
+            format!("{:.0}", report.mean_billed_ms),
+            report.retried.to_string(),
+            report.errors.to_string(),
+        ]);
+    }
+    println!("{}", out.render());
+    println!(
+        "savings: {:+.1}% (characterization spend ${:.3})",
+        savings_fraction(per(&base), per(&optimized)) * 100.0,
+        router.store.total_cost_usd()
+    );
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Grid carbon-intensity model.
+//!
+//! The smart routing system extends a predecessor that routed function
+//! invocations to the region with the lowest real-time carbon intensity
+//! under a latency bound (paper §3.4, \[12\]). This module supplies the
+//! signal that router mode consumes: a deterministic per-region carbon
+//! intensity (gCO₂e/kWh) with a diurnal solar component.
+//!
+//! Regional baselines are rough public grid averages (hydro-heavy
+//! Scandinavia/Québec/Brazil low; coal-heavy grids high); the *relative*
+//! ordering is what the routing experiments exercise.
+
+use crate::region::RegionId;
+use serde::{Deserialize, Serialize};
+use sky_sim::SimTime;
+
+/// Deterministic carbon-intensity model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CarbonModel;
+
+impl CarbonModel {
+    /// Baseline grid intensity for a region, gCO₂e/kWh.
+    pub fn base_intensity(region: &RegionId) -> f64 {
+        match region.as_str() {
+            // Hydro/nuclear-heavy grids.
+            "eu-north-1" => 30.0,
+            "ca-central-1" | "ca-tor" | "tor1" => 120.0,
+            "sa-east-1" | "br-sao" => 100.0,
+            "eu-west-3" => 85.0, // France, nuclear
+            "us-west-2" => 135.0, // Pacific NW hydro
+            // Mixed grids.
+            "us-west-1" | "sfo3" => 240.0,
+            "eu-west-1" | "eu-west-2" | "eu-gb" | "lon1" => 280.0,
+            "eu-central-1" | "eu-de" | "fra1" | "ams3" => 340.0,
+            "eu-south-1" | "eu-es" => 230.0,
+            "us-east-1" | "us-east-2" | "us-east-ibm" | "nyc1" | "nyc3" => 380.0,
+            "us-south" => 410.0,
+            "ap-northeast-1" | "ap-northeast-3" | "jp-tok" => 470.0,
+            "ap-northeast-2" => 430.0,
+            "il-central-1" => 500.0,
+            "me-south-1" => 560.0,
+            "ap-southeast-1" | "sgp1" => 490.0,
+            "ap-east-1" => 620.0,
+            // Coal-heavy grids.
+            "ap-southeast-2" | "au-syd" => 600.0,
+            "ap-southeast-3" => 680.0,
+            "ap-south-1" | "blr1" => 650.0,
+            "af-south-1" => 720.0,
+            _ => 400.0,
+        }
+    }
+
+    /// Intensity at a point in (simulated) time: the baseline minus a
+    /// midday solar dip of up to 20 % (deeper for sunnier mixed grids,
+    /// irrelevant for near-zero grids).
+    pub fn intensity(region: &RegionId, at: SimTime) -> f64 {
+        let base = Self::base_intensity(region);
+        let hour = at.hour_of_day_f64();
+        // Solar generation curve: cosine hump centred on 13:00.
+        let solar = ((hour - 13.0) / 7.0).clamp(-1.0, 1.0);
+        let dip = 0.20 * (std::f64::consts::FRAC_PI_2 * solar).cos();
+        base * (1.0 - dip)
+    }
+
+    /// Estimated operational emissions of serverless execution:
+    /// `gb_seconds` of billed capacity at an assumed 5 W per provisioned
+    /// GB (a deliberately crude constant — only *relative* comparisons
+    /// between regions are meaningful).
+    pub fn emissions_g(region: &RegionId, at: SimTime, gb_seconds: f64) -> f64 {
+        const WATTS_PER_GB: f64 = 5.0;
+        let kwh = gb_seconds * WATTS_PER_GB / 3.6e6;
+        kwh * Self::intensity(region, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sky_sim::SimDuration;
+
+    fn region(s: &str) -> RegionId {
+        RegionId::new(s)
+    }
+
+    #[test]
+    fn hydro_grids_beat_coal_grids() {
+        let noon = SimTime::ZERO + SimDuration::from_hours(13);
+        assert!(
+            CarbonModel::intensity(&region("eu-north-1"), noon)
+                < CarbonModel::intensity(&region("ap-southeast-2"), noon) / 5.0
+        );
+        assert!(
+            CarbonModel::intensity(&region("sa-east-1"), noon)
+                < CarbonModel::intensity(&region("us-east-2"), noon)
+        );
+    }
+
+    #[test]
+    fn solar_dip_peaks_midday() {
+        let r = region("eu-central-1");
+        let noon = SimTime::ZERO + SimDuration::from_hours(13);
+        let night = SimTime::ZERO + SimDuration::from_hours(2);
+        assert!(CarbonModel::intensity(&r, noon) < CarbonModel::intensity(&r, night));
+        // The dip never exceeds 20%.
+        assert!(CarbonModel::intensity(&r, noon) >= 0.8 * CarbonModel::base_intensity(&r) - 1e-9);
+        // Night-time intensity approaches the baseline.
+        assert!(CarbonModel::intensity(&r, night) > 0.95 * CarbonModel::base_intensity(&r));
+    }
+
+    #[test]
+    fn unknown_region_gets_default() {
+        assert_eq!(CarbonModel::base_intensity(&region("moon-base-1")), 400.0);
+    }
+
+    #[test]
+    fn emissions_scale_with_usage_and_grid() {
+        let at = SimTime::ZERO + SimDuration::from_hours(2);
+        let clean = CarbonModel::emissions_g(&region("eu-north-1"), at, 1_000.0);
+        let dirty = CarbonModel::emissions_g(&region("af-south-1"), at, 1_000.0);
+        assert!(dirty > 10.0 * clean, "clean {clean} vs dirty {dirty}");
+        let double = CarbonModel::emissions_g(&region("af-south-1"), at, 2_000.0);
+        assert!((double - 2.0 * dirty).abs() < 1e-9);
+        // Sanity on magnitude: 1,000 GB-s at 5W on a 720 g grid ~ 1 gram.
+        assert!((0.5..5.0).contains(&dirty), "dirty {dirty} g");
+    }
+}

@@ -1,0 +1,530 @@
+//! The world catalog: 41 regions across three providers, with per-AZ
+//! hidden-hardware ground truth.
+//!
+//! Named AZs that the paper's experiments single out (us-west-1a/b,
+//! us-east-2a/b/c, sa-east-1a, eu-north-1a, ca-central-1a, eu-central-1a,
+//! ap-northeast-1a, ap-southeast-2a, plus the il-central-1 / af-south-1 /
+//! us-west-2 observations from EX-2) are pinned to calibrated profiles so
+//! the reproduction exhibits the same qualitative landscape:
+//!
+//! * `us-east-2a` — homogeneous 2.5 GHz (0 % characterization error in EX-3);
+//! * `us-west-1b` — diverse and volatile (the retry-experiment zone);
+//! * `sa-east-1a`, `eu-north-1a` — temporally stable (≤10 % drift over two
+//!   weeks); `eu-north-1a` also has the smallest pool (fails ≈5 k calls);
+//! * `eu-central-1a` — ~10× larger pool than `eu-north-1a`;
+//! * `il-central-1` — the EPYC-rich region; `af-south-1` — no 3.0 GHz;
+//! * `us-west-2` — 3.0 GHz most prevalent.
+//!
+//! Unnamed AZs get seeded random profiles subject to the paper's global
+//! constraints (every AWS region carries the 2.5 GHz part; EPYC is rare).
+
+use crate::cpu::{CpuMix, CpuType};
+use crate::latency::GeoPoint;
+use crate::provider::Provider;
+use crate::region::{AzId, RegionId};
+use serde::{Deserialize, Serialize};
+use sky_sim::SimRng;
+use std::collections::BTreeMap;
+
+/// How quickly an AZ's provisioned hardware pool changes day-over-day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChurnClass {
+    /// Little day-to-day change (sa-east-1a, eu-north-1a).
+    Stable,
+    /// Moderate drift.
+    Drifting,
+    /// Large swings; day-2 characterization error can reach 20–50 %
+    /// (ca-central-1a, us-west-1a, us-west-1b).
+    Volatile,
+}
+
+impl ChurnClass {
+    /// Fraction of hosts recycled (replaced) at each day boundary.
+    pub fn daily_recycle_fraction(self) -> f64 {
+        match self {
+            ChurnClass::Stable => 0.03,
+            ChurnClass::Drifting => 0.12,
+            ChurnClass::Volatile => 0.35,
+        }
+    }
+
+    /// Scale of the daily random-walk step applied to the target CPU mix.
+    pub fn mix_step(self) -> f64 {
+        match self {
+            ChurnClass::Stable => 0.015,
+            ChurnClass::Drifting => 0.06,
+            ChurnClass::Volatile => 0.16,
+        }
+    }
+}
+
+/// Static description of a region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Region identifier, e.g. `us-west-1`.
+    pub id: RegionId,
+    /// Owning provider.
+    pub provider: Provider,
+    /// Data-center location for the latency model.
+    pub geo: GeoPoint,
+    /// Zone letters present in this region.
+    pub az_letters: Vec<char>,
+}
+
+/// Ground-truth description of one availability zone's serverless fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AzSpec {
+    /// Zone identifier.
+    pub id: AzId,
+    /// Owning provider.
+    pub provider: Provider,
+    /// Initial (day 0) CPU mix of the x86 host pool. **Hidden** from the
+    /// profiler; only `sky-faas` reads this.
+    pub initial_mix: CpuMix,
+    /// Number of bare-metal hosts provisioned for the FaaS fleet (x86).
+    pub hosts: u32,
+    /// Usable memory per host in GB (divided into microVM slots).
+    pub host_mem_gb: u32,
+    /// Graviton hosts for arm64 deployments (AWS only; 0 elsewhere).
+    pub arm_hosts: u32,
+    /// Day-over-day churn behaviour.
+    pub churn: ChurnClass,
+    /// Baseline fraction of pool capacity consumed by other tenants.
+    pub background_base: f64,
+    /// Peak-vs-trough amplitude of the diurnal background load.
+    pub diurnal_amplitude: f64,
+    /// Reactive scale-up rate when the platform is saturated, hosts/min.
+    pub scale_hosts_per_min: f64,
+    /// Cap on reactive extra hosts beyond `hosts`.
+    pub max_extra_hosts: u32,
+}
+
+impl AzSpec {
+    /// Total x86 microVM slots for functions of `fi_mem_mb`, before
+    /// background load is subtracted.
+    pub fn x86_slots(&self, fi_mem_mb: u32) -> u64 {
+        let per_host = (self.host_mem_gb as u64 * 1024) / fi_mem_mb.max(128) as u64;
+        per_host * self.hosts as u64
+    }
+}
+
+/// The full simulated world: every region and AZ across all providers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(from = "CatalogSerde", into = "CatalogSerde")]
+pub struct Catalog {
+    regions: Vec<RegionSpec>,
+    azs: BTreeMap<AzId, AzSpec>,
+    seed: u64,
+}
+
+/// On-disk form of [`Catalog`]: the AZ map flattens to a list because JSON
+/// map keys must be strings.
+#[derive(Serialize, Deserialize, Clone)]
+struct CatalogSerde {
+    regions: Vec<RegionSpec>,
+    azs: Vec<AzSpec>,
+    seed: u64,
+}
+
+impl From<CatalogSerde> for Catalog {
+    fn from(s: CatalogSerde) -> Self {
+        Catalog {
+            regions: s.regions,
+            azs: s.azs.into_iter().map(|a| (a.id.clone(), a)).collect(),
+            seed: s.seed,
+        }
+    }
+}
+
+impl From<Catalog> for CatalogSerde {
+    fn from(c: Catalog) -> Self {
+        CatalogSerde {
+            regions: c.regions,
+            azs: c.azs.into_values().collect(),
+            seed: c.seed,
+        }
+    }
+}
+
+impl Catalog {
+    /// Build the paper's 41-region world from a seed. The same seed always
+    /// yields the same world.
+    pub fn paper_world(seed: u64) -> Catalog {
+        let rng = SimRng::seed_from(seed).derive("catalog");
+        let mut regions = Vec::new();
+        let mut azs = BTreeMap::new();
+
+        for (name, lat, lon, n_az) in AWS_REGIONS {
+            let id = RegionId::new(*name);
+            let letters: Vec<char> =
+                (0..*n_az).map(|i| (b'a' + i as u8) as char).collect();
+            regions.push(RegionSpec {
+                id: id.clone(),
+                provider: Provider::Aws,
+                geo: GeoPoint::new(*lat, *lon),
+                az_letters: letters.clone(),
+            });
+            for letter in letters {
+                let az_id = id.az(letter);
+                let spec = aws_az_spec(&az_id, &rng);
+                azs.insert(az_id, spec);
+            }
+        }
+        for (name, lat, lon) in IBM_REGIONS {
+            let id = RegionId::new(*name);
+            regions.push(RegionSpec {
+                id: id.clone(),
+                provider: Provider::Ibm,
+                geo: GeoPoint::new(*lat, *lon),
+                az_letters: vec!['a'],
+            });
+            let az_id = id.az('a');
+            let spec = single_zone_spec(&az_id, Provider::Ibm, &rng);
+            azs.insert(az_id, spec);
+        }
+        for (name, lat, lon) in DO_REGIONS {
+            let id = RegionId::new(*name);
+            regions.push(RegionSpec {
+                id: id.clone(),
+                provider: Provider::DigitalOcean,
+                geo: GeoPoint::new(*lat, *lon),
+                az_letters: vec!['a'],
+            });
+            let az_id = id.az('a');
+            let spec = single_zone_spec(&az_id, Provider::DigitalOcean, &rng);
+            azs.insert(az_id, spec);
+        }
+
+        Catalog { regions, azs, seed }
+    }
+
+    /// The seed this world was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All regions, AWS first, in declaration order.
+    pub fn regions(&self) -> impl Iterator<Item = &RegionSpec> {
+        self.regions.iter()
+    }
+
+    /// All AZ specs in id order.
+    pub fn azs(&self) -> impl Iterator<Item = &AzSpec> {
+        self.azs.values()
+    }
+
+    /// Look up one AZ.
+    pub fn az(&self, id: &AzId) -> Option<&AzSpec> {
+        self.azs.get(id)
+    }
+
+    /// Look up one region.
+    pub fn region(&self, id: &RegionId) -> Option<&RegionSpec> {
+        self.regions.iter().find(|r| &r.id == id)
+    }
+
+    /// All AZs of a region.
+    pub fn azs_in_region<'a>(
+        &'a self,
+        region: &'a RegionId,
+    ) -> impl Iterator<Item = &'a AzSpec> + 'a {
+        self.azs.values().filter(move |az| az.id.region() == region)
+    }
+
+    /// All regions of one provider.
+    pub fn provider_regions(&self, provider: Provider) -> impl Iterator<Item = &RegionSpec> {
+        self.regions.iter().filter(move |r| r.provider == provider)
+    }
+
+    /// The region-level aggregate CPU mix (host-weighted over its AZs).
+    pub fn region_mix(&self, region: &RegionId) -> CpuMix {
+        let mut weights: Vec<(CpuType, f64)> = Vec::new();
+        for az in self.azs_in_region(region) {
+            for (cpu, share) in az.initial_mix.iter() {
+                weights.push((cpu, share * az.hosts as f64));
+            }
+        }
+        if weights.is_empty() {
+            CpuMix::empty()
+        } else {
+            CpuMix::from_shares(&weights)
+        }
+    }
+}
+
+/// AWS commercial regions in the study: (name, lat, lon, AZ count).
+const AWS_REGIONS: &[(&str, f64, f64, u32)] = &[
+    ("us-east-1", 38.9, -77.4, 6),
+    ("us-east-2", 40.0, -83.0, 3),
+    ("us-west-1", 37.4, -121.9, 2),
+    ("us-west-2", 45.8, -119.7, 4),
+    ("ca-central-1", 45.5, -73.6, 3),
+    ("sa-east-1", -23.5, -46.6, 3),
+    ("eu-west-1", 53.3, -6.3, 3),
+    ("eu-west-2", 51.5, -0.1, 3),
+    ("eu-west-3", 48.9, 2.4, 3),
+    ("eu-central-1", 50.1, 8.7, 3),
+    ("eu-north-1", 59.3, 18.1, 3),
+    ("eu-south-1", 45.5, 9.2, 3),
+    ("af-south-1", -33.9, 18.4, 3),
+    ("me-south-1", 26.2, 50.6, 3),
+    ("il-central-1", 32.1, 34.8, 3),
+    ("ap-south-1", 19.1, 72.9, 3),
+    ("ap-northeast-1", 35.7, 139.7, 3),
+    ("ap-northeast-2", 37.6, 127.0, 4),
+    ("ap-northeast-3", 34.7, 135.5, 3),
+    ("ap-southeast-1", 1.3, 103.8, 3),
+    ("ap-southeast-2", -33.9, 151.2, 3),
+    ("ap-southeast-3", -6.2, 106.8, 3),
+    ("ap-east-1", 22.3, 114.2, 3),
+];
+
+/// IBM Code Engine regions: (name, lat, lon). Single logical zone each.
+const IBM_REGIONS: &[(&str, f64, f64)] = &[
+    ("us-south", 32.8, -96.8),
+    ("us-east-ibm", 38.9, -77.4),
+    ("ca-tor", 43.7, -79.4),
+    ("br-sao", -23.5, -46.6),
+    ("eu-gb", 51.5, -0.1),
+    ("eu-de", 50.1, 8.7),
+    ("eu-es", 40.4, -3.7),
+    ("jp-tok", 35.7, 139.7),
+    ("au-syd", -33.9, 151.2),
+];
+
+/// DigitalOcean Functions regions: (name, lat, lon). Single zone each.
+const DO_REGIONS: &[(&str, f64, f64)] = &[
+    ("nyc1", 40.7, -74.0),
+    ("nyc3", 40.7, -74.0),
+    ("sfo3", 37.8, -122.4),
+    ("tor1", 43.7, -79.4),
+    ("ams3", 52.4, 4.9),
+    ("fra1", 50.1, 8.7),
+    ("lon1", 51.5, -0.1),
+    ("blr1", 13.0, 77.6),
+    ("sgp1", 1.3, 103.8),
+];
+
+/// Standard host memory for AWS bare-metal Lambda hosts in the model.
+const AWS_HOST_MEM_GB: u32 = 256;
+
+fn mix4(x25: f64, x29: f64, x30: f64, epyc: f64) -> CpuMix {
+    CpuMix::from_shares(&[
+        (CpuType::IntelXeon2_5, x25),
+        (CpuType::IntelXeon2_9, x29),
+        (CpuType::IntelXeon3_0, x30),
+        (CpuType::AmdEpyc, epyc),
+    ])
+}
+
+/// Calibrated profile for one AWS AZ, either a named override or a seeded
+/// random profile subject to the global constraints.
+fn aws_az_spec(az: &AzId, rng: &SimRng) -> AzSpec {
+    let name = az.to_string();
+    let region = az.region().as_str().to_string();
+    // (mix, hosts, churn, background_base, diurnal_amplitude)
+    let named: Option<(CpuMix, u32, ChurnClass, f64, f64)> = match name.as_str() {
+        // EX-3/EX-4/EX-5 zones, calibrated (see module docs).
+        "us-east-2a" => Some((mix4(1.0, 0.0, 0.0, 0.0), 180, ChurnClass::Stable, 0.25, 0.08)),
+        "us-east-2b" => Some((mix4(0.55, 0.25, 0.15, 0.05), 170, ChurnClass::Drifting, 0.28, 0.12)),
+        "us-east-2c" => Some((mix4(0.60, 0.0, 0.40, 0.0), 160, ChurnClass::Drifting, 0.26, 0.10)),
+        "us-west-1a" => Some((mix4(0.35, 0.30, 0.30, 0.05), 230, ChurnClass::Volatile, 0.30, 0.15)),
+        "us-west-1b" => Some((mix4(0.15, 0.30, 0.40, 0.15), 220, ChurnClass::Volatile, 0.30, 0.18)),
+        "ca-central-1a" => Some((mix4(0.50, 0.20, 0.30, 0.0), 200, ChurnClass::Volatile, 0.28, 0.14)),
+        "sa-east-1a" => Some((mix4(0.40, 0.0, 0.55, 0.05), 190, ChurnClass::Stable, 0.24, 0.08)),
+        "eu-north-1a" => Some((mix4(0.70, 0.0, 0.30, 0.0), 60, ChurnClass::Stable, 0.25, 0.08)),
+        "eu-central-1a" => Some((mix4(0.50, 0.15, 0.35, 0.0), 560, ChurnClass::Drifting, 0.27, 0.12)),
+        "ap-northeast-1a" => Some((mix4(0.45, 0.25, 0.30, 0.0), 260, ChurnClass::Drifting, 0.29, 0.13)),
+        "ap-southeast-2a" => Some((mix4(0.60, 0.10, 0.30, 0.0), 210, ChurnClass::Stable, 0.26, 0.10)),
+        _ => None,
+    };
+    let (initial_mix, hosts, churn, background_base, diurnal_amplitude) = named
+        .unwrap_or_else(|| {
+            let mut r = rng.derive(&name);
+            // Regional flavour constraints from EX-2.
+            let (x30_lo, x30_hi) = if region == "af-south-1" {
+                (0.0, 0.0)
+            } else if region == "us-west-2" {
+                (0.40, 0.55) // 3.0 GHz most prevalent
+            } else {
+                (0.10, 0.40)
+            };
+            let epyc = if region == "il-central-1" {
+                r.range_f64(0.15, 0.30) // EPYC-rich region
+            } else if r.chance(0.35) {
+                r.range_f64(0.01, 0.08) // rare elsewhere
+            } else {
+                0.0
+            };
+            let x30 = if x30_hi == 0.0 { 0.0 } else { r.range_f64(x30_lo, x30_hi) };
+            let x29 = if r.chance(0.6) { r.range_f64(0.05, 0.25) } else { 0.0 };
+            // 2.5 GHz takes the remainder: present in every region.
+            let x25 = (1.0 - x30 - x29 - epyc).max(0.10);
+            let mix = mix4(x25, x29, x30, epyc);
+            let hosts = r.range_inclusive(80, 420) as u32;
+            let churn = match r.next_below(3) {
+                0 => ChurnClass::Stable,
+                1 => ChurnClass::Drifting,
+                _ => ChurnClass::Volatile,
+            };
+            let bg = r.range_f64(0.22, 0.34);
+            let amp = r.range_f64(0.06, 0.20);
+            (mix, hosts, churn, bg, amp)
+        });
+
+    AzSpec {
+        id: az.clone(),
+        provider: Provider::Aws,
+        initial_mix,
+        hosts,
+        host_mem_gb: AWS_HOST_MEM_GB,
+        arm_hosts: hosts / 6,
+        churn,
+        background_base,
+        diurnal_amplitude,
+        scale_hosts_per_min: 0.8,
+        max_extra_hosts: hosts / 10,
+    }
+}
+
+/// IBM / DigitalOcean zones: near-homogeneous (the paper saw no exploitable
+/// heterogeneity there), smaller pools.
+fn single_zone_spec(az: &AzId, provider: Provider, rng: &SimRng) -> AzSpec {
+    let mut r = rng.derive(&az.to_string());
+    let (a, b) = match provider {
+        Provider::Ibm => (CpuType::CascadeLake2_4, CpuType::CascadeLake2_5),
+        Provider::DigitalOcean => (CpuType::DoXeon2_6, CpuType::DoXeon2_7),
+        Provider::Aws => unreachable!("AWS uses aws_az_spec"),
+    };
+    // Each region is dominated (>= 95 %) by one of the two parts.
+    let dominant_share = r.range_f64(0.95, 1.0);
+    let mix = if r.chance(0.5) {
+        CpuMix::from_shares(&[(a, dominant_share), (b, 1.0 - dominant_share)])
+    } else {
+        CpuMix::from_shares(&[(b, dominant_share), (a, 1.0 - dominant_share)])
+    };
+    let hosts = r.range_inclusive(20, 60) as u32;
+    AzSpec {
+        id: az.clone(),
+        provider,
+        initial_mix: mix,
+        hosts,
+        host_mem_gb: 128,
+        arm_hosts: 0,
+        churn: ChurnClass::Stable,
+        background_base: 0.25,
+        diurnal_amplitude: 0.10,
+        scale_hosts_per_min: 0.3,
+        max_extra_hosts: hosts / 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_has_41_regions() {
+        let cat = Catalog::paper_world(1);
+        assert_eq!(cat.regions().count(), 41);
+        assert_eq!(cat.provider_regions(Provider::Aws).count(), 23);
+        assert_eq!(cat.provider_regions(Provider::Ibm).count(), 9);
+        assert_eq!(cat.provider_regions(Provider::DigitalOcean).count(), 9);
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let a = Catalog::paper_world(7);
+        let b = Catalog::paper_world(7);
+        assert_eq!(a, b);
+        let c = Catalog::paper_world(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn named_zone_calibrations() {
+        let cat = Catalog::paper_world(1);
+        let east2a = cat.az(&"us-east-2a".parse().unwrap()).unwrap();
+        assert_eq!(east2a.initial_mix.n_types(), 1);
+        assert!((east2a.initial_mix.share(CpuType::IntelXeon2_5) - 1.0).abs() < 1e-12);
+
+        let west1b = cat.az(&"us-west-1b".parse().unwrap()).unwrap();
+        assert_eq!(west1b.churn, ChurnClass::Volatile);
+        assert_eq!(west1b.initial_mix.n_types(), 4);
+
+        let north = cat.az(&"eu-north-1a".parse().unwrap()).unwrap();
+        let central = cat.az(&"eu-central-1a".parse().unwrap()).unwrap();
+        assert!(
+            central.hosts >= 8 * north.hosts,
+            "eu-central-1a pool should dwarf eu-north-1a ({} vs {})",
+            central.hosts,
+            north.hosts
+        );
+    }
+
+    #[test]
+    fn global_constraints_hold() {
+        let cat = Catalog::paper_world(3);
+        for region in cat.provider_regions(Provider::Aws) {
+            let mix = cat.region_mix(&region.id);
+            assert!(
+                mix.share(CpuType::IntelXeon2_5) > 0.0,
+                "every AWS region hosts the 2.5 GHz part ({})",
+                region.id
+            );
+            if region.id.as_str() == "af-south-1" {
+                assert_eq!(mix.share(CpuType::IntelXeon3_0), 0.0);
+            } else {
+                assert!(
+                    mix.share(CpuType::IntelXeon3_0) > 0.0,
+                    "all but af-south-1 host the 3.0 GHz part ({})",
+                    region.id
+                );
+            }
+        }
+        // il-central-1 is EPYC-rich relative to a typical region.
+        let il = cat.region_mix(&RegionId::new("il-central-1"));
+        assert!(il.share(CpuType::AmdEpyc) > 0.10);
+        // us-west-2: 3.0 GHz most prevalent.
+        let usw2 = cat.region_mix(&RegionId::new("us-west-2"));
+        assert_eq!(usw2.dominant(), Some(CpuType::IntelXeon3_0));
+    }
+
+    #[test]
+    fn ibm_do_zones_are_near_homogeneous() {
+        let cat = Catalog::paper_world(5);
+        for az in cat.azs().filter(|a| a.provider != Provider::Aws) {
+            let dom = az.initial_mix.dominant().unwrap();
+            assert!(az.initial_mix.share(dom) >= 0.95, "{} not homogeneous", az.id);
+            assert_eq!(az.arm_hosts, 0);
+        }
+    }
+
+    #[test]
+    fn slots_scale_with_memory() {
+        let cat = Catalog::paper_world(1);
+        let az = cat.az(&"us-west-1a".parse().unwrap()).unwrap();
+        let s2g = az.x86_slots(2048);
+        let s10g = az.x86_slots(10_240);
+        assert!(s2g > 4 * s10g, "2GB slots {} vs 10GB slots {}", s2g, s10g);
+        assert_eq!(s2g, az.hosts as u64 * 128);
+    }
+
+    #[test]
+    fn region_lookup_and_az_listing() {
+        let cat = Catalog::paper_world(1);
+        let r = RegionId::new("us-east-2");
+        assert_eq!(cat.azs_in_region(&r).count(), 3);
+        assert!(cat.region(&r).is_some());
+        assert!(cat.region(&RegionId::new("mars-north-1")).is_none());
+        assert!(cat.az(&"mars-north-1a".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cat = Catalog::paper_world(11);
+        let json = serde_json::to_string(&cat).unwrap();
+        let back: Catalog = serde_json::from_str(&json).unwrap();
+        assert_eq!(cat, back);
+    }
+}

@@ -1,0 +1,199 @@
+//! Day-scale churn of an AZ's provisioned hardware pool.
+//!
+//! The paper's EX-4 finds that some AZs keep a near-constant CPU mix for
+//! two weeks (sa-east-1a, eu-north-1a) while others drift 20–50 % within a
+//! day or two (ca-central-1a, us-west-1a/b). We model the underlying
+//! process the paper hypothesizes: the provider continuously recycles a
+//! fraction of hosts, drawing replacements from a *target mix* that itself
+//! performs a bounded random walk on the probability simplex. The
+//! per-class recycle fractions and step sizes live in
+//! [`crate::catalog::ChurnClass`].
+//!
+//! `sky-faas` invokes [`ChurnModel::next_day_mix`] at each simulated
+//! day boundary and re-rolls the recycled hosts' CPU types accordingly.
+
+use crate::catalog::ChurnClass;
+use crate::cpu::{CpuMix, CpuType};
+use serde::{Deserialize, Serialize};
+use sky_sim::SimRng;
+
+/// Evolves an AZ's target CPU mix over days.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnModel {
+    class: ChurnClass,
+    /// CPU types this AZ may ever host (the walk never introduces new
+    /// types that the region does not stock, except via `rare_injection`).
+    support: Vec<CpuType>,
+    /// Probability per day that a previously unseen (in this AZ) CPU type
+    /// from the provider catalog appears with a small share — the paper
+    /// observed anomalous error spikes when polls "revealed previously
+    /// unseen hardware".
+    rare_injection: f64,
+}
+
+impl ChurnModel {
+    /// Model for an AZ with the given churn class and initial mix.
+    pub fn new(class: ChurnClass, initial_mix: &CpuMix) -> Self {
+        ChurnModel {
+            class,
+            support: initial_mix.cpus().collect(),
+            rare_injection: match class {
+                ChurnClass::Stable => 0.01,
+                ChurnClass::Drifting => 0.04,
+                ChurnClass::Volatile => 0.08,
+            },
+        }
+    }
+
+    /// The churn class.
+    pub fn class(&self) -> ChurnClass {
+        self.class
+    }
+
+    /// Produce the target mix for the next day given the current one.
+    ///
+    /// The walk perturbs each present share by a zero-mean step scaled by
+    /// the class's `mix_step`, clamps to non-negative, optionally injects
+    /// a rare new type, and renormalizes. The support never becomes empty.
+    pub fn next_day_mix(&mut self, current: &CpuMix, rng: &mut SimRng) -> CpuMix {
+        let mut shares: Vec<(CpuType, f64)> = current.iter().collect();
+        if shares.is_empty() {
+            return current.clone();
+        }
+        let step = self.class.mix_step();
+        for (_, w) in shares.iter_mut() {
+            let delta = rng.next_normal(0.0, step);
+            *w = (*w + delta).max(0.0);
+        }
+        // Keep at least one share positive.
+        if shares.iter().all(|&(_, w)| w <= 0.0) {
+            let idx = rng.next_below(shares.len() as u64) as usize;
+            shares[idx].1 = 1.0;
+        }
+        // Rare new-hardware injection from the provider catalog.
+        if rng.chance(self.rare_injection) {
+            let provider = shares[0].0.provider();
+            let arch = shares[0].0.arch();
+            let candidates: Vec<CpuType> = CpuType::ALL
+                .iter()
+                .copied()
+                .filter(|c| {
+                    c.provider() == provider
+                        && c.arch() == arch
+                        && !shares.iter().any(|&(s, _)| s == *c)
+                })
+                .collect();
+            if !candidates.is_empty() {
+                let c = candidates[rng.next_below(candidates.len() as u64) as usize];
+                let total: f64 = shares.iter().map(|&(_, w)| w).sum();
+                shares.push((c, total * rng.range_f64(0.02, 0.08)));
+                self.support.push(c);
+            }
+        }
+        CpuMix::from_shares(&shares)
+    }
+
+    /// Number of hosts to recycle out of `total` at a day boundary.
+    pub fn hosts_to_recycle(&self, total: u32, rng: &mut SimRng) -> u32 {
+        let f = self.class.daily_recycle_fraction();
+        let expected = total as f64 * f;
+        // Randomize around the expectation so successive days differ.
+        let n = rng.next_normal(expected, expected.sqrt().max(0.5));
+        (n.round().max(0.0) as u32).min(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> CpuMix {
+        CpuMix::from_shares(&[
+            (CpuType::IntelXeon2_5, 0.5),
+            (CpuType::IntelXeon3_0, 0.5),
+        ])
+    }
+
+    #[test]
+    fn stable_class_drifts_slowly() {
+        let mut model = ChurnModel::new(ChurnClass::Stable, &mix());
+        let mut rng = SimRng::seed_from(1).derive("churn");
+        let mut m = mix();
+        let day0 = m.clone();
+        for _ in 0..14 {
+            m = model.next_day_mix(&m, &mut rng);
+        }
+        let drift = m.ape_percent(&day0);
+        assert!(drift < 25.0, "stable zone drifted {drift}% in 14 days");
+    }
+
+    #[test]
+    fn volatile_class_drifts_fast() {
+        // Averaged over seeds, volatile drift after 14 days should exceed
+        // stable drift substantially.
+        let mut vol_total = 0.0;
+        let mut stable_total = 0.0;
+        for seed in 0..10 {
+            for (class, acc) in [
+                (ChurnClass::Volatile, &mut vol_total),
+                (ChurnClass::Stable, &mut stable_total),
+            ] {
+                let mut model = ChurnModel::new(class, &mix());
+                let mut rng = SimRng::seed_from(seed).derive("churn");
+                let mut m = mix();
+                let day0 = m.clone();
+                for _ in 0..14 {
+                    m = model.next_day_mix(&m, &mut rng);
+                }
+                *acc += m.ape_percent(&day0);
+            }
+        }
+        assert!(
+            vol_total > 2.0 * stable_total,
+            "volatile {vol_total} vs stable {stable_total}"
+        );
+    }
+
+    #[test]
+    fn mix_stays_normalized_and_nonempty() {
+        let mut model = ChurnModel::new(ChurnClass::Volatile, &mix());
+        let mut rng = SimRng::seed_from(9).derive("churn");
+        let mut m = mix();
+        for _ in 0..100 {
+            m = model.next_day_mix(&m, &mut rng);
+            assert!(!m.is_empty());
+            let total: f64 = m.iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn injection_only_adds_same_provider_same_arch() {
+        let mut model = ChurnModel::new(ChurnClass::Volatile, &mix());
+        let mut rng = SimRng::seed_from(4).derive("churn");
+        let mut m = mix();
+        for _ in 0..200 {
+            m = model.next_day_mix(&m, &mut rng);
+        }
+        for cpu in m.cpus() {
+            assert_eq!(cpu.provider(), crate::provider::Provider::Aws);
+            assert_eq!(cpu.arch(), crate::cpu::Arch::X86_64);
+        }
+    }
+
+    #[test]
+    fn recycle_counts_are_bounded() {
+        let model = ChurnModel::new(ChurnClass::Drifting, &mix());
+        let mut rng = SimRng::seed_from(2).derive("recycle");
+        for _ in 0..100 {
+            let n = model.hosts_to_recycle(200, &mut rng);
+            assert!(n <= 200);
+        }
+        // Expectation near total * fraction.
+        let mean: f64 = (0..500)
+            .map(|_| model.hosts_to_recycle(200, &mut rng) as f64)
+            .sum::<f64>()
+            / 500.0;
+        assert!((mean - 24.0).abs() < 4.0, "mean recycle {mean}");
+    }
+}

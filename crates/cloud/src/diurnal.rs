@@ -1,0 +1,110 @@
+//! Hour-scale diurnal load model ("The Night Shift").
+//!
+//! Schirmer et al. observed that serverless performance degrades during
+//! local daytime peaks when the shared infrastructure is busiest \[27\], and
+//! the paper's EX-4 hourly sampling of us-west-1b shows the CPU mix itself
+//! wobbling over 24 hours. We model both effects from one curve:
+//!
+//! * **background occupancy** — the fraction of an AZ's slot capacity
+//!   consumed by other tenants, peaking mid-afternoon local time; this
+//!   shifts the saturation point of the sampling campaign over the day;
+//! * **contention multiplier** — a mild runtime inflation proportional to
+//!   occupancy, applied to every execution.
+
+use serde::{Deserialize, Serialize};
+
+/// Diurnal background-load curve for one AZ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalModel {
+    /// Baseline occupancy fraction (trough, middle of the night).
+    pub base: f64,
+    /// Peak-minus-trough amplitude.
+    pub amplitude: f64,
+    /// Local hour of the daily peak (0–24).
+    pub peak_hour: f64,
+    /// Strength of runtime contention at full occupancy: a value of 0.10
+    /// means executions run up to 10 % slower at occupancy 1.0.
+    pub contention_strength: f64,
+}
+
+impl DiurnalModel {
+    /// Model with a 15:00 local peak and mild contention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base + amplitude > 0.95` (an AZ whose background load
+    /// exceeds 95 % of capacity could never host the sampling campaign,
+    /// which indicates a miscalibrated catalog).
+    pub fn new(base: f64, amplitude: f64) -> Self {
+        assert!(
+            base >= 0.0 && amplitude >= 0.0 && base + amplitude <= 0.95,
+            "diurnal occupancy must stay below 95% of capacity"
+        );
+        DiurnalModel { base, amplitude, peak_hour: 15.0, contention_strength: 0.06 }
+    }
+
+    /// Background occupancy fraction at a local fractional hour `[0, 24)`.
+    ///
+    /// A raised cosine centred on `peak_hour`: trough 12 h away.
+    pub fn occupancy(&self, hour: f64) -> f64 {
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let curve = 0.5 * (1.0 + phase.cos());
+        self.base + self.amplitude * curve
+    }
+
+    /// Runtime contention multiplier (≥ 1.0) at the given local hour.
+    pub fn contention(&self, hour: f64) -> f64 {
+        1.0 + self.contention_strength * self.occupancy(hour)
+    }
+
+    /// The fraction of slot capacity usable by our functions at `hour`.
+    pub fn usable_fraction(&self, hour: f64) -> f64 {
+        (1.0 - self.occupancy(hour)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_at_peak_hour() {
+        let m = DiurnalModel::new(0.25, 0.15);
+        let peak = m.occupancy(15.0);
+        let trough = m.occupancy(3.0);
+        assert!((peak - 0.40).abs() < 1e-9, "peak {peak}");
+        assert!((trough - 0.25).abs() < 1e-9, "trough {trough}");
+        for h in 0..24 {
+            let o = m.occupancy(h as f64);
+            assert!(o >= trough - 1e-9 && o <= peak + 1e-9);
+        }
+    }
+
+    #[test]
+    fn contention_tracks_occupancy() {
+        let m = DiurnalModel::new(0.3, 0.2);
+        assert!(m.contention(15.0) > m.contention(3.0));
+        assert!(m.contention(3.0) >= 1.0);
+        assert!(m.contention(15.0) < 1.1);
+    }
+
+    #[test]
+    fn usable_fraction_complements_occupancy() {
+        let m = DiurnalModel::new(0.25, 0.10);
+        for h in [0.0, 6.5, 12.0, 15.0, 23.9] {
+            assert!((m.usable_fraction(h) + m.occupancy(h) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn curve_is_24h_periodic() {
+        let m = DiurnalModel::new(0.2, 0.2);
+        assert!((m.occupancy(1.5) - m.occupancy(25.5 - 24.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "95%")]
+    fn overloaded_az_rejected() {
+        let _ = DiurnalModel::new(0.9, 0.1);
+    }
+}

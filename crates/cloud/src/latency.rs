@@ -1,0 +1,127 @@
+//! Geographic network-latency model.
+//!
+//! The paper's regional routing trades extra client↔region latency for
+//! cheaper billed runtime (latency is not billed). We model round-trip
+//! time from great-circle distance at a fraction of the speed of light in
+//! fiber plus fixed processing overhead — the standard first-order model
+//! and the same distance heuristic used by the carbon-aware router the
+//! paper builds on \[12\].
+
+use serde::{Deserialize, Serialize};
+use sky_sim::SimDuration;
+
+/// A point on Earth: latitude/longitude in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Construct a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if coordinates are outside valid ranges.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude out of range");
+        assert!((-180.0..=180.0).contains(&lon), "longitude out of range");
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        const R_EARTH_KM: f64 = 6_371.0;
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * R_EARTH_KM * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+}
+
+/// Latency model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Effective one-way propagation speed, km per millisecond.
+    /// Light in fiber ≈ 200 km/ms; route stretch brings it down.
+    pub km_per_ms: f64,
+    /// Fixed round-trip overhead (handshakes, LB hops), milliseconds.
+    pub fixed_rtt_ms: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // ~150 km/ms one-way effective speed (fiber + 30% route stretch),
+        // 8 ms fixed overhead.
+        LatencyModel { km_per_ms: 150.0, fixed_rtt_ms: 8.0 }
+    }
+}
+
+impl LatencyModel {
+    /// Round-trip time between two points.
+    pub fn rtt(&self, a: &GeoPoint, b: &GeoPoint) -> SimDuration {
+        let one_way_ms = a.distance_km(b) / self.km_per_ms;
+        SimDuration::from_millis_f64(2.0 * one_way_ms + self.fixed_rtt_ms)
+    }
+
+    /// One-way latency between two points (half the RTT).
+    pub fn one_way(&self, a: &GeoPoint, b: &GeoPoint) -> SimDuration {
+        SimDuration::from_micros(self.rtt(a, b).as_micros() / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seattle() -> GeoPoint {
+        GeoPoint::new(47.6, -122.3)
+    }
+    fn virginia() -> GeoPoint {
+        GeoPoint::new(38.9, -77.4)
+    }
+    fn sao_paulo() -> GeoPoint {
+        GeoPoint::new(-23.5, -46.6)
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Seattle <-> N. Virginia is ~3,700 km.
+        let d = seattle().distance_km(&virginia());
+        assert!((3_500.0..3_900.0).contains(&d), "distance {d}");
+        // Symmetry and identity.
+        assert!((d - virginia().distance_km(&seattle())).abs() < 1e-9);
+        assert_eq!(seattle().distance_km(&seattle()), 0.0);
+    }
+
+    #[test]
+    fn rtt_increases_with_distance() {
+        let m = LatencyModel::default();
+        let near = m.rtt(&seattle(), &virginia());
+        let far = m.rtt(&seattle(), &sao_paulo());
+        assert!(far > near);
+        // Zero distance still pays the fixed overhead.
+        let zero = m.rtt(&seattle(), &seattle());
+        assert_eq!(zero, SimDuration::from_millis(8));
+    }
+
+    #[test]
+    fn one_way_is_half_rtt() {
+        let m = LatencyModel::default();
+        let rtt = m.rtt(&seattle(), &sao_paulo());
+        let one = m.one_way(&seattle(), &sao_paulo());
+        assert!(one.as_micros() * 2 <= rtt.as_micros() + 1);
+        assert!(one.as_micros() * 2 >= rtt.as_micros() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn invalid_latitude_rejected() {
+        let _ = GeoPoint::new(91.0, 0.0);
+    }
+}

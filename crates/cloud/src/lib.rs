@@ -1,0 +1,47 @@
+//! # sky-cloud — topology and hidden-hardware ground truth
+//!
+//! This crate models the *cloud side* of the paper's world: the providers
+//! (AWS Lambda, IBM Code Engine, DigitalOcean Functions), their 41 regions
+//! and availability zones, the heterogeneous CPU pool that backs each AZ,
+//! how that pool drifts over days (churn) and hours (diurnal load), network
+//! latency between a client and each region, and the price book used for
+//! every cost number in the reproduction.
+//!
+//! The key epistemic rule of the workspace: **this ground truth is hidden
+//! from the profiler/router** (`sky-core`). Only the FaaS simulator
+//! (`sky-faas`) reads it, and the profiler learns about it exclusively
+//! through SAAF reports attached to invocation responses — exactly the
+//! position the paper's measurement tooling is in.
+//!
+//! ## Example
+//!
+//! ```
+//! use sky_cloud::{catalog, AzId};
+//!
+//! let cat = catalog::Catalog::paper_world(42);
+//! assert_eq!(cat.regions().count(), 41);
+//! let az: AzId = "us-west-1b".parse()?;
+//! let spec = cat.az(&az).expect("us-west-1b exists");
+//! assert!(spec.initial_mix.share(sky_cloud::CpuType::IntelXeon3_0) > 0.2);
+//! # Ok::<(), sky_cloud::ParseAzError>(())
+//! ```
+
+pub mod carbon;
+pub mod catalog;
+pub mod churn;
+pub mod cpu;
+pub mod diurnal;
+pub mod latency;
+pub mod pricing;
+pub mod provider;
+pub mod region;
+
+pub use carbon::CarbonModel;
+pub use catalog::{AzSpec, Catalog, ChurnClass, RegionSpec};
+pub use churn::ChurnModel;
+pub use cpu::{Arch, CpuMix, CpuType};
+pub use diurnal::DiurnalModel;
+pub use latency::{GeoPoint, LatencyModel};
+pub use pricing::PriceBook;
+pub use provider::Provider;
+pub use region::{AzId, ParseAzError, RegionId};

@@ -1,0 +1,193 @@
+//! Region and availability-zone identifiers.
+//!
+//! Identifiers follow AWS naming (`us-west-1` region, `us-west-1a` AZ).
+//! IBM and DigitalOcean regions have a single logical zone, which we name
+//! with an `-a` suffix internally (e.g. `eu-de-a`) so that every platform
+//! deployment in the workspace is addressed by an [`AzId`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A cloud region identifier, e.g. `us-east-2`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegionId(String);
+
+impl RegionId {
+    /// Construct from a region name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "region name must not be empty");
+        RegionId(name)
+    }
+
+    /// The region name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The AZ in this region with the given zone letter.
+    pub fn az(&self, letter: char) -> AzId {
+        AzId { region: self.clone(), letter }
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for RegionId {
+    fn from(s: &str) -> Self {
+        RegionId::new(s)
+    }
+}
+
+/// An availability-zone identifier, e.g. `us-east-2a`: a region plus a
+/// zone letter. Serializes as its display string (so it can key JSON
+/// maps); deserializes via [`FromStr`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AzId {
+    region: RegionId,
+    letter: char,
+}
+
+impl Serialize for AzId {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for AzId {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+impl AzId {
+    /// Construct from region and zone letter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `letter` is not an ASCII lowercase letter.
+    pub fn new(region: RegionId, letter: char) -> Self {
+        assert!(letter.is_ascii_lowercase(), "zone letter must be a-z");
+        AzId { region, letter }
+    }
+
+    /// The region this AZ belongs to.
+    pub fn region(&self) -> &RegionId {
+        &self.region
+    }
+
+    /// The zone letter (`'a'`, `'b'`, …).
+    pub fn letter(&self) -> char {
+        self.letter
+    }
+}
+
+impl fmt::Display for AzId {
+    /// AWS-style regions ending in a digit render as `us-west-1b`;
+    /// single-zone providers whose region names end in a letter render
+    /// with a separating dash, e.g. `eu-de-a`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.region.as_str().ends_with(|c: char| c.is_ascii_digit()) {
+            write!(f, "{}{}", self.region, self.letter)
+        } else {
+            write!(f, "{}-{}", self.region, self.letter)
+        }
+    }
+}
+
+/// Error parsing an [`AzId`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAzError {
+    input: String,
+}
+
+impl fmt::Display for ParseAzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid availability zone id: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseAzError {}
+
+impl FromStr for AzId {
+    type Err = ParseAzError;
+
+    /// Parse `us-west-1b` into region `us-west-1` + letter `b`, or the
+    /// single-zone form `eu-de-a` into region `eu-de` + letter `a`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseAzError { input: s.to_string() };
+        if s.len() < 2 {
+            return Err(err());
+        }
+        let letter = s.chars().last().expect("non-empty checked");
+        if !letter.is_ascii_lowercase() {
+            return Err(err());
+        }
+        let mut region_part = &s[..s.len() - 1];
+        if region_part.ends_with('-') {
+            // Single-zone form: strip the separating dash.
+            region_part = &region_part[..region_part.len() - 1];
+        }
+        if region_part.is_empty() || region_part.ends_with('-') {
+            return Err(err());
+        }
+        Ok(AzId { region: RegionId::new(region_part), letter })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        let az = RegionId::new("us-west-1").az('b');
+        assert_eq!(az.to_string(), "us-west-1b");
+        assert_eq!(az.region().as_str(), "us-west-1");
+        assert_eq!(az.letter(), 'b');
+    }
+
+    #[test]
+    fn parse_valid() {
+        let az: AzId = "eu-north-1a".parse().unwrap();
+        assert_eq!(az.region().as_str(), "eu-north-1");
+        assert_eq!(az.letter(), 'a');
+        let single_zone: AzId = "eu-de-a".parse().unwrap();
+        assert_eq!(single_zone.region().as_str(), "eu-de");
+        assert_eq!(single_zone.letter(), 'a');
+        assert_eq!(single_zone.to_string(), "eu-de-a");
+    }
+
+    #[test]
+    fn parse_invalid() {
+        assert!("".parse::<AzId>().is_err());
+        assert!("a".parse::<AzId>().is_err());
+        assert!("us-east-2A".parse::<AzId>().is_err());
+        assert!("us-east-29".parse::<AzId>().is_err());
+        assert!("-a".parse::<AzId>().is_err());
+    }
+
+    #[test]
+    fn ordering_groups_by_region() {
+        let a = RegionId::new("us-east-2").az('a');
+        let b = RegionId::new("us-east-2").az('b');
+        let c = RegionId::new("us-west-1").az('a');
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    #[should_panic(expected = "zone letter")]
+    fn uppercase_letter_rejected() {
+        let _ = AzId::new(RegionId::new("us-east-1"), 'A');
+    }
+}

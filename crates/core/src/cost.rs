@@ -1,0 +1,121 @@
+//! Cost accounting across an experiment.
+//!
+//! The paper reports dollars at several granularities — per poll
+//! (<$0.02), per characterization ($0.04), per saturation run ($0.20),
+//! per two-week campaign ($2.80) — and cost *savings* per routing
+//! strategy. [`CostLedger`] accumulates spend by category so the
+//! experiment harnesses can print the same breakdowns.
+
+use serde::{Deserialize, Serialize};
+use sky_sim::series::{fmt_usd, Table};
+use std::collections::BTreeMap;
+
+/// A categorized dollar ledger.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostLedger {
+    entries: BTreeMap<String, f64>,
+}
+
+impl CostLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add spend to a category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `usd` is negative or not finite.
+    pub fn add(&mut self, category: impl Into<String>, usd: f64) {
+        assert!(usd.is_finite() && usd >= 0.0, "spend must be finite and non-negative");
+        *self.entries.entry(category.into()).or_default() += usd;
+    }
+
+    /// Spend recorded in one category.
+    pub fn get(&self, category: &str) -> f64 {
+        self.entries.get(category).copied().unwrap_or(0.0)
+    }
+
+    /// Total spend across categories.
+    pub fn total(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    /// Iterate `(category, usd)` pairs alphabetically.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&mut self, other: &CostLedger) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Render as a text table with a total row.
+    pub fn render(&self, title: &str) -> String {
+        let mut table = Table::new(title, &["category", "usd"]);
+        for (k, v) in self.iter() {
+            table.row(&[k.to_string(), fmt_usd(v)]);
+        }
+        table.row(&["TOTAL".to_string(), fmt_usd(self.total())]);
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_category() {
+        let mut ledger = CostLedger::new();
+        ledger.add("sampling", 0.02);
+        ledger.add("sampling", 0.02);
+        ledger.add("workloads", 1.5);
+        assert!((ledger.get("sampling") - 0.04).abs() < 1e-12);
+        assert!((ledger.total() - 1.54).abs() < 1e-12);
+        assert_eq!(ledger.get("unknown"), 0.0);
+        assert_eq!(ledger.iter().count(), 2);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = CostLedger::new();
+        a.add("x", 1.0);
+        let mut b = CostLedger::new();
+        b.add("x", 2.0);
+        b.add("y", 3.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3.0);
+        assert_eq!(a.get("y"), 3.0);
+    }
+
+    #[test]
+    fn renders_with_total() {
+        let mut ledger = CostLedger::new();
+        ledger.add("polls", 0.2);
+        let text = ledger.render("EX-1 spend");
+        assert!(text.contains("EX-1 spend"));
+        assert!(text.contains("polls"));
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("$0.2000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_spend_rejected() {
+        CostLedger::new().add("oops", -1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut ledger = CostLedger::new();
+        ledger.add("a", 0.5);
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: CostLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(ledger, back);
+    }
+}

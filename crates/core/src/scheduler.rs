@@ -1,0 +1,176 @@
+//! Adaptive sampling scheduler (paper §4.4, operationalized).
+//!
+//! EX-4's finding: some zones' characterizations stay valid for two
+//! weeks while others rot within a day, "offering an opportunity to
+//! classify AZs' behavior to determine sampling requirements … stable
+//! AZs require less sampling to save on profiling costs". This module
+//! makes that loop executable: the scheduler watches each zone's drift
+//! history in the [`CharacterizationStore`], classifies it, and decides
+//! *when each zone is next due* for re-sampling — volatile zones at the
+//! paper's 22-hour cadence, stable zones weekly, unknown zones eagerly
+//! until enough history accumulates.
+
+use crate::store::{CharacterizationStore, StabilityClass};
+use serde::{Deserialize, Serialize};
+use sky_cloud::AzId;
+use sky_sim::{SimDuration, SimTime};
+
+/// Scheduler policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Re-sampling interval for volatile (and unclassified) zones.
+    pub volatile_interval: SimDuration,
+    /// Re-sampling interval for stable zones.
+    pub stable_interval: SimDuration,
+    /// Observations required before a zone may be treated as stable
+    /// (guards against classifying on a lucky quiet day).
+    pub min_history: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            volatile_interval: SimDuration::from_hours(22),
+            stable_interval: SimDuration::from_days(7),
+            min_history: 3,
+        }
+    }
+}
+
+/// Decides which zones are due for re-sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SamplingScheduler {
+    /// Policy knobs.
+    pub config: SchedulerConfig,
+}
+
+impl SamplingScheduler {
+    /// A scheduler with the given policy.
+    pub fn new(config: SchedulerConfig) -> Self {
+        SamplingScheduler { config }
+    }
+
+    /// The interval currently appropriate for a zone, given its observed
+    /// drift history.
+    pub fn interval_for(&self, store: &CharacterizationStore, az: &AzId) -> SimDuration {
+        let history_len = store.history(az).len();
+        if history_len < self.config.min_history {
+            return self.config.volatile_interval;
+        }
+        match store.classify(az) {
+            StabilityClass::Stable => self.config.stable_interval,
+            StabilityClass::Volatile | StabilityClass::Unknown => {
+                self.config.volatile_interval
+            }
+        }
+    }
+
+    /// When the zone is next due (epoch if never sampled).
+    pub fn next_due(&self, store: &CharacterizationStore, az: &AzId) -> SimTime {
+        match store.latest(az) {
+            None => SimTime::ZERO,
+            Some(snapshot) => snapshot.at + self.interval_for(store, az),
+        }
+    }
+
+    /// The subset of `zones` due for re-sampling at `now`, in the order
+    /// given.
+    pub fn due_zones<'a>(
+        &self,
+        store: &CharacterizationStore,
+        zones: &'a [AzId],
+        now: SimTime,
+    ) -> Vec<&'a AzId> {
+        zones
+            .iter()
+            .filter(|az| self.next_due(store, az) <= now)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sky_cloud::{CpuMix, CpuType};
+
+    fn az(s: &str) -> AzId {
+        s.parse().unwrap()
+    }
+
+    fn mix(a: f64, b: f64) -> CpuMix {
+        CpuMix::from_shares(&[(CpuType::IntelXeon2_5, a), (CpuType::IntelXeon3_0, b)])
+    }
+
+    fn seed_history(store: &mut CharacterizationStore, zone: &AzId, volatile: bool, days: u64) {
+        for day in 0..days {
+            let swing = if volatile {
+                if day % 2 == 0 { 0.25 } else { -0.25 }
+            } else {
+                0.005 * day as f64
+            };
+            store.record(
+                zone,
+                SimTime::start_of_day(day),
+                mix(0.5 + swing, 0.5 - swing),
+                900,
+                0.01,
+            );
+        }
+    }
+
+    #[test]
+    fn unsampled_zone_is_immediately_due() {
+        let scheduler = SamplingScheduler::default();
+        let store = CharacterizationStore::new();
+        let zone = az("us-west-1a");
+        assert_eq!(scheduler.next_due(&store, &zone), SimTime::ZERO);
+        let zones = [zone];
+        assert_eq!(scheduler.due_zones(&store, &zones, SimTime::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn young_history_stays_on_volatile_cadence() {
+        let scheduler = SamplingScheduler::default();
+        let mut store = CharacterizationStore::new();
+        let zone = az("sa-east-1a");
+        seed_history(&mut store, &zone, false, 2); // stable-looking, but thin
+        assert_eq!(
+            scheduler.interval_for(&store, &zone),
+            scheduler.config.volatile_interval,
+            "below min_history: stay eager"
+        );
+    }
+
+    #[test]
+    fn stable_zone_earns_a_long_interval() {
+        let scheduler = SamplingScheduler::default();
+        let mut store = CharacterizationStore::new();
+        let stable = az("sa-east-1a");
+        let volatile = az("us-west-1b");
+        seed_history(&mut store, &stable, false, 5);
+        seed_history(&mut store, &volatile, true, 5);
+        assert_eq!(scheduler.interval_for(&store, &stable), SimDuration::from_days(7));
+        assert_eq!(scheduler.interval_for(&store, &volatile), SimDuration::from_hours(22));
+        // Two days after the last snapshot: only the volatile zone is due.
+        let now = SimTime::start_of_day(6);
+        let zones = [stable.clone(), volatile.clone()];
+        let due = scheduler.due_zones(&store, &zones, now);
+        assert_eq!(due, vec![&volatile]);
+        // Eleven days on, the stable zone is due too.
+        let later = SimTime::start_of_day(12);
+        assert_eq!(scheduler.due_zones(&store, &zones, later).len(), 2);
+    }
+
+    #[test]
+    fn due_time_tracks_latest_snapshot() {
+        let scheduler = SamplingScheduler::default();
+        let mut store = CharacterizationStore::new();
+        let zone = az("eu-north-1a");
+        seed_history(&mut store, &zone, true, 4);
+        let last_at = store.latest(&zone).unwrap().at;
+        assert_eq!(
+            scheduler.next_due(&store, &zone),
+            last_at + SimDuration::from_hours(22)
+        );
+    }
+}

@@ -1,0 +1,1025 @@
+//! The multi-AZ FaaS fleet engine: event-driven execution of invocation
+//! batches against every platform in the catalog, with billing, churn
+//! ticks and reactive scaling.
+//!
+//! The engine is the *only* component that reads `sky-cloud` ground truth.
+//! Its clients (the sampling campaign, the router, the experiment
+//! harnesses) observe the fleet exclusively through
+//! [`InvocationOutcome`]s — the epistemic boundary the paper's tooling
+//! lives behind.
+
+use crate::ids::{AccountId, DeploymentId, InstanceId};
+use crate::platform::{AzPlatform, CapacityError};
+use crate::report::SaafReport;
+use crate::request::{BatchRequest, InvocationOutcome, InvocationStatus, RequestBody};
+use sky_cloud::{Arch, AzId, Catalog, PriceBook, Provider};
+use sky_sim::{EventQueue, SimDuration, SimRng, SimTime, TraceLevel, Tracer};
+use sky_workloads::PerfModel;
+use std::collections::HashMap;
+
+/// Tunable platform behaviour constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Root seed for all randomness in the fleet.
+    pub seed: u64,
+    /// Workload performance model.
+    pub perf: PerfModel,
+    /// Minimum FI keep-alive after the last invocation (AWS guarantees
+    /// about five minutes \[21\]).
+    pub keep_alive_min: SimDuration,
+    /// Maximum observed keep-alive (drawn uniformly per idle period).
+    pub keep_alive_max: SimDuration,
+    /// Billed handler overhead added to every sleep probe.
+    pub sleep_overhead: SimDuration,
+    /// Billed cost of the CPU check in a gated request.
+    pub gate_check: SimDuration,
+    /// Cold-start initialization delay bounds (latency, not billed).
+    pub cold_start_min: SimDuration,
+    /// Upper bound of the cold-start delay.
+    pub cold_start_max: SimDuration,
+    /// Warm dispatch overhead (latency, not billed).
+    pub warm_dispatch: SimDuration,
+    /// Interval between reactive scale-up checks.
+    pub scale_interval: SimDuration,
+    /// Probability that a request arriving during a burst (other
+    /// executions of the same deployment in flight) reuses an idle warm
+    /// FI instead of spreading to a fresh environment. Idle deployments
+    /// always reuse. Calibrated so the focus-fastest retry strategy needs
+    /// ~5 reissues per request on a 40%-fast zone, the figure the paper
+    /// reports for us-west-1b (§4.6).
+    pub warm_reuse_prob: f64,
+}
+
+impl FleetConfig {
+    /// Default configuration with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FleetConfig {
+            seed,
+            perf: PerfModel::default(),
+            keep_alive_min: SimDuration::from_mins(5),
+            keep_alive_max: SimDuration::from_mins(9),
+            sleep_overhead: SimDuration::from_millis(2),
+            gate_check: SimDuration::from_millis(2),
+            cold_start_min: SimDuration::from_millis(80),
+            cold_start_max: SimDuration::from_millis(250),
+            warm_dispatch: SimDuration::from_millis(3),
+            scale_interval: SimDuration::from_secs(60),
+            warm_reuse_prob: 0.58,
+        }
+    }
+}
+
+/// Errors returned by deployment management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The AZ is not in the catalog.
+    UnknownAz(AzId),
+    /// The memory setting is not offered by the provider.
+    UnsupportedMemory {
+        /// Provider rejecting the setting.
+        provider: Provider,
+        /// Requested memory in MB.
+        memory_mb: u32,
+    },
+    /// The architecture is not offered by the provider.
+    UnsupportedArch {
+        /// Provider rejecting the architecture.
+        provider: Provider,
+        /// Requested architecture.
+        arch: Arch,
+    },
+    /// The account belongs to a different provider than the AZ.
+    ProviderMismatch {
+        /// The account's provider.
+        account: Provider,
+        /// The AZ's provider.
+        az: Provider,
+    },
+    /// The account id is unknown.
+    UnknownAccount(AccountId),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::UnknownAz(az) => write!(f, "unknown availability zone {az}"),
+            DeployError::UnsupportedMemory { provider, memory_mb } => {
+                write!(f, "{provider} does not offer {memory_mb} MB functions")
+            }
+            DeployError::UnsupportedArch { provider, arch } => {
+                write!(f, "{provider} does not offer {arch} functions")
+            }
+            DeployError::ProviderMismatch { account, az } => {
+                write!(f, "account on {account} cannot deploy to {az} zone")
+            }
+            DeployError::UnknownAccount(a) => write!(f, "unknown account {a}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+#[derive(Debug, Clone)]
+struct Account {
+    provider: Provider,
+    quota: u32,
+    in_flight: u32,
+}
+
+/// A function deployment record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// Identity.
+    pub id: DeploymentId,
+    /// Owning account.
+    pub account: AccountId,
+    /// Hosting zone.
+    pub az: AzId,
+    /// Provider (derived from the zone).
+    pub provider: Provider,
+    /// Memory setting, MB.
+    pub memory_mb: u32,
+    /// Architecture.
+    pub arch: Arch,
+}
+
+enum Event {
+    Arrival {
+        idx: usize,
+    },
+    /// The function's response reached the client: resolve the outcome or
+    /// reissue a declined gated request.
+    Response {
+        idx: usize,
+        status: InvocationStatus,
+        billed: SimDuration,
+        cost: f64,
+    },
+    /// The FI finished its work (including any decline hold) and returns
+    /// to the warm pool.
+    Release {
+        az: AzId,
+        instance: InstanceId,
+    },
+    Expire {
+        az: AzId,
+        instance: InstanceId,
+        epoch: u64,
+    },
+    DayTick {
+        day: u64,
+    },
+    ScaleCheck {
+        az: AzId,
+    },
+}
+
+/// The multi-AZ fleet engine.
+pub struct FaasEngine {
+    catalog: Catalog,
+    config: FleetConfig,
+    now: SimTime,
+    queue: EventQueue<Event>,
+    platforms: HashMap<AzId, AzPlatform>,
+    platform_count: u64,
+    accounts: Vec<Account>,
+    deployments: Vec<Deployment>,
+    exec_rng: SimRng,
+    tracer: Tracer,
+    // Per-batch state (valid during run_batch only).
+    batch_requests: Vec<BatchRequest>,
+    batch_outcomes: Vec<Option<InvocationOutcome>>,
+    batch_pending: usize,
+    batch_first_arrival: Vec<Option<SimTime>>,
+    batch_attempts: Vec<u32>,
+    batch_retry_billed: Vec<SimDuration>,
+    batch_retry_cost: Vec<f64>,
+}
+
+impl std::fmt::Debug for FaasEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaasEngine")
+            .field("now", &self.now)
+            .field("platforms", &self.platforms.len())
+            .field("accounts", &self.accounts.len())
+            .field("deployments", &self.deployments.len())
+            .finish()
+    }
+}
+
+impl FaasEngine {
+    /// Create an engine over a world catalog.
+    pub fn new(catalog: Catalog, config: FleetConfig) -> Self {
+        let root = SimRng::seed_from(config.seed).derive("faas-engine");
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::start_of_day(1), Event::DayTick { day: 1 });
+        FaasEngine {
+            catalog,
+            config,
+            now: SimTime::ZERO,
+            queue,
+            platforms: HashMap::new(),
+            platform_count: 0,
+            accounts: Vec::new(),
+            deployments: Vec::new(),
+            exec_rng: root.derive("exec"),
+            tracer: Tracer::new(TraceLevel::Info, 4096),
+            batch_requests: Vec::new(),
+            batch_outcomes: Vec::new(),
+            batch_pending: 0,
+            batch_first_arrival: Vec::new(),
+            batch_attempts: Vec::new(),
+            batch_retry_billed: Vec::new(),
+            batch_retry_cost: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The world catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine's trace buffer (lifecycle events for debugging/tests).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Create an account with the provider's default concurrency quota.
+    pub fn create_account(&mut self, provider: Provider) -> AccountId {
+        let id = AccountId::from_raw(self.accounts.len() as u64);
+        self.accounts.push(Account {
+            provider,
+            quota: provider.default_concurrency_quota(),
+            in_flight: 0,
+        });
+        id
+    }
+
+    /// Deploy a function.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeployError`] for each validation failure.
+    pub fn deploy(
+        &mut self,
+        account: AccountId,
+        az: &AzId,
+        memory_mb: u32,
+        arch: Arch,
+    ) -> Result<DeploymentId, DeployError> {
+        let acct = self
+            .accounts
+            .get(account.raw() as usize)
+            .ok_or(DeployError::UnknownAccount(account))?;
+        let spec = self
+            .catalog
+            .az(az)
+            .ok_or_else(|| DeployError::UnknownAz(az.clone()))?;
+        let provider = spec.provider;
+        if acct.provider != provider {
+            return Err(DeployError::ProviderMismatch { account: acct.provider, az: provider });
+        }
+        if !provider.supports_memory_mb(memory_mb) {
+            return Err(DeployError::UnsupportedMemory { provider, memory_mb });
+        }
+        if !provider.arch_options().contains(&arch) {
+            return Err(DeployError::UnsupportedArch { provider, arch });
+        }
+        let id = DeploymentId::from_raw(self.deployments.len() as u64);
+        self.deployments.push(Deployment {
+            id,
+            account,
+            az: az.clone(),
+            provider,
+            memory_mb,
+            arch,
+        });
+        self.ensure_platform(az);
+        Ok(id)
+    }
+
+    /// Look up a deployment record.
+    pub fn deployment(&self, id: DeploymentId) -> Option<&Deployment> {
+        self.deployments.get(id.raw() as usize)
+    }
+
+    /// Experiment-harness access to a platform (e.g. for ground-truth
+    /// mixes when computing APE). The profiler/router must not use this.
+    pub fn platform(&self, az: &AzId) -> Option<&AzPlatform> {
+        self.platforms.get(az)
+    }
+
+    /// Fault injection: all new FI placement in `az` fails for the given
+    /// duration (warm instances keep serving). The zone must already be
+    /// instantiated (have at least one deployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no platform exists for `az` yet.
+    pub fn inject_outage(&mut self, az: &AzId, duration: SimDuration) {
+        let until = self.now + duration;
+        self.platforms
+            .get_mut(az)
+            .unwrap_or_else(|| panic!("no platform instantiated for {az}"))
+            .inject_outage(until);
+        self.tracer.warn(self.now, "faas.fault", format!("{az}: outage injected until {until}"));
+    }
+
+    fn ensure_platform(&mut self, az: &AzId) {
+        if !self.platforms.contains_key(az) {
+            let spec = self.catalog.az(az).expect("validated by deploy").clone();
+            let base = (self.platform_count + 1) << 40;
+            self.platform_count += 1;
+            let rng = SimRng::seed_from(self.config.seed)
+                .derive("platform")
+                .derive(&az.to_string());
+            self.platforms.insert(az.clone(), AzPlatform::new(spec, base, rng, self.config.warm_reuse_prob));
+        }
+    }
+
+    /// Advance virtual time to `t`, processing maintenance events
+    /// (keep-alive expiries, day churn, scale checks) along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "cannot advance into the past");
+        while let Some(at) = self.queue.peek_time() {
+            if at > t {
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked");
+            self.now = at;
+            self.handle_maintenance(event);
+        }
+        self.now = t;
+    }
+
+    /// Advance virtual time by `d`.
+    pub fn advance_by(&mut self, d: SimDuration) {
+        self.advance_to(self.now + d);
+    }
+
+    /// Execute a batch of invocations. Arrival times are `now + offset`;
+    /// the call returns once every request has a terminal outcome, with
+    /// the engine clock left at the last processed event.
+    ///
+    /// Outcomes are returned in request order.
+    pub fn run_batch(&mut self, requests: Vec<BatchRequest>) -> Vec<InvocationOutcome> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let start = self.now;
+        let n = requests.len();
+        self.batch_outcomes = (0..n).map(|_| None).collect();
+        self.batch_pending = n;
+        self.batch_first_arrival = vec![None; n];
+        self.batch_attempts = vec![0; n];
+        self.batch_retry_billed = vec![SimDuration::ZERO; n];
+        self.batch_retry_cost = vec![0.0; n];
+        for (idx, req) in requests.iter().enumerate() {
+            self.queue.schedule(start + req.offset, Event::Arrival { idx });
+        }
+        self.batch_requests = requests;
+        while self.batch_pending > 0 {
+            let (at, event) = self
+                .queue
+                .pop()
+                .expect("pending outcomes imply pending events");
+            self.now = at;
+            self.handle(event);
+        }
+        self.batch_requests = Vec::new();
+        self.batch_outcomes
+            .drain(..)
+            .map(|o| o.expect("all outcomes resolved"))
+            .collect()
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Arrival { idx } => self.handle_arrival(idx),
+            Event::Response { idx, status, billed, cost } => {
+                self.handle_response(idx, status, billed, cost)
+            }
+            other => self.handle_maintenance(other),
+        }
+    }
+
+    fn handle_maintenance(&mut self, event: Event) {
+        match event {
+            Event::Release { az, instance } => {
+                let keep_alive = {
+                    let lo = self.config.keep_alive_min.as_micros();
+                    let hi = self.config.keep_alive_max.as_micros();
+                    SimDuration::from_micros(self.exec_rng.range_inclusive(lo, hi))
+                };
+                let platform = self.platforms.get_mut(&az).expect("exists");
+                let (deadline, epoch) = platform.release(instance, self.now, keep_alive);
+                self.queue.schedule(deadline, Event::Expire { az, instance, epoch });
+            }
+            Event::Expire { az, instance, epoch } => {
+                if let Some(p) = self.platforms.get_mut(&az) {
+                    p.expire(instance, epoch, self.now);
+                }
+            }
+            Event::DayTick { day } => {
+                for (az, p) in self.platforms.iter_mut() {
+                    let recycled = p.day_tick();
+                    self.tracer.info(
+                        self.now,
+                        "faas.churn",
+                        format!("{az}: day {day} recycled {recycled} hosts"),
+                    );
+                }
+                self.queue
+                    .schedule(SimTime::start_of_day(day + 1), Event::DayTick { day: day + 1 });
+            }
+            Event::ScaleCheck { az } => {
+                if let Some(p) = self.platforms.get_mut(&az) {
+                    p.scale_check_scheduled = false;
+                    let added = p.scale_step();
+                    if added > 0 {
+                        self.tracer.info(
+                            self.now,
+                            "faas.scale",
+                            format!("{az}: added {added} hosts"),
+                        );
+                    }
+                }
+            }
+            Event::Arrival { .. } | Event::Response { .. } => {
+                unreachable!("batch events are not maintenance")
+            }
+        }
+    }
+
+    fn resolve(&mut self, idx: usize, outcome: InvocationOutcome) {
+        debug_assert!(self.batch_outcomes[idx].is_none(), "double resolution");
+        self.batch_outcomes[idx] = Some(outcome);
+        self.batch_pending -= 1;
+    }
+
+    /// Terminal outcome assembly: folds in the retry accumulators.
+    fn resolve_final(
+        &mut self,
+        idx: usize,
+        finished: SimTime,
+        status: InvocationStatus,
+        billed: SimDuration,
+        cost: f64,
+    ) {
+        let arrived = self.batch_first_arrival[idx].unwrap_or(finished);
+        let outcome = InvocationOutcome {
+            index: idx,
+            arrived,
+            finished,
+            status,
+            billed,
+            cost_usd: cost,
+            attempts: self.batch_attempts[idx].max(1),
+            retry_billed: self.batch_retry_billed[idx],
+            retry_cost_usd: self.batch_retry_cost[idx],
+        };
+        self.resolve(idx, outcome);
+    }
+
+    fn handle_arrival(&mut self, idx: usize) {
+        let req = self.batch_requests[idx].clone();
+        let arrived = self.now;
+        if self.batch_first_arrival[idx].is_none() {
+            self.batch_first_arrival[idx] = Some(arrived);
+        }
+        self.batch_attempts[idx] += 1;
+        let dep = match self.deployments.get(req.deployment.raw() as usize) {
+            Some(d) => d.clone(),
+            None => panic!("invocation of unknown deployment {}", req.deployment),
+        };
+        // Concurrency quota.
+        let acct = &mut self.accounts[dep.account.raw() as usize];
+        if acct.in_flight >= acct.quota {
+            self.resolve_final(
+                idx,
+                arrived,
+                InvocationStatus::Throttled,
+                SimDuration::ZERO,
+                0.0,
+            );
+            return;
+        }
+        // Placement.
+        let platform = self.platforms.get_mut(&dep.az).expect("deploy created platform");
+        let (instance_id, cold) =
+            match platform.acquire(dep.id, dep.memory_mb, dep.arch, arrived) {
+                Ok(x) => x,
+                Err(CapacityError::Exhausted) => {
+                    if !platform.scale_check_scheduled {
+                        platform.scale_check_scheduled = true;
+                        self.queue.schedule(
+                            arrived + self.config.scale_interval,
+                            Event::ScaleCheck { az: dep.az.clone() },
+                        );
+                    }
+                    self.resolve_final(
+                        idx,
+                        arrived,
+                        InvocationStatus::NoCapacity,
+                        SimDuration::ZERO,
+                        0.0,
+                    );
+                    return;
+                }
+            };
+        self.accounts[dep.account.raw() as usize].in_flight += 1;
+
+        // Dispatch latency (not billed).
+        let dispatch = if cold {
+            let lo = self.config.cold_start_min.as_micros();
+            let hi = self.config.cold_start_max.as_micros();
+            SimDuration::from_micros(self.exec_rng.range_inclusive(lo, hi))
+        } else {
+            self.config.warm_dispatch
+        };
+
+        // Execution semantics.
+        let platform = self.platforms.get_mut(&dep.az).expect("exists");
+        let hour = arrived.hour_of_day_f64();
+        let contention = platform.diurnal().contention(hour);
+        let inst = platform.instance(instance_id).expect("just acquired");
+        let cpu = inst.cpu;
+        // `billed` is the full FI occupancy (including decline holds);
+        // `response_after` is when the client hears back, measured from
+        // the end of dispatch.
+        let (billed, response_after, declined) = match &req.body {
+            RequestBody::Sleep { duration } => {
+                let b = *duration + self.config.sleep_overhead;
+                (b, b, false)
+            }
+            RequestBody::Workload { spec } => {
+                let decode = self.decode_overhead(&dep, instance_id, spec.payload_hash, spec.payload_bytes);
+                let exec = self.config.perf.duration(
+                    spec.kind,
+                    spec.scale,
+                    cpu,
+                    dep.memory_mb,
+                    contention,
+                    &mut self.exec_rng,
+                );
+                let b = decode + exec;
+                (b, b, false)
+            }
+            RequestBody::GatedWorkload { spec, banned, hold, .. } => {
+                if banned.contains(&cpu) {
+                    // Respond right after the check; hold the FI busy for
+                    // `hold` so the reissue cannot land back here.
+                    (self.config.gate_check + *hold, self.config.gate_check, true)
+                } else {
+                    let decode = self.decode_overhead(
+                        &dep,
+                        instance_id,
+                        spec.payload_hash,
+                        spec.payload_bytes,
+                    );
+                    let exec = self.config.perf.duration(
+                        spec.kind,
+                        spec.scale,
+                        cpu,
+                        dep.memory_mb,
+                        contention,
+                        &mut self.exec_rng,
+                    );
+                    let b = self.config.gate_check + decode + exec;
+                    (b, b, false)
+                }
+            }
+        };
+        let response_at = arrived + dispatch + response_after;
+        let release_at = arrived + dispatch + billed;
+        let cost = PriceBook::invocation_cost(dep.provider, dep.arch, dep.memory_mb, billed);
+
+        let platform = self.platforms.get(&dep.az).expect("exists");
+        let inst = platform.instance(instance_id).expect("just acquired");
+        let report = SaafReport {
+            cpu_model: cpu.model_name().to_string(),
+            cpu_ghz: cpu.clock_ghz(),
+            instance_uuid: inst.uuid.clone(),
+            host_id: inst.host_id,
+            instance_id,
+            new_container: cold,
+            billed,
+            memory_mb: dep.memory_mb,
+            arch: dep.arch,
+            provider: dep.provider,
+            az: dep.az.clone(),
+            finished_at: response_at,
+        };
+        let status = if declined {
+            InvocationStatus::Declined(report)
+        } else {
+            InvocationStatus::Success(report)
+        };
+        self.queue
+            .schedule(response_at, Event::Response { idx, status, billed, cost });
+        self.queue
+            .schedule(release_at, Event::Release { az: dep.az.clone(), instance: instance_id });
+    }
+
+    fn handle_response(
+        &mut self,
+        idx: usize,
+        status: InvocationStatus,
+        billed: SimDuration,
+        cost: f64,
+    ) {
+        let dep_id = self.batch_requests[idx].deployment;
+        let account = self.deployments[dep_id.raw() as usize].account;
+        self.accounts[account.raw() as usize].in_flight -= 1;
+        // Automatic reissue of declined gated requests.
+        if let InvocationStatus::Declined(_) = &status {
+            if let RequestBody::GatedWorkload { max_retries, retry_latency, .. } =
+                &self.batch_requests[idx].body
+            {
+                let retries_so_far = self.batch_attempts[idx] - 1;
+                if retries_so_far < *max_retries {
+                    self.batch_retry_billed[idx] += billed;
+                    self.batch_retry_cost[idx] += cost;
+                    self.queue
+                        .schedule(self.now + *retry_latency, Event::Arrival { idx });
+                    return;
+                }
+            }
+        }
+        self.resolve_final(idx, self.now, status, billed, cost);
+    }
+
+    /// Dynamic-function payload decode cost: ~2 ms fixed plus linear in
+    /// payload size (≤ 70 ms at the 5 MB cap), cached per FI by content
+    /// hash so repeat requests skip it — the FaaSET behaviour §3.2.
+    fn decode_overhead(
+        &mut self,
+        dep: &Deployment,
+        instance: InstanceId,
+        payload_hash: u64,
+        payload_bytes: u32,
+    ) -> SimDuration {
+        let platform = self.platforms.get_mut(&dep.az).expect("exists");
+        let inst = platform.instance_mut(instance).expect("acquired");
+        if inst.payload_cache.contains(&payload_hash) {
+            return SimDuration::ZERO;
+        }
+        inst.payload_cache.push(payload_hash);
+        let ms = 2.0 + payload_bytes as f64 / (5.0 * 1024.0 * 1024.0) * 68.0;
+        SimDuration::from_millis_f64(ms)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::WorkloadSpec;
+    use sky_workloads::WorkloadKind;
+
+    fn engine(seed: u64) -> FaasEngine {
+        FaasEngine::new(Catalog::paper_world(7), FleetConfig::new(seed))
+    }
+
+    fn az(s: &str) -> AzId {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn deploy_validation() {
+        let mut e = engine(1);
+        let aws = e.create_account(Provider::Aws);
+        let ibm = e.create_account(Provider::Ibm);
+        assert!(e.deploy(aws, &az("us-west-1a"), 2048, Arch::X86_64).is_ok());
+        assert!(matches!(
+            e.deploy(aws, &az("mars-1a"), 2048, Arch::X86_64),
+            Err(DeployError::UnknownAz(_))
+        ));
+        assert!(matches!(
+            e.deploy(aws, &az("us-west-1a"), 64, Arch::X86_64),
+            Err(DeployError::UnsupportedMemory { .. })
+        ));
+        assert!(matches!(
+            e.deploy(ibm, &az("us-west-1a"), 2048, Arch::X86_64),
+            Err(DeployError::ProviderMismatch { .. })
+        ));
+        assert!(matches!(
+            e.deploy(ibm, &az("eu-de-a"), 2048, Arch::Arm64),
+            Err(DeployError::UnsupportedArch { .. })
+        ));
+        // 100 distinct memory settings, as the sampling campaign uses.
+        for i in 0..100 {
+            assert!(e.deploy(aws, &az("us-west-1a"), 2038 + i, Arch::X86_64).is_ok());
+        }
+    }
+
+    #[test]
+    fn sleep_batch_all_succeed_and_bill() {
+        let mut e = engine(2);
+        let acct = e.create_account(Provider::Aws);
+        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
+        let reqs: Vec<BatchRequest> = (0..50)
+            .map(|i| BatchRequest {
+                deployment: dep,
+                offset: SimDuration::from_millis(i),
+                body: RequestBody::Sleep { duration: SimDuration::from_millis(250) },
+            })
+            .collect();
+        let outcomes = e.run_batch(reqs);
+        assert_eq!(outcomes.len(), 50);
+        for o in &outcomes {
+            assert!(o.status.is_success());
+            assert_eq!(o.billed, SimDuration::from_millis(252));
+            assert!(o.cost_usd > 0.0);
+            let r = o.status.report().unwrap();
+            assert!(r.new_container, "fresh deployment: all cold");
+            assert_eq!(r.cpu_type(), Some(sky_cloud::CpuType::IntelXeon2_5));
+        }
+        // 50 concurrent sleeps => 50 unique FIs.
+        let mut uuids: Vec<&str> =
+            outcomes.iter().map(|o| o.status.report().unwrap().instance_uuid.as_str()).collect();
+        uuids.sort();
+        uuids.dedup();
+        assert_eq!(uuids.len(), 50);
+    }
+
+    #[test]
+    fn sequential_requests_reuse_warm_instances() {
+        let mut e = engine(3);
+        let acct = e.create_account(Provider::Aws);
+        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
+        // Spread arrivals 1s apart: each sleeps 250ms, so all reuse one FI.
+        let reqs: Vec<BatchRequest> = (0..10)
+            .map(|i| BatchRequest {
+                deployment: dep,
+                offset: SimDuration::from_secs(i),
+                body: RequestBody::Sleep { duration: SimDuration::from_millis(250) },
+            })
+            .collect();
+        let outcomes = e.run_batch(reqs);
+        let unique: std::collections::HashSet<&str> =
+            outcomes.iter().map(|o| o.status.report().unwrap().instance_uuid.as_str()).collect();
+        assert_eq!(unique.len(), 1, "all sequential requests share one warm FI");
+        let colds = outcomes.iter().filter(|o| o.status.report().unwrap().new_container).count();
+        assert_eq!(colds, 1);
+    }
+
+    #[test]
+    fn concurrency_quota_throttles() {
+        let mut e = engine(4);
+        let acct = e.create_account(Provider::Aws);
+        let dep = e.deploy(acct, &az("eu-central-1a"), 1024, Arch::X86_64).unwrap();
+        let reqs: Vec<BatchRequest> = (0..1100)
+            .map(|_| BatchRequest {
+                deployment: dep,
+                offset: SimDuration::ZERO,
+                body: RequestBody::Sleep { duration: SimDuration::from_secs(2) },
+            })
+            .collect();
+        let outcomes = e.run_batch(reqs);
+        let throttled = outcomes.iter().filter(|o| o.status == InvocationStatus::Throttled).count();
+        assert_eq!(throttled, 100, "quota is 1000 concurrent");
+    }
+
+    #[test]
+    fn saturation_produces_no_capacity_errors_visible_to_other_accounts() {
+        let mut e = engine(5);
+        let a1 = e.create_account(Provider::Aws);
+        let a2 = e.create_account(Provider::Aws);
+        let zone = az("eu-north-1a"); // small pool
+        // Account 1 saturates the AZ with big-memory sleeps.
+        let mut failures1 = 0usize;
+        for wave in 0..12 {
+            let dep = e.deploy(a1, &zone, 10_140 + wave, Arch::X86_64).unwrap();
+            let reqs: Vec<BatchRequest> = (0..800)
+                .map(|_| BatchRequest {
+                    deployment: dep,
+                    offset: SimDuration::ZERO,
+                    body: RequestBody::Sleep { duration: SimDuration::from_millis(500) },
+                })
+                .collect();
+            failures1 += e
+                .run_batch(reqs)
+                .iter()
+                .filter(|o| o.status == InvocationStatus::NoCapacity)
+                .count();
+        }
+        assert!(failures1 > 0, "sustained polling should exhaust the small AZ");
+        // Account 2 immediately sees capacity errors too (shared pool).
+        let dep2 = e.deploy(a2, &zone, 10_240, Arch::X86_64).unwrap();
+        let reqs: Vec<BatchRequest> = (0..800)
+            .map(|_| BatchRequest {
+                deployment: dep2,
+                offset: SimDuration::ZERO,
+                body: RequestBody::Sleep { duration: SimDuration::from_millis(500) },
+            })
+            .collect();
+        let outcomes2 = e.run_batch(reqs);
+        let failures2 =
+            outcomes2.iter().filter(|o| o.status == InvocationStatus::NoCapacity).count();
+        assert!(
+            failures2 > 400,
+            "cross-account saturation: independent account mostly fails ({failures2}/800)"
+        );
+    }
+
+    #[test]
+    fn gated_request_declines_on_banned_cpu() {
+        let mut e = engine(6);
+        let acct = e.create_account(Provider::Aws);
+        // us-east-2a is homogeneous 2.5GHz: banning it declines everything.
+        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
+        let spec = WorkloadSpec::new(WorkloadKind::Zipper);
+        let reqs: Vec<BatchRequest> = (0..20)
+            .map(|_| BatchRequest {
+                deployment: dep,
+                offset: SimDuration::ZERO,
+                body: RequestBody::GatedWorkload {
+                    spec: spec.clone(),
+                    banned: vec![sky_cloud::CpuType::IntelXeon2_5],
+                    hold: SimDuration::from_millis(150),
+                    max_retries: 0,
+                    retry_latency: SimDuration::from_millis(60),
+                },
+            })
+            .collect();
+        let outcomes = e.run_batch(reqs);
+        for o in &outcomes {
+            assert!(matches!(o.status, InvocationStatus::Declined(_)));
+            assert_eq!(o.billed, SimDuration::from_millis(152));
+        }
+    }
+
+    #[test]
+    fn auto_retry_steers_batch_onto_fast_cpu() {
+        let mut e = engine(77);
+        let acct = e.create_account(Provider::Aws);
+        // us-west-1b: diverse mix with ~40% 3.0GHz hosts.
+        let dep = e.deploy(acct, &az("us-west-1b"), 2048, Arch::X86_64).unwrap();
+        let spec = WorkloadSpec::new(WorkloadKind::Zipper);
+        let banned: Vec<sky_cloud::CpuType> = sky_cloud::CpuType::AWS_X86
+            .iter()
+            .copied()
+            .filter(|&c| c != sky_cloud::CpuType::IntelXeon3_0)
+            .collect();
+        let reqs: Vec<BatchRequest> = (0..300)
+            .map(|i| BatchRequest {
+                deployment: dep,
+                offset: SimDuration::from_millis(i % 40),
+                body: RequestBody::GatedWorkload {
+                    spec: spec.clone(),
+                    banned: banned.clone(),
+                    hold: SimDuration::from_millis(150),
+                    max_retries: 25,
+                    retry_latency: SimDuration::from_millis(60),
+                },
+            })
+            .collect();
+        let outcomes = e.run_batch(reqs);
+        let on_fast = outcomes
+            .iter()
+            .filter(|o| {
+                o.status
+                    .report()
+                    .map(|r| r.cpu_type() == Some(sky_cloud::CpuType::IntelXeon3_0))
+                    .unwrap_or(false)
+                    && o.status.is_success()
+            })
+            .count();
+        assert!(
+            on_fast as f64 >= 0.95 * outcomes.len() as f64,
+            "focus-fastest should land nearly all requests on 3.0GHz: {on_fast}/300"
+        );
+        let retried = outcomes.iter().filter(|o| o.attempts > 1).count();
+        assert!(retried > 100, "with ~40% fast share, many requests retry: {retried}");
+        let total_retry_cost: f64 = outcomes.iter().map(|o| o.retry_cost_usd).sum();
+        assert!(total_retry_cost > 0.0);
+        // Retry overhead per retried request is ~152ms at 2GB: tiny vs
+        // the multi-second zipper runtime.
+        let mean_attempts: f64 =
+            outcomes.iter().map(|o| o.attempts as f64).sum::<f64>() / outcomes.len() as f64;
+        assert!(mean_attempts < 9.0, "mean attempts {mean_attempts}");
+    }
+
+    #[test]
+    fn gated_retry_exhaustion_surfaces_decline() {
+        let mut e = engine(78);
+        let acct = e.create_account(Provider::Aws);
+        // Homogeneous 2.5GHz zone: banning 2.5GHz can never succeed.
+        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
+        let outcomes = e.run_batch(vec![BatchRequest {
+            deployment: dep,
+            offset: SimDuration::ZERO,
+            body: RequestBody::GatedWorkload {
+                spec: WorkloadSpec::new(WorkloadKind::Sha1Hash),
+                banned: vec![sky_cloud::CpuType::IntelXeon2_5],
+                hold: SimDuration::from_millis(150),
+                max_retries: 4,
+                retry_latency: SimDuration::from_millis(60),
+            },
+        }]);
+        let o = &outcomes[0];
+        assert!(matches!(o.status, InvocationStatus::Declined(_)));
+        assert_eq!(o.attempts, 5, "1 initial + 4 retries");
+        assert_eq!(o.retry_billed, SimDuration::from_millis(4 * 152));
+        assert!(o.retry_cost_usd > 0.0);
+    }
+
+    #[test]
+    fn workload_runtime_tracks_cpu_factor() {
+        let mut e = FaasEngine::new(Catalog::paper_world(7), {
+            let mut c = FleetConfig::new(8);
+            c.perf = PerfModel::deterministic();
+            c
+        });
+        let acct = e.create_account(Provider::Aws);
+        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
+        let spec = WorkloadSpec::new(WorkloadKind::LogisticRegression);
+        let outcomes = e.run_batch(vec![BatchRequest {
+            deployment: dep,
+            offset: SimDuration::ZERO,
+            body: RequestBody::Workload { spec },
+        }]);
+        let billed = outcomes[0].billed;
+        // 15s base on the 2.5GHz baseline + decode, inflated by diurnal
+        // contention (<= 6%).
+        let base = 15_000.0;
+        let ms = billed.as_millis_f64();
+        assert!(ms >= base && ms < base * 1.08 + 10.0, "billed {ms}ms");
+    }
+
+    #[test]
+    fn payload_decode_cached_after_first_call() {
+        let mut e = FaasEngine::new(Catalog::paper_world(7), {
+            let mut c = FleetConfig::new(9);
+            c.perf = PerfModel::deterministic();
+            c
+        });
+        let acct = e.create_account(Provider::Aws);
+        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
+        let spec = WorkloadSpec::new(WorkloadKind::Sha1Hash)
+            .with_payload(5 * 1024 * 1024, 0xfeed);
+        let mk = |offset_s: u64| BatchRequest {
+            deployment: dep,
+            offset: SimDuration::from_secs(offset_s),
+            body: RequestBody::Workload { spec: clone_spec(&spec) },
+        };
+        fn clone_spec(s: &WorkloadSpec) -> WorkloadSpec {
+            s.clone()
+        }
+        let outcomes = e.run_batch(vec![mk(0), mk(10)]);
+        let first = outcomes[0].billed.as_millis_f64();
+        let second = outcomes[1].billed.as_millis_f64();
+        assert!(
+            first - second > 60.0,
+            "first call pays ~70ms decode: {first} vs {second}"
+        );
+    }
+
+    #[test]
+    fn day_tick_fires_on_advance() {
+        let mut e = engine(10);
+        let acct = e.create_account(Provider::Aws);
+        let _ = e.deploy(acct, &az("us-west-1b"), 2048, Arch::X86_64).unwrap();
+        let before = e.platform(&az("us-west-1b")).unwrap().ground_truth_mix();
+        e.advance_to(SimTime::start_of_day(10));
+        let after = e.platform(&az("us-west-1b")).unwrap().ground_truth_mix();
+        assert!(
+            after.ape_percent(&before) > 1.0,
+            "volatile zone should churn over 10 days"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcomes() {
+        let run = |seed: u64| -> Vec<(bool, u64)> {
+            let mut e = engine(seed);
+            let acct = e.create_account(Provider::Aws);
+            let dep = e.deploy(acct, &az("us-west-1b"), 2048, Arch::X86_64).unwrap();
+            let reqs: Vec<BatchRequest> = (0..100)
+                .map(|i| BatchRequest {
+                    deployment: dep,
+                    offset: SimDuration::from_millis(i % 7),
+                    body: RequestBody::Workload {
+                        spec: WorkloadSpec::new(WorkloadKind::GraphBfs),
+                    },
+                })
+                .collect();
+            e.run_batch(reqs)
+                .into_iter()
+                .map(|o| (o.status.is_success(), o.billed.as_micros()))
+                .collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,81 @@
+//! Typed identifiers for platform entities.
+//!
+//! Newtypes keep accounts, deployments, hosts, instances and requests from
+//! being confused with one another at compile time (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Construct from a raw index. Primarily engine-internal;
+            /// exposed for tests and tooling that synthesize reports.
+            pub fn from_raw(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index.
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "-{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A cloud account (with its own concurrency quota).
+    AccountId,
+    "acct"
+);
+id_type!(
+    /// A function deployment (code package + memory + arch in one AZ).
+    DeploymentId,
+    "fn"
+);
+id_type!(
+    /// A bare-metal host in an AZ's fleet.
+    HostId,
+    "host"
+);
+id_type!(
+    /// A function instance (microVM execution environment).
+    InstanceId,
+    "fi"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(AccountId::from_raw(3).to_string(), "acct-3");
+        assert_eq!(DeploymentId::from_raw(0).to_string(), "fn-0");
+        assert_eq!(HostId::from_raw(7).to_string(), "host-7");
+        assert_eq!(InstanceId::from_raw(9).to_string(), "fi-9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let a = InstanceId::from_raw(1);
+        let b = InstanceId::from_raw(2);
+        assert!(a < b);
+        let set: HashSet<InstanceId> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        assert_eq!(a.raw(), 1);
+    }
+}

@@ -1,0 +1,712 @@
+//! Per-AZ platform state: the host fleet, function instances, placement,
+//! keep-alive, churn and reactive scaling.
+//!
+//! This is the machinery whose *externally observable* behaviour the paper
+//! measures: finite heterogeneous capacity (saturation, EX-1), hidden CPU
+//! mixes (EX-2/3), day-scale churn and hour-scale load (EX-4), and
+//! placement that routes warm traffic back to existing FIs (the effect the
+//! sampling campaign's sleep interval must outrun, Figure 3).
+
+use crate::ids::{DeploymentId, HostId, InstanceId};
+use sky_cloud::{Arch, AzSpec, ChurnModel, CpuMix, CpuType, DiurnalModel};
+use sky_sim::{SimDuration, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// A bare-metal host backing microVM function instances.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Identity (changes when the host is recycled).
+    pub id: HostId,
+    /// CPU type of every FI placed on this host.
+    pub cpu: CpuType,
+    /// Architecture served.
+    pub arch: Arch,
+    /// Memory capacity, MB.
+    pub mem_total_mb: u64,
+    /// Memory currently allocated to live FIs, MB.
+    pub mem_used_mb: u64,
+    /// Live FI count (busy or warm-idle).
+    pub live_instances: u32,
+}
+
+impl Host {
+    fn free_mb(&self) -> u64 {
+        self.mem_total_mb - self.mem_used_mb
+    }
+}
+
+/// A function instance (execution environment).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Engine-visible identity.
+    pub id: InstanceId,
+    /// The uuid SAAF observes (persisted in the FI's `/tmp`).
+    pub uuid: String,
+    /// Host index within the platform's host vector.
+    pub host_index: usize,
+    /// Host identity at placement time.
+    pub host_id: HostId,
+    /// Deployment this FI serves (FIs are never shared across functions).
+    pub deployment: DeploymentId,
+    /// The CPU this FI landed on.
+    pub cpu: CpuType,
+    /// Memory reserved, MB.
+    pub memory_mb: u32,
+    /// Whether an invocation is currently executing.
+    pub busy: bool,
+    /// Instant after which an idle FI may be reclaimed.
+    pub keep_alive_until: SimTime,
+    /// Guard against stale expire events: each idle period bumps this.
+    pub expire_epoch: u64,
+    /// Number of invocations served.
+    pub invocations: u64,
+    /// Payload hashes already decoded and cached on this FI's scratch
+    /// volume (the dynamic-function cache).
+    pub payload_cache: Vec<u64>,
+}
+
+/// Why an instance could not be allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityError {
+    /// Every compatible host slot in the AZ is occupied (by our FIs or
+    /// background tenants).
+    Exhausted,
+}
+
+/// Per-AZ platform simulator state.
+#[derive(Debug)]
+pub struct AzPlatform {
+    spec: AzSpec,
+    diurnal: DiurnalModel,
+    churn: ChurnModel,
+    target_mix: CpuMix,
+    hosts: Vec<Host>,
+    /// Indices into `hosts` by (arch, cpu) for placement scans.
+    by_cpu: HashMap<(Arch, CpuType), Vec<usize>>,
+    instances: HashMap<InstanceId, Instance>,
+    /// LIFO stacks of warm idle instances per deployment (most recently
+    /// freed first, mirroring Lambda's warm-routing preference).
+    warm_idle: HashMap<DeploymentId, Vec<InstanceId>>,
+    /// Busy (executing) instances per deployment — the burst-detection
+    /// signal for the warm-reuse probability.
+    busy_counts: HashMap<DeploymentId, u32>,
+    /// Probability that a request arriving during a burst (other
+    /// instances of the same deployment busy) reuses an idle warm FI
+    /// rather than spreading to a fresh environment. Idle deployments
+    /// always reuse. See `FleetConfig::warm_reuse_prob`.
+    reuse_prob: f64,
+    /// Memory allocated to our FIs across all x86 hosts, MB.
+    fi_mem_used_x86: u64,
+    /// Memory allocated to our FIs across arm hosts, MB.
+    fi_mem_used_arm: u64,
+    /// Total x86 host memory, MB.
+    total_mem_x86: u64,
+    /// Total arm host memory, MB.
+    total_mem_arm: u64,
+    /// Reactive hosts added beyond the baseline fleet.
+    extra_hosts: u32,
+    /// Capacity failures since the last scale check (scaling signal).
+    pub(crate) capacity_failures_pending: u32,
+    /// Whether a scale-check event is currently scheduled.
+    pub(crate) scale_check_scheduled: bool,
+    id_base: u64,
+    next_host: u64,
+    next_instance: u64,
+    /// Bin-packing affinity: new FIs continue filling the previous host
+    /// while it has room, with this probability. Dense packing is why a
+    /// single sampling poll sees a *clustered* subset of host CPUs and
+    /// carries ~10% characterization error (paper §4.3).
+    stickiness: f64,
+    last_host: Option<usize>,
+    /// Fault injection: while set and in the future, every placement
+    /// fails (a zone-level outage).
+    outage_until: Option<SimTime>,
+    rng: SimRng,
+}
+
+impl AzPlatform {
+    /// Instantiate the platform from its catalog spec. `id_base` makes
+    /// host/instance ids unique across platforms; `reuse_prob` is the
+    /// under-burst warm-reuse probability (see `FleetConfig`).
+    pub fn new(spec: AzSpec, id_base: u64, rng: SimRng, reuse_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&reuse_prob), "reuse_prob must be a probability");
+        let diurnal = DiurnalModel::new(spec.background_base, spec.diurnal_amplitude);
+        let churn = ChurnModel::new(spec.churn, &spec.initial_mix);
+        let mut platform = AzPlatform {
+            diurnal,
+            churn,
+            target_mix: spec.initial_mix.clone(),
+            hosts: Vec::new(),
+            by_cpu: HashMap::new(),
+            instances: HashMap::new(),
+            warm_idle: HashMap::new(),
+            busy_counts: HashMap::new(),
+            reuse_prob,
+            fi_mem_used_x86: 0,
+            fi_mem_used_arm: 0,
+            total_mem_x86: 0,
+            total_mem_arm: 0,
+            extra_hosts: 0,
+            capacity_failures_pending: 0,
+            scale_check_scheduled: false,
+            id_base,
+            next_host: 0,
+            next_instance: 0,
+            stickiness: 0.95,
+            last_host: None,
+            outage_until: None,
+            rng,
+            spec,
+        };
+        let mix = platform.target_mix.clone();
+        for _ in 0..platform.spec.hosts {
+            platform.add_host(Arch::X86_64, &mix);
+        }
+        for _ in 0..platform.spec.arm_hosts {
+            let arm_mix = CpuMix::from_shares(&[(CpuType::Graviton2, 1.0)]);
+            platform.add_host(Arch::Arm64, &arm_mix);
+        }
+        platform
+    }
+
+    /// The catalog spec this platform was built from.
+    pub fn spec(&self) -> &AzSpec {
+        &self.spec
+    }
+
+    /// The diurnal model (shared with the engine for contention).
+    pub fn diurnal(&self) -> &DiurnalModel {
+        &self.diurnal
+    }
+
+    fn draw_cpu(rng: &mut SimRng, mix: &CpuMix) -> CpuType {
+        let entries: Vec<(CpuType, f64)> = mix.iter().collect();
+        let weights: Vec<f64> = entries.iter().map(|&(_, w)| w).collect();
+        entries[rng.weighted_choice(&weights)].0
+    }
+
+    fn add_host(&mut self, arch: Arch, mix: &CpuMix) {
+        let cpu = if arch == Arch::Arm64 {
+            CpuType::Graviton2
+        } else {
+            Self::draw_cpu(&mut self.rng, mix)
+        };
+        let id = HostId::from_raw(self.id_base + self.next_host);
+        self.next_host += 1;
+        let mem = self.spec.host_mem_gb as u64 * 1024;
+        let index = self.hosts.len();
+        self.hosts.push(Host {
+            id,
+            cpu,
+            arch,
+            mem_total_mb: mem,
+            mem_used_mb: 0,
+            live_instances: 0,
+        });
+        self.by_cpu.entry((arch, cpu)).or_default().push(index);
+        match arch {
+            Arch::X86_64 => self.total_mem_x86 += mem,
+            Arch::Arm64 => self.total_mem_arm += mem,
+        }
+    }
+
+    /// The **ground-truth** CPU mix of the current x86 fleet, host-count
+    /// weighted. Only experiment harnesses may call this (to compute APE
+    /// against estimates); the profiler/router must not.
+    pub fn ground_truth_mix(&self) -> CpuMix {
+        let mut counts: HashMap<CpuType, u64> = HashMap::new();
+        for h in &self.hosts {
+            if h.arch == Arch::X86_64 {
+                *counts.entry(h.cpu).or_default() += 1;
+            }
+        }
+        let pairs: Vec<(CpuType, u64)> = counts.into_iter().collect();
+        CpuMix::from_counts(&pairs)
+    }
+
+    /// Number of hosts currently provisioned (x86 + arm).
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of live instances (busy + warm).
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Approximate FI capacity remaining for a deployment of the given
+    /// memory/arch at the given hour, in instances.
+    pub fn remaining_capacity(&self, memory_mb: u32, arch: Arch, hour: f64) -> u64 {
+        let (used, total) = match arch {
+            Arch::X86_64 => (self.fi_mem_used_x86, self.total_mem_x86),
+            Arch::Arm64 => (self.fi_mem_used_arm, self.total_mem_arm),
+        };
+        let usable = (total as f64 * self.diurnal.usable_fraction(hour)) as u64;
+        usable.saturating_sub(used) / memory_mb as u64
+    }
+
+    /// Try to obtain an instance for an invocation: reuse the most
+    /// recently idled warm FI for the deployment, else place a new one.
+    ///
+    /// Returns `(instance, cold_start)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError::Exhausted`] when no compatible capacity exists —
+    /// the saturation signal of EX-1.
+    pub fn acquire(
+        &mut self,
+        deployment: DeploymentId,
+        memory_mb: u32,
+        arch: Arch,
+        now: SimTime,
+    ) -> Result<(InstanceId, bool), CapacityError> {
+        // Warm path. A deployment with no in-flight executions always
+        // reuses its warm FI (sequential traffic packs); during a burst
+        // the router spreads with probability `1 - reuse_prob`, matching
+        // observed Lambda scale-out behaviour under concurrent arrivals —
+        // and the mechanism that lets held declined FIs be bypassed by
+        // retries (paper §3.5).
+        let busy_now = self.busy_counts.get(&deployment).copied().unwrap_or(0);
+        let prefer_warm = busy_now == 0 || self.rng.chance(self.reuse_prob);
+        if prefer_warm {
+            if let Some(id) = self.pop_valid_warm(deployment) {
+                return Ok((self.mark_busy(id), false));
+            }
+        }
+        // Cold path. An injected outage fails all *new* placement (warm
+        // FIs above keep serving, matching how zone incidents present).
+        if let Some(until) = self.outage_until {
+            if now < until {
+                if let Some(id) = self.pop_valid_warm(deployment) {
+                    return Ok((self.mark_busy(id), false));
+                }
+                self.capacity_failures_pending += 1;
+                return Err(CapacityError::Exhausted);
+            }
+            self.outage_until = None;
+        }
+        // Admission check against background-load-adjusted capacity,
+        // then weighted placement across CPU types.
+        let hour = now.hour_of_day_f64();
+        let (used, total) = match arch {
+            Arch::X86_64 => (self.fi_mem_used_x86, self.total_mem_x86),
+            Arch::Arm64 => (self.fi_mem_used_arm, self.total_mem_arm),
+        };
+        let usable = (total as f64 * self.diurnal.usable_fraction(hour)) as u64;
+        if used + memory_mb as u64 > usable {
+            // Out of capacity: fall back to a warm FI if one exists.
+            if let Some(id) = self.pop_valid_warm(deployment) {
+                return Ok((self.mark_busy(id), false));
+            }
+            self.capacity_failures_pending += 1;
+            return Err(CapacityError::Exhausted);
+        }
+        let host_index = match self.place(memory_mb, arch) {
+            Some(i) => i,
+            None => {
+                if let Some(id) = self.pop_valid_warm(deployment) {
+                    return Ok((self.mark_busy(id), false));
+                }
+                self.capacity_failures_pending += 1;
+                return Err(CapacityError::Exhausted);
+            }
+        };
+        let host = &mut self.hosts[host_index];
+        host.mem_used_mb += memory_mb as u64;
+        host.live_instances += 1;
+        let (cpu, host_id) = (host.cpu, host.id);
+        match arch {
+            Arch::X86_64 => self.fi_mem_used_x86 += memory_mb as u64,
+            Arch::Arm64 => self.fi_mem_used_arm += memory_mb as u64,
+        }
+        let id = InstanceId::from_raw(self.id_base + self.next_instance);
+        self.next_instance += 1;
+        *self.busy_counts.entry(deployment).or_default() += 1;
+        let uuid = self.rng.next_uuid();
+        self.instances.insert(
+            id,
+            Instance {
+                id,
+                uuid,
+                host_index,
+                host_id,
+                deployment,
+                cpu,
+                memory_mb,
+                busy: true,
+                keep_alive_until: now, // set on release
+                expire_epoch: 0,
+                invocations: 1,
+                payload_cache: Vec::new(),
+            },
+        );
+        Ok((id, true))
+    }
+
+    /// Pop the most recently idled valid warm instance for a deployment.
+    fn pop_valid_warm(&mut self, deployment: DeploymentId) -> Option<InstanceId> {
+        let stack = self.warm_idle.entry(deployment).or_default();
+        while let Some(id) = stack.pop() {
+            if let Some(inst) = self.instances.get(&id) {
+                if !inst.busy {
+                    return Some(id);
+                }
+            }
+        }
+        None
+    }
+
+    /// Mark a (validated) idle instance busy and count the invocation.
+    fn mark_busy(&mut self, id: InstanceId) -> InstanceId {
+        let inst = self.instances.get_mut(&id).expect("validated by pop_valid_warm");
+        inst.busy = true;
+        inst.invocations += 1;
+        *self.busy_counts.entry(inst.deployment).or_default() += 1;
+        id
+    }
+
+    /// Bin-packing host selection: usually continue filling the host the
+    /// previous FI landed on (dense packing); otherwise pick a CPU type
+    /// with probability proportional to its free capacity, then a host of
+    /// that type with room. Returns the host index.
+    fn place(&mut self, memory_mb: u32, arch: Arch) -> Option<usize> {
+        if let Some(last) = self.last_host {
+            let h = &self.hosts[last];
+            if h.arch == arch
+                && h.free_mb() >= memory_mb as u64
+                && self.rng.chance(self.stickiness)
+            {
+                return Some(last);
+            }
+        }
+        let choice = self.place_fresh(memory_mb, arch);
+        self.last_host = choice;
+        choice
+    }
+
+    fn place_fresh(&mut self, memory_mb: u32, arch: Arch) -> Option<usize> {
+        let mut types: Vec<(CpuType, u64)> = Vec::new();
+        for (&(a, cpu), indices) in &self.by_cpu {
+            if a != arch {
+                continue;
+            }
+            let free: u64 = indices
+                .iter()
+                .map(|&i| {
+                    let f = self.hosts[i].free_mb();
+                    if f >= memory_mb as u64 {
+                        f
+                    } else {
+                        0
+                    }
+                })
+                .sum();
+            if free > 0 {
+                types.push((cpu, free));
+            }
+        }
+        if types.is_empty() {
+            return None;
+        }
+        types.sort_by_key(|&(cpu, _)| cpu); // deterministic order
+        let weights: Vec<f64> = types.iter().map(|&(_, f)| f as f64).collect();
+        let cpu = types[self.rng.weighted_choice(&weights)].0;
+        let indices = self.by_cpu.get(&(arch, cpu)).expect("type has hosts");
+        // Start the scan at a random index so load spreads.
+        let start = self.rng.next_below(indices.len() as u64) as usize;
+        for k in 0..indices.len() {
+            let i = indices[(start + k) % indices.len()];
+            if self.hosts[i].free_mb() >= memory_mb as u64 {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Mark an instance idle after an invocation; returns the keep-alive
+    /// deadline (the engine schedules the expire event) and the expire
+    /// epoch guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is unknown or not busy (an engine bug).
+    pub fn release(&mut self, id: InstanceId, now: SimTime, keep_alive: SimDuration) -> (SimTime, u64) {
+        let inst = self.instances.get_mut(&id).expect("release of unknown instance");
+        assert!(inst.busy, "release of idle instance");
+        inst.busy = false;
+        inst.keep_alive_until = now + keep_alive;
+        inst.expire_epoch += 1;
+        let deployment = inst.deployment;
+        let result = (inst.keep_alive_until, inst.expire_epoch);
+        self.warm_idle.entry(deployment).or_default().push(id);
+        let busy = self.busy_counts.get_mut(&deployment).expect("busy count tracked");
+        *busy -= 1;
+        result
+    }
+
+    /// Handle an expire event: destroy the instance if it is still idle,
+    /// past its keep-alive, and the epoch matches (stale events no-op).
+    pub fn expire(&mut self, id: InstanceId, epoch: u64, now: SimTime) {
+        let destroy = match self.instances.get(&id) {
+            Some(inst) => {
+                !inst.busy && inst.expire_epoch == epoch && now >= inst.keep_alive_until
+            }
+            None => false,
+        };
+        if destroy {
+            self.destroy(id);
+        }
+    }
+
+    fn destroy(&mut self, id: InstanceId) {
+        if let Some(inst) = self.instances.remove(&id) {
+            let host = &mut self.hosts[inst.host_index];
+            host.mem_used_mb -= inst.memory_mb as u64;
+            host.live_instances -= 1;
+            match host.arch {
+                Arch::X86_64 => self.fi_mem_used_x86 -= inst.memory_mb as u64,
+                Arch::Arm64 => self.fi_mem_used_arm -= inst.memory_mb as u64,
+            }
+            if let Some(stack) = self.warm_idle.get_mut(&inst.deployment) {
+                stack.retain(|&x| x != id);
+            }
+        }
+    }
+
+    /// Immutable access to an instance.
+    pub fn instance(&self, id: InstanceId) -> Option<&Instance> {
+        self.instances.get(&id)
+    }
+
+    /// Mutable access to an instance (payload-cache updates).
+    pub fn instance_mut(&mut self, id: InstanceId) -> Option<&mut Instance> {
+        self.instances.get_mut(&id)
+    }
+
+    /// Apply the day-boundary churn: evolve the target mix, then recycle
+    /// hosts that have no live FIs onto the new mix; reclaim reactive
+    /// extra hosts. Returns the number of hosts recycled.
+    pub fn day_tick(&mut self) -> u32 {
+        let mut rng = self.rng.derive("day-tick");
+        self.target_mix = self.churn.next_day_mix(&self.target_mix, &mut rng);
+        let x86_hosts = self.hosts.iter().filter(|h| h.arch == Arch::X86_64).count() as u32;
+        let n = self.churn.hosts_to_recycle(x86_hosts, &mut rng);
+        let mut recycled = 0u32;
+        // Collect recyclable host indices (x86, idle).
+        let idle: Vec<usize> = (0..self.hosts.len())
+            .filter(|&i| self.hosts[i].arch == Arch::X86_64 && self.hosts[i].live_instances == 0)
+            .collect();
+        for &i in idle.iter().take(n as usize) {
+            let new_cpu = Self::draw_cpu(&mut rng, &self.target_mix);
+            let old_cpu = self.hosts[i].cpu;
+            if new_cpu != old_cpu {
+                // Move index between type buckets.
+                if let Some(v) = self.by_cpu.get_mut(&(Arch::X86_64, old_cpu)) {
+                    v.retain(|&x| x != i);
+                }
+                self.by_cpu.entry((Arch::X86_64, new_cpu)).or_default().push(i);
+                self.hosts[i].cpu = new_cpu;
+            }
+            self.hosts[i].id = HostId::from_raw(self.id_base + self.next_host);
+            self.next_host += 1;
+            recycled += 1;
+        }
+        self.extra_hosts = 0; // reactive capacity is reclaimed daily
+        recycled
+    }
+
+    /// Fault injection: reject every placement in this zone until `until`
+    /// (an injected zone outage — the availability scenario sky
+    /// computing's multi-zone aggregation defends against). Warm
+    /// instances keep serving; only *new* FI creation fails, matching
+    /// how real zone incidents typically present.
+    pub fn inject_outage(&mut self, until: SimTime) {
+        self.outage_until = Some(until);
+    }
+
+    /// Whether an injected outage is active at `now`.
+    pub fn outage_active(&self, now: SimTime) -> bool {
+        self.outage_until.map(|u| now < u).unwrap_or(false)
+    }
+
+    /// Reactive scale-up step (called from the engine's scale-check
+    /// event). Adds up to `scale_hosts_per_min` hosts if recent capacity
+    /// failures occurred. Returns how many hosts were added.
+    pub fn scale_step(&mut self) -> u32 {
+        if self.capacity_failures_pending == 0 {
+            return 0;
+        }
+        self.capacity_failures_pending = 0;
+        let budget = self.spec.max_extra_hosts.saturating_sub(self.extra_hosts);
+        let add = (self.spec.scale_hosts_per_min.round() as u32).min(budget);
+        let mix = self.target_mix.clone();
+        for _ in 0..add {
+            self.add_host(Arch::X86_64, &mix);
+        }
+        self.extra_hosts += add;
+        add
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sky_cloud::Catalog;
+
+    fn platform(az: &str) -> AzPlatform {
+        let cat = Catalog::paper_world(42);
+        let spec = cat.az(&az.parse().unwrap()).unwrap().clone();
+        AzPlatform::new(spec, 0, SimRng::seed_from(1).derive("platform"), 0.58)
+    }
+
+    #[test]
+    fn fleet_matches_spec_and_mix() {
+        let p = platform("us-west-1a");
+        assert_eq!(
+            p.host_count() as u32,
+            p.spec().hosts + p.spec().arm_hosts
+        );
+        let gt = p.ground_truth_mix();
+        // Host-count mix approximates the spec mix (multinomial noise).
+        let ape = gt.ape_percent(&p.spec().initial_mix);
+        assert!(ape < 12.0, "fleet mix APE {ape}%");
+    }
+
+    #[test]
+    fn acquire_cold_then_warm() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        let t0 = SimTime::ZERO;
+        let (a, cold_a) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
+        assert!(cold_a);
+        p.release(a, t0 + SimDuration::from_millis(100), SimDuration::from_mins(6));
+        let (b, cold_b) = p.acquire(dep, 2048, Arch::X86_64, t0 + SimDuration::from_millis(200)).unwrap();
+        assert!(!cold_b, "second request should reuse the warm FI");
+        assert_eq!(a, b);
+        assert_eq!(p.instance(a).unwrap().invocations, 2);
+    }
+
+    #[test]
+    fn busy_instance_not_reused() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        let (a, _) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        let (b, cold) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        assert!(cold);
+        assert_ne!(a, b);
+        assert_eq!(p.instance_count(), 2);
+    }
+
+    #[test]
+    fn deployments_do_not_share_instances() {
+        let mut p = platform("us-east-2a");
+        let d1 = DeploymentId::from_raw(1);
+        let d2 = DeploymentId::from_raw(2);
+        let (a, _) = p.acquire(d1, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        p.release(a, SimTime::ZERO + SimDuration::from_millis(10), SimDuration::from_mins(6));
+        let (b, cold) = p.acquire(d2, 2048, Arch::X86_64, SimTime::ZERO + SimDuration::from_millis(20)).unwrap();
+        assert!(cold, "different deployment must not reuse the FI");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn capacity_exhausts_and_scale_recovers_some() {
+        let mut p = platform("eu-north-1a"); // smallest pool
+        let dep = DeploymentId::from_raw(1);
+        let mut created = 0u64;
+        while p.acquire(dep, 10_240, Arch::X86_64, SimTime::ZERO).is_ok() {
+            created += 1;
+            assert!(created < 100_000, "runaway allocation");
+        }
+        assert!(created > 100, "should fit hundreds of 10GB FIs: {created}");
+        let added = p.scale_step();
+        assert!(added > 0, "scale-up after failures");
+        // A few more allocations now succeed.
+        assert!(p.acquire(dep, 10_240, Arch::X86_64, SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn expire_respects_epoch_and_busy() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        let t0 = SimTime::ZERO;
+        let (a, _) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
+        let (deadline, epoch) = p.release(a, t0, SimDuration::from_mins(6));
+        // Reuse before expiry.
+        let (b, _) = p.acquire(dep, 2048, Arch::X86_64, t0 + SimDuration::from_mins(1)).unwrap();
+        assert_eq!(a, b);
+        // Stale expire event must not kill the busy instance.
+        p.expire(a, epoch, deadline);
+        assert!(p.instance(a).is_some());
+        // Release again, then valid expiry destroys it.
+        let (deadline2, epoch2) = p.release(a, deadline, SimDuration::from_mins(6));
+        p.expire(a, epoch2, deadline2);
+        assert!(p.instance(a).is_none());
+        assert_eq!(p.instance_count(), 0);
+    }
+
+    #[test]
+    fn early_expire_event_is_ignored() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        let (a, _) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        let (_, epoch) = p.release(a, SimTime::ZERO, SimDuration::from_mins(6));
+        p.expire(a, epoch, SimTime::ZERO + SimDuration::from_mins(1));
+        assert!(p.instance(a).is_some(), "not yet past keep-alive");
+    }
+
+    #[test]
+    fn day_tick_recycles_only_idle_hosts() {
+        let mut p = platform("us-west-1b"); // volatile: large recycle
+        let dep = DeploymentId::from_raw(1);
+        // Occupy some hosts.
+        for _ in 0..50 {
+            let _ = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        }
+        let busy_hosts: Vec<HostId> = p
+            .hosts
+            .iter()
+            .filter(|h| h.live_instances > 0)
+            .map(|h| h.id)
+            .collect();
+        let recycled = p.day_tick();
+        assert!(recycled > 0, "volatile zone should recycle");
+        for id in busy_hosts {
+            assert!(
+                p.hosts.iter().any(|h| h.id == id),
+                "busy host {id} must survive churn"
+            );
+        }
+    }
+
+    #[test]
+    fn day_ticks_drift_ground_truth() {
+        let mut p = platform("us-west-1b");
+        let day0 = p.ground_truth_mix();
+        for _ in 0..14 {
+            p.day_tick();
+        }
+        let day14 = p.ground_truth_mix();
+        assert!(
+            day14.ape_percent(&day0) > 5.0,
+            "volatile zone should drift measurably in 14 days"
+        );
+    }
+
+    #[test]
+    fn arm_pool_is_separate() {
+        let mut p = platform("us-west-1a");
+        let dep = DeploymentId::from_raw(7);
+        let (a, _) = p.acquire(dep, 2048, Arch::Arm64, SimTime::ZERO).unwrap();
+        assert_eq!(p.instance(a).unwrap().cpu, CpuType::Graviton2);
+    }
+
+    #[test]
+    fn diurnal_capacity_shrinks_at_peak() {
+        let p = platform("us-west-1a");
+        let midnight = p.remaining_capacity(2048, Arch::X86_64, 3.0);
+        let peak = p.remaining_capacity(2048, Arch::X86_64, 15.0);
+        assert!(midnight > peak, "{midnight} vs {peak}");
+    }
+}

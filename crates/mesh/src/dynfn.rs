@@ -1,0 +1,332 @@
+//! Dynamic functions: a generic pre-deployed execution environment whose
+//! workload arrives in the request payload.
+//!
+//! The paper deploys one generic Python function everywhere and ships the
+//! actual workload source in each request (§3.2), so any workload can run
+//! in any zone without redeployment. Here the "source" is a small JSON
+//! program naming a Table-1 kernel plus arguments; the FI-side
+//! interpreter parses and executes it against the ephemeral volume —
+//! genuinely runnable, and convertible into the simulator's
+//! [`WorkloadSpec`] for billed execution.
+
+use crate::payload::{self, PayloadBundle, PayloadError};
+use serde::{Deserialize, Serialize};
+use sky_faas::{RequestBody, WorkloadSpec};
+use sky_sim::SimDuration;
+use sky_cloud::CpuType;
+use sky_workloads::{execute, EphemeralFs, WorkloadKind, WorkloadRequest, WorkloadResult};
+
+/// The "program" a dynamic function interprets. Serialized as JSON in the
+/// payload's source slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicSource {
+    /// Snake-case workload name (Table 1), e.g. `"graph_mst"`.
+    pub workload: String,
+    /// Problem-size multiplier.
+    #[serde(default = "default_scale")]
+    pub scale: u32,
+    /// Input seed.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_scale() -> u32 {
+    1
+}
+
+/// Errors interpreting a dynamic-function request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DynFnError {
+    /// The source slot was not valid JSON for [`DynamicSource`].
+    BadSource(String),
+    /// The named workload does not exist.
+    UnknownWorkload(String),
+    /// The payload failed to decode.
+    Payload(PayloadError),
+}
+
+impl std::fmt::Display for DynFnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynFnError::BadSource(e) => write!(f, "invalid dynamic-function source: {e}"),
+            DynFnError::UnknownWorkload(w) => write!(f, "unknown workload {w:?}"),
+            DynFnError::Payload(e) => write!(f, "payload error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DynFnError {}
+
+impl From<PayloadError> for DynFnError {
+    fn from(e: PayloadError) -> Self {
+        DynFnError::Payload(e)
+    }
+}
+
+impl DynamicSource {
+    /// A source program for a workload kind.
+    pub fn for_workload(kind: WorkloadKind, seed: u64) -> Self {
+        DynamicSource { workload: kind.name().to_string(), scale: 1, seed }
+    }
+
+    /// Override the problem-size multiplier.
+    pub fn with_scale(mut self, scale: u32) -> Self {
+        self.scale = scale.max(1);
+        self
+    }
+
+    /// Serialize to the JSON carried in the payload source slot.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plain struct serializes")
+    }
+
+    /// Parse from payload JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`DynFnError::BadSource`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, DynFnError> {
+        serde_json::from_str(json).map_err(|e| DynFnError::BadSource(e.to_string()))
+    }
+
+    /// Resolve the named workload.
+    ///
+    /// # Errors
+    ///
+    /// [`DynFnError::UnknownWorkload`] if the name is not in Table 1.
+    pub fn kind(&self) -> Result<WorkloadKind, DynFnError> {
+        WorkloadKind::from_name(&self.workload)
+            .ok_or_else(|| DynFnError::UnknownWorkload(self.workload.clone()))
+    }
+}
+
+/// A request ready to send to a dynamic function in the simulator: the
+/// body plus the encoded transport payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynFnRequest {
+    /// Simulator request body (carries payload size and cache hash).
+    pub body: RequestBody,
+    /// The actual transport payload (for FI-side interpretation).
+    pub transport: String,
+    /// SHA-1 hex of the payload container.
+    pub sha1_hex: String,
+}
+
+/// Build a plain dynamic-function request for a workload.
+///
+/// # Errors
+///
+/// Propagates payload encoding failures (oversized bundles).
+pub fn build_request(
+    source: &DynamicSource,
+    extra_files: &[(String, Vec<u8>)],
+) -> Result<DynFnRequest, DynFnError> {
+    let spec = build_spec(source, extra_files)?;
+    let mut bundle = PayloadBundle::source_only(source.to_json());
+    for (name, data) in extra_files {
+        bundle = bundle.with_file(name.clone(), data.clone());
+    }
+    let enc = payload::encode(&bundle)?;
+    Ok(DynFnRequest {
+        body: RequestBody::Workload { spec },
+        transport: enc.body,
+        sha1_hex: enc.sha1_hex,
+    })
+}
+
+/// Retry behaviour for a CPU-gated dynamic-function request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GateConfig {
+    /// Hold duration applied on decline (the paper uses 150 ms).
+    pub hold: SimDuration,
+    /// Maximum automatic reissues (0 = surface the decline).
+    pub max_retries: u32,
+    /// Client decline-to-reissue delay; must stay below `hold`.
+    pub retry_latency: SimDuration,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            hold: SimDuration::from_millis(150),
+            max_retries: 10,
+            retry_latency: SimDuration::from_millis(60),
+        }
+    }
+}
+
+/// Build a CPU-gated dynamic-function request (the retry method's
+/// in-function decision logic, paper §3.5).
+///
+/// # Errors
+///
+/// Propagates payload encoding failures.
+pub fn build_gated_request(
+    source: &DynamicSource,
+    extra_files: &[(String, Vec<u8>)],
+    banned: Vec<CpuType>,
+    gate: GateConfig,
+) -> Result<DynFnRequest, DynFnError> {
+    let spec = build_spec(source, extra_files)?;
+    let mut bundle = PayloadBundle::source_only(source.to_json());
+    for (name, data) in extra_files {
+        bundle = bundle.with_file(name.clone(), data.clone());
+    }
+    let enc = payload::encode(&bundle)?;
+    Ok(DynFnRequest {
+        body: RequestBody::GatedWorkload {
+            spec,
+            banned,
+            hold: gate.hold,
+            max_retries: gate.max_retries,
+            retry_latency: gate.retry_latency,
+        },
+        transport: enc.body,
+        sha1_hex: enc.sha1_hex,
+    })
+}
+
+fn build_spec(
+    source: &DynamicSource,
+    extra_files: &[(String, Vec<u8>)],
+) -> Result<WorkloadSpec, DynFnError> {
+    let kind = source.kind()?;
+    let mut bundle = PayloadBundle::source_only(source.to_json());
+    for (name, data) in extra_files {
+        bundle = bundle.with_file(name.clone(), data.clone());
+    }
+    let enc = payload::encode(&bundle)?;
+    Ok(WorkloadSpec {
+        kind,
+        scale: source.scale,
+        payload_bytes: enc.encoded_len as u32,
+        payload_hash: enc.hash64,
+    })
+}
+
+/// FI-side interpretation: decode the transport payload, materialize its
+/// files on the ephemeral volume, parse the source program, and run the
+/// named kernel for real. This is what a dynamic function *does*; the
+/// simulator charges its time via the performance model instead of
+/// executing it inline, but tests exercise this path end-to-end.
+///
+/// # Errors
+///
+/// Any decode/parse failure; see [`DynFnError`].
+pub fn interpret(transport: &str, fs: &mut EphemeralFs) -> Result<WorkloadResult, DynFnError> {
+    let bundle = payload::decode(transport)?;
+    for (name, data) in &bundle.files {
+        fs.write(name, data).map_err(|_| {
+            DynFnError::Payload(PayloadError::TooLarge { bytes: data.len() })
+        })?;
+    }
+    let source = DynamicSource::from_json(&bundle.source)?;
+    let kind = source.kind()?;
+    let req = WorkloadRequest { kind, scale: source.scale, seed: source.seed };
+    Ok(execute(&req, fs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_json_roundtrip() {
+        let src = DynamicSource::for_workload(WorkloadKind::PageRank, 9).with_scale(2);
+        let json = src.to_json();
+        let back = DynamicSource::from_json(&json).unwrap();
+        assert_eq!(src, back);
+        assert_eq!(back.kind().unwrap(), WorkloadKind::PageRank);
+    }
+
+    #[test]
+    fn source_defaults_apply() {
+        let src = DynamicSource::from_json("{\"workload\":\"zipper\"}").unwrap();
+        assert_eq!(src.scale, 1);
+        assert_eq!(src.seed, 0);
+    }
+
+    #[test]
+    fn bad_source_rejected() {
+        assert!(matches!(
+            DynamicSource::from_json("not json"),
+            Err(DynFnError::BadSource(_))
+        ));
+        let unknown = DynamicSource {
+            workload: "mine_bitcoin".into(),
+            scale: 1,
+            seed: 0,
+        };
+        assert!(matches!(unknown.kind(), Err(DynFnError::UnknownWorkload(_))));
+    }
+
+    #[test]
+    fn build_request_carries_payload_metadata() {
+        let src = DynamicSource::for_workload(WorkloadKind::Thumbnailer, 5);
+        let req = build_request(&src, &[]).unwrap();
+        match &req.body {
+            RequestBody::Workload { spec } => {
+                assert_eq!(spec.kind, WorkloadKind::Thumbnailer);
+                assert_eq!(spec.payload_bytes as usize, req.transport.len());
+                assert!(spec.payload_hash != 0);
+            }
+            other => panic!("expected workload body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gated_request_preserves_ban_list() {
+        let src = DynamicSource::for_workload(WorkloadKind::Zipper, 5);
+        let req = build_gated_request(
+            &src,
+            &[],
+            vec![CpuType::AmdEpyc, CpuType::IntelXeon2_9],
+            GateConfig::default(),
+        )
+        .unwrap();
+        match &req.body {
+            RequestBody::GatedWorkload { banned, hold, max_retries, retry_latency, .. } => {
+                assert_eq!(banned.len(), 2);
+                assert_eq!(*hold, SimDuration::from_millis(150));
+                assert_eq!(*max_retries, 10);
+                assert!(*retry_latency < *hold, "reissue must land during the hold");
+            }
+            other => panic!("expected gated body, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interpret_runs_the_kernel_end_to_end() {
+        let src = DynamicSource::for_workload(WorkloadKind::GraphMst, 777);
+        let req = build_request(&src, &[]).unwrap();
+        let mut fs = EphemeralFs::new();
+        let result = interpret(&req.transport, &mut fs).unwrap();
+        // Matches running the kernel directly with the same seed.
+        let mut fs2 = EphemeralFs::new();
+        let direct = execute(&WorkloadRequest::new(WorkloadKind::GraphMst, 777), &mut fs2);
+        assert_eq!(result, direct);
+    }
+
+    #[test]
+    fn interpret_materializes_payload_files() {
+        let src = DynamicSource::for_workload(WorkloadKind::Sha1Hash, 1);
+        let files = vec![("input.txt".to_string(), b"data".to_vec())];
+        let req = build_request(&src, &files).unwrap();
+        let mut fs = EphemeralFs::new();
+        let _ = interpret(&req.transport, &mut fs).unwrap();
+        assert!(fs.exists("input.txt"));
+    }
+
+    #[test]
+    fn same_source_same_hash_different_seed_different_hash() {
+        let a = build_request(&DynamicSource::for_workload(WorkloadKind::Zipper, 1), &[]).unwrap();
+        let b = build_request(&DynamicSource::for_workload(WorkloadKind::Zipper, 1), &[]).unwrap();
+        let c = build_request(&DynamicSource::for_workload(WorkloadKind::Zipper, 2), &[]).unwrap();
+        let hash = |r: &DynFnRequest| match &r.body {
+            RequestBody::Workload { spec } => spec.payload_hash,
+            _ => unreachable!(),
+        };
+        assert_eq!(hash(&a), hash(&b), "identical payloads share the cache key");
+        assert_ne!(hash(&a), hash(&c), "seed is part of the source, so the key differs");
+    }
+}

@@ -1,0 +1,37 @@
+//! # sky-mesh — dynamic functions and the global sky mesh
+//!
+//! The deployment layer of the paper's serverless sky platform:
+//!
+//! * [`payload`] — the FaaSET-style payload codec: a binary container of
+//!   source + data files, LZSS-compressed, base64-encoded, SHA-1
+//!   content-hashed for FI-side caching (paper §3.2).
+//! * [`dynfn`] — dynamic functions: generic pre-deployed functions that
+//!   interpret a JSON "source program" from the payload and execute the
+//!   named Table-1 kernel, so any workload runs anywhere without
+//!   redeployment.
+//! * [`mesh`] — the sky mesh: the full deployment matrix across every
+//!   region of AWS Lambda, IBM Code Engine and DigitalOcean Functions
+//!   (>1,600 deployments on AWS alone, §3.3).
+//!
+//! ## Example
+//!
+//! ```
+//! use sky_mesh::dynfn::{build_request, interpret, DynamicSource};
+//! use sky_workloads::{EphemeralFs, WorkloadKind};
+//!
+//! let source = DynamicSource::for_workload(WorkloadKind::Sha1Hash, 7);
+//! let request = build_request(&source, &[])?;
+//! // FI side: decode the payload and run the shipped program for real.
+//! let mut scratch = EphemeralFs::new();
+//! let result = interpret(&request.transport, &mut scratch)?;
+//! assert!(result.work_units > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod dynfn;
+pub mod mesh;
+pub mod payload;
+
+pub use dynfn::{build_gated_request, build_request, interpret, DynFnError, DynFnRequest, DynamicSource, GateConfig};
+pub use mesh::{DynFnVariant, MeshKey, SkyMesh};
+pub use payload::{EncodedPayload, PayloadBundle, PayloadError, MAX_PAYLOAD_BYTES};

@@ -1,0 +1,249 @@
+//! The sky mesh: a global fleet of pre-deployed dynamic functions.
+//!
+//! Paper §3.3: dynamic functions are deployed to *every* region of AWS
+//! Lambda, IBM Code Engine and DigitalOcean Functions, across the full
+//! memory-setting and architecture matrix — more than 1,600 deployments
+//! on AWS alone — so that any workload can run anywhere, immediately,
+//! with no deployment step. This module builds and indexes that fleet on
+//! the simulator.
+
+use serde::{Deserialize, Serialize};
+use sky_cloud::{Arch, AzId, Provider, RegionId};
+use sky_faas::{AccountId, DeployError, DeploymentId, FaasEngine};
+use std::collections::BTreeMap;
+
+/// The dynamic-function code variant deployed at an endpoint.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum DynFnVariant {
+    /// The plain dynamic function (source-in-payload execution).
+    Plain,
+    /// The variant with in-function CPU decision logic (gated execution
+    /// for the retry method; x86 only, where CPU heterogeneity exists).
+    CpuAware,
+}
+
+/// Key addressing one mesh deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MeshKey {
+    /// Availability zone.
+    pub az: AzId,
+    /// Memory setting, MB.
+    pub memory_mb: u32,
+    /// Architecture.
+    pub arch: Arch,
+    /// Code variant.
+    pub variant: DynFnVariant,
+}
+
+/// The deployed mesh: an index from [`MeshKey`] to deployment ids, plus
+/// the per-provider accounts that own them.
+#[derive(Debug)]
+pub struct SkyMesh {
+    deployments: BTreeMap<MeshKey, DeploymentId>,
+    accounts: BTreeMap<Provider, AccountId>,
+}
+
+impl SkyMesh {
+    /// Deploy the full global mesh across every region of every provider.
+    ///
+    /// Per AWS AZ: all nine memory settings × both architectures for the
+    /// plain variant, plus the CPU-aware variant on x86 — 27 deployments
+    /// per AZ, >1,900 on AWS overall. IBM and DO get their full (much
+    /// smaller) configuration spaces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`DeployError`] (none occur with a stock catalog).
+    pub fn deploy_global(engine: &mut FaasEngine) -> Result<SkyMesh, DeployError> {
+        let regions: Vec<RegionId> =
+            engine.catalog().regions().map(|r| r.id.clone()).collect();
+        Self::deploy_regions(engine, &regions)
+    }
+
+    /// Deploy the mesh to a subset of regions (cheaper for tests and
+    /// focused experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`DeployError`].
+    pub fn deploy_regions(
+        engine: &mut FaasEngine,
+        regions: &[RegionId],
+    ) -> Result<SkyMesh, DeployError> {
+        let mut accounts = BTreeMap::new();
+        for provider in Provider::ALL {
+            accounts.insert(provider, engine.create_account(provider));
+        }
+        let mut deployments = BTreeMap::new();
+        let plan: Vec<(AzId, Provider)> = regions
+            .iter()
+            .flat_map(|r| {
+                engine
+                    .catalog()
+                    .azs_in_region(r)
+                    .map(|az| (az.id.clone(), az.provider))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (az, provider) in plan {
+            let account = accounts[&provider];
+            for &memory_mb in provider.memory_options_mb() {
+                for &arch in provider.arch_options() {
+                    let dep = engine.deploy(account, &az, memory_mb, arch)?;
+                    deployments.insert(
+                        MeshKey { az: az.clone(), memory_mb, arch, variant: DynFnVariant::Plain },
+                        dep,
+                    );
+                    // CPU-aware variant: x86 only (heterogeneity target).
+                    if arch == Arch::X86_64 && provider == Provider::Aws {
+                        let dep2 = engine.deploy(account, &az, memory_mb, arch)?;
+                        deployments.insert(
+                            MeshKey {
+                                az: az.clone(),
+                                memory_mb,
+                                arch,
+                                variant: DynFnVariant::CpuAware,
+                            },
+                            dep2,
+                        );
+                    }
+                }
+            }
+        }
+        Ok(SkyMesh { deployments, accounts })
+    }
+
+    /// Look up the deployment at a mesh endpoint.
+    pub fn deployment(&self, key: &MeshKey) -> Option<DeploymentId> {
+        self.deployments.get(key).copied()
+    }
+
+    /// Convenience lookup for the common x86 plain endpoint.
+    pub fn plain_x86(&self, az: &AzId, memory_mb: u32) -> Option<DeploymentId> {
+        self.deployment(&MeshKey {
+            az: az.clone(),
+            memory_mb,
+            arch: Arch::X86_64,
+            variant: DynFnVariant::Plain,
+        })
+    }
+
+    /// Convenience lookup for the CPU-aware x86 endpoint.
+    pub fn cpu_aware_x86(&self, az: &AzId, memory_mb: u32) -> Option<DeploymentId> {
+        self.deployment(&MeshKey {
+            az: az.clone(),
+            memory_mb,
+            arch: Arch::X86_64,
+            variant: DynFnVariant::CpuAware,
+        })
+    }
+
+    /// The account owning deployments on a provider.
+    pub fn account(&self, provider: Provider) -> Option<AccountId> {
+        self.accounts.get(&provider).copied()
+    }
+
+    /// Total number of mesh deployments.
+    pub fn len(&self) -> usize {
+        self.deployments.len()
+    }
+
+    /// Whether the mesh is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deployments.is_empty()
+    }
+
+    /// Number of deployments on one provider.
+    pub fn provider_len(&self, provider: Provider, engine: &FaasEngine) -> usize {
+        self.deployments
+            .values()
+            .filter(|&&d| engine.deployment(d).map(|dep| dep.provider) == Some(provider))
+            .count()
+    }
+
+    /// Iterate all mesh endpoints.
+    pub fn iter(&self) -> impl Iterator<Item = (&MeshKey, DeploymentId)> {
+        self.deployments.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All AZs covered by the mesh.
+    pub fn azs(&self) -> Vec<AzId> {
+        let mut azs: Vec<AzId> = self.deployments.keys().map(|k| k.az.clone()).collect();
+        azs.sort();
+        azs.dedup();
+        azs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sky_cloud::Catalog;
+    use sky_faas::FleetConfig;
+
+    fn engine() -> FaasEngine {
+        FaasEngine::new(Catalog::paper_world(11), FleetConfig::new(11))
+    }
+
+    #[test]
+    fn regional_mesh_shape() {
+        let mut e = engine();
+        let mesh =
+            SkyMesh::deploy_regions(&mut e, &[RegionId::new("us-west-1")]).unwrap();
+        // 2 AZs x (9 mem x 2 arch plain + 9 mem cpu-aware) = 2 x 27 = 54.
+        assert_eq!(mesh.len(), 54);
+        assert_eq!(mesh.azs().len(), 2);
+        let az: AzId = "us-west-1b".parse().unwrap();
+        assert!(mesh.plain_x86(&az, 2048).is_some());
+        assert!(mesh.cpu_aware_x86(&az, 2048).is_some());
+        assert!(mesh.plain_x86(&az, 3333).is_none(), "not a mesh memory point");
+        assert_ne!(
+            mesh.plain_x86(&az, 2048),
+            mesh.cpu_aware_x86(&az, 2048),
+            "variants are distinct deployments"
+        );
+    }
+
+    #[test]
+    fn global_mesh_exceeds_1600_aws_deployments() {
+        let mut e = engine();
+        let mesh = SkyMesh::deploy_global(&mut e).unwrap();
+        let aws = mesh.provider_len(Provider::Aws, &e);
+        assert!(aws > 1_600, "paper: >1,600 AWS deployments; got {aws}");
+        // IBM's full configuration space is tiny (3 memory settings,
+        // single-zone regions): 9 regions x 3 = 27.
+        assert_eq!(mesh.provider_len(Provider::Ibm, &e), 27);
+        assert_eq!(mesh.provider_len(Provider::DigitalOcean, &e), 36);
+        assert_eq!(mesh.len(), aws + 27 + 36);
+        // Every cataloged AZ is covered.
+        assert_eq!(mesh.azs().len(), e.catalog().azs().count());
+    }
+
+    #[test]
+    fn arm_endpoints_only_on_aws() {
+        let mut e = engine();
+        let mesh =
+            SkyMesh::deploy_regions(&mut e, &[RegionId::new("us-east-2"), RegionId::new("eu-de")])
+                .unwrap();
+        let arm_endpoints: Vec<&MeshKey> = mesh
+            .iter()
+            .map(|(k, _)| k)
+            .filter(|k| k.arch == Arch::Arm64)
+            .collect();
+        assert!(!arm_endpoints.is_empty());
+        for k in arm_endpoints {
+            assert_eq!(k.az.region().as_str(), "us-east-2");
+        }
+    }
+
+    #[test]
+    fn accounts_created_per_provider() {
+        let mut e = engine();
+        let mesh = SkyMesh::deploy_regions(&mut e, &[RegionId::new("nyc1")]).unwrap();
+        assert!(mesh.account(Provider::DigitalOcean).is_some());
+        assert!(mesh.account(Provider::Aws).is_some());
+        assert!(!mesh.is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Dynamic-function payload codec.
+//!
+//! FaaSET's tooling takes workload source plus any data files, compresses
+//! and encodes them, and ships the result in the request body of a generic
+//! pre-deployed "dynamic function"; the FI decodes, decompresses and
+//! caches the bundle on its ephemeral volume keyed by content hash
+//! (paper §3.2). This module is that codec: a binary container →
+//! LZSS → base64 pipeline with SHA-1 content hashing, built entirely on
+//! the from-scratch substrates in `sky-workloads`.
+
+use serde::{Deserialize, Serialize};
+use sky_workloads::base64;
+use sky_workloads::lzss;
+use sky_workloads::sha1::sha1;
+
+/// Maximum payload accepted by a dynamic function (the paper measures
+/// decode cost up to this 5 MB cap).
+pub const MAX_PAYLOAD_BYTES: usize = 5 * 1024 * 1024;
+
+/// Errors from payload encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PayloadError {
+    /// Raw bundle exceeds [`MAX_PAYLOAD_BYTES`].
+    TooLarge {
+        /// Raw size of the offending bundle.
+        bytes: usize,
+    },
+    /// The base64 layer was malformed.
+    Encoding(String),
+    /// The compressed stream was corrupt.
+    Compression(String),
+    /// The container structure was malformed.
+    Container(&'static str),
+}
+
+impl std::fmt::Display for PayloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PayloadError::TooLarge { bytes } => {
+                write!(f, "payload of {bytes} bytes exceeds the {MAX_PAYLOAD_BYTES} byte cap")
+            }
+            PayloadError::Encoding(e) => write!(f, "payload base64 error: {e}"),
+            PayloadError::Compression(e) => write!(f, "payload decompression error: {e}"),
+            PayloadError::Container(e) => write!(f, "payload container error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PayloadError {}
+
+/// A decoded payload bundle: workload source plus data files.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PayloadBundle {
+    /// The dynamic-function source (interpreted by the FI at request
+    /// time; see `dynfn`).
+    pub source: String,
+    /// Data files to place on the FI's ephemeral volume.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+impl PayloadBundle {
+    /// A bundle containing only source code.
+    pub fn source_only(source: impl Into<String>) -> Self {
+        PayloadBundle { source: source.into(), files: Vec::new() }
+    }
+
+    /// Add a data file.
+    pub fn with_file(mut self, name: impl Into<String>, data: Vec<u8>) -> Self {
+        self.files.push((name.into(), data));
+        self
+    }
+
+    /// Total raw size in bytes (source + file names + file data).
+    pub fn raw_size(&self) -> usize {
+        self.source.len()
+            + self
+                .files
+                .iter()
+                .map(|(n, d)| n.len() + d.len())
+                .sum::<usize>()
+    }
+}
+
+/// An encoded payload ready to ship in a request body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedPayload {
+    /// Base64 transport form.
+    pub body: String,
+    /// SHA-1 of the raw container — the FI-side cache key.
+    pub sha1_hex: String,
+    /// First 8 bytes of the SHA-1 as `u64` (compact cache key used in
+    /// [`sky_faas::WorkloadSpec::payload_hash`]).
+    pub hash64: u64,
+    /// Raw container size before compression, bytes.
+    pub raw_len: usize,
+    /// Final transport size, bytes.
+    pub encoded_len: usize,
+}
+
+impl EncodedPayload {
+    /// Compression+encoding expansion factor (encoded / raw).
+    pub fn transport_ratio(&self) -> f64 {
+        if self.raw_len == 0 {
+            1.0
+        } else {
+            self.encoded_len as f64 / self.raw_len as f64
+        }
+    }
+}
+
+fn push_chunk(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(data);
+}
+
+fn read_chunk<'a>(data: &'a [u8], pos: &mut usize) -> Result<&'a [u8], PayloadError> {
+    if *pos + 4 > data.len() {
+        return Err(PayloadError::Container("truncated length prefix"));
+    }
+    let len =
+        u32::from_le_bytes(data[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
+    *pos += 4;
+    if *pos + len > data.len() {
+        return Err(PayloadError::Container("truncated chunk body"));
+    }
+    let chunk = &data[*pos..*pos + len];
+    *pos += len;
+    Ok(chunk)
+}
+
+/// Encode a bundle: container → LZSS → base64, with SHA-1 content hash.
+///
+/// # Errors
+///
+/// [`PayloadError::TooLarge`] if the raw bundle exceeds the 5 MB cap.
+pub fn encode(bundle: &PayloadBundle) -> Result<EncodedPayload, PayloadError> {
+    let raw_size = bundle.raw_size();
+    if raw_size > MAX_PAYLOAD_BYTES {
+        return Err(PayloadError::TooLarge { bytes: raw_size });
+    }
+    let mut container = Vec::with_capacity(raw_size + 64);
+    push_chunk(&mut container, bundle.source.as_bytes());
+    container.extend_from_slice(&(bundle.files.len() as u32).to_le_bytes());
+    for (name, data) in &bundle.files {
+        push_chunk(&mut container, name.as_bytes());
+        push_chunk(&mut container, data);
+    }
+    let digest = sha1(&container);
+    let compressed = lzss::compress(&container);
+    let body = base64::encode(&compressed);
+    Ok(EncodedPayload {
+        encoded_len: body.len(),
+        body,
+        sha1_hex: digest.to_hex(),
+        hash64: digest.as_u64(),
+        raw_len: container.len(),
+    })
+}
+
+/// Decode a transport payload back into a bundle — what the dynamic
+/// function does on a cache miss.
+///
+/// # Errors
+///
+/// Any layer can fail on corrupt input; see [`PayloadError`].
+pub fn decode(body: &str) -> Result<PayloadBundle, PayloadError> {
+    let compressed =
+        base64::decode(body).map_err(|e| PayloadError::Encoding(e.to_string()))?;
+    let container =
+        lzss::decompress(&compressed).map_err(|e| PayloadError::Compression(e.to_string()))?;
+    let mut pos = 0usize;
+    let source = std::str::from_utf8(read_chunk(&container, &mut pos)?)
+        .map_err(|_| PayloadError::Container("source is not UTF-8"))?
+        .to_string();
+    if pos + 4 > container.len() {
+        return Err(PayloadError::Container("missing file count"));
+    }
+    let n_files =
+        u32::from_le_bytes(container[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    pos += 4;
+    let mut files = Vec::with_capacity(n_files.min(1024));
+    for _ in 0..n_files {
+        let name = std::str::from_utf8(read_chunk(&container, &mut pos)?)
+            .map_err(|_| PayloadError::Container("file name is not UTF-8"))?
+            .to_string();
+        let data = read_chunk(&container, &mut pos)?.to_vec();
+        files.push((name, data));
+    }
+    if pos != container.len() {
+        return Err(PayloadError::Container("trailing bytes after last file"));
+    }
+    Ok(PayloadBundle { source, files })
+}
+
+/// Verify that a transport body matches its advertised SHA-1 (the
+/// FI-side cache-hit check).
+pub fn verify(body: &str, expected_sha1_hex: &str) -> Result<bool, PayloadError> {
+    let compressed =
+        base64::decode(body).map_err(|e| PayloadError::Encoding(e.to_string()))?;
+    let container =
+        lzss::decompress(&compressed).map_err(|e| PayloadError::Compression(e.to_string()))?;
+    Ok(sha1(&container).to_hex() == expected_sha1_hex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_source_only() {
+        let bundle = PayloadBundle::source_only("{\"workload\":\"sha1_hash\"}");
+        let enc = encode(&bundle).unwrap();
+        assert_eq!(decode(&enc.body).unwrap(), bundle);
+        assert!(verify(&enc.body, &enc.sha1_hex).unwrap());
+    }
+
+    #[test]
+    fn roundtrip_with_files() {
+        let bundle = PayloadBundle::source_only("src")
+            .with_file("data.bin", (0..=255u8).collect())
+            .with_file("empty", Vec::new())
+            .with_file("text.txt", b"hello hello hello".to_vec());
+        let enc = encode(&bundle).unwrap();
+        let back = decode(&enc.body).unwrap();
+        assert_eq!(back, bundle);
+        assert_eq!(back.files.len(), 3);
+    }
+
+    #[test]
+    fn repetitive_payload_compresses_in_transport() {
+        let big: Vec<u8> = b"AAAABBBBCCCC".iter().copied().cycle().take(200_000).collect();
+        let bundle = PayloadBundle::source_only("s").with_file("big", big);
+        let enc = encode(&bundle).unwrap();
+        assert!(
+            enc.transport_ratio() < 0.8,
+            "transport ratio {} should beat raw despite base64 expansion",
+            enc.transport_ratio()
+        );
+    }
+
+    #[test]
+    fn size_cap_enforced() {
+        let bundle =
+            PayloadBundle::source_only("s").with_file("huge", vec![0u8; MAX_PAYLOAD_BYTES + 1]);
+        assert!(matches!(encode(&bundle), Err(PayloadError::TooLarge { .. })));
+        // Exactly at cap (minus bookkeeping) passes.
+        let ok = PayloadBundle::source_only("").with_file("x", vec![0u8; MAX_PAYLOAD_BYTES - 1]);
+        assert!(encode(&ok).is_ok());
+    }
+
+    #[test]
+    fn hash_is_content_addressed() {
+        let a = encode(&PayloadBundle::source_only("one")).unwrap();
+        let b = encode(&PayloadBundle::source_only("one")).unwrap();
+        let c = encode(&PayloadBundle::source_only("two")).unwrap();
+        assert_eq!(a.hash64, b.hash64);
+        assert_eq!(a.sha1_hex, b.sha1_hex);
+        assert_ne!(a.hash64, c.hash64);
+        assert!(!verify(&a.body, &c.sha1_hex).unwrap());
+    }
+
+    #[test]
+    fn corrupt_transport_detected() {
+        let enc = encode(&PayloadBundle::source_only("hello world")).unwrap();
+        // Flip the middle of the body (keeping base64 alphabet validity).
+        let mut chars: Vec<char> = enc.body.chars().collect();
+        let mid = chars.len() / 2;
+        chars[mid] = if chars[mid] == 'A' { 'B' } else { 'A' };
+        let corrupted: String = chars.into_iter().collect();
+        // Either decompression fails or the hash no longer matches.
+        match decode(&corrupted) {
+            Err(_) => {}
+            Ok(_) => assert!(!verify(&corrupted, &enc.sha1_hex).unwrap()),
+        }
+    }
+
+    #[test]
+    fn truncated_container_detected() {
+        // Craft a container that lies about its file count.
+        let mut container = Vec::new();
+        push_chunk(&mut container, b"src");
+        container.extend_from_slice(&9u32.to_le_bytes()); // claims 9 files
+        let body = base64::encode(&lzss::compress(&container));
+        assert!(matches!(decode(&body), Err(PayloadError::Container(_))));
+    }
+
+    #[test]
+    fn non_utf8_source_detected() {
+        let mut container = Vec::new();
+        push_chunk(&mut container, &[0xff, 0xfe]);
+        container.extend_from_slice(&0u32.to_le_bytes());
+        let body = base64::encode(&lzss::compress(&container));
+        assert!(matches!(decode(&body), Err(PayloadError::Container("source is not UTF-8"))));
+    }
+}

@@ -1,0 +1,157 @@
+//! Base64 (RFC 4648, standard alphabet with padding), from scratch.
+//!
+//! Used by the `disk_write_and_process` workload's `base64` step and by
+//! the dynamic-function payload codec in `sky-mesh` (payloads are
+//! compressed then base64-encoded for transport in a JSON body, exactly
+//! as FaaSET prepares them).
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Error decoding malformed base64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Base64Error {
+    /// Input length is not a multiple of 4.
+    BadLength(usize),
+    /// A character outside the alphabet (byte value given).
+    BadChar(u8),
+    /// Padding in an illegal position.
+    BadPadding,
+}
+
+impl std::fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Base64Error::BadLength(n) => write!(f, "base64 length {n} is not a multiple of 4"),
+            Base64Error::BadChar(b) => write!(f, "invalid base64 byte 0x{b:02x}"),
+            Base64Error::BadPadding => write!(f, "invalid base64 padding"),
+        }
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+/// Encode bytes to a base64 string.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn decode_char(b: u8) -> Result<u32, Base64Error> {
+    match b {
+        b'A'..=b'Z' => Ok((b - b'A') as u32),
+        b'a'..=b'z' => Ok((b - b'a' + 26) as u32),
+        b'0'..=b'9' => Ok((b - b'0' + 52) as u32),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(Base64Error::BadChar(b)),
+    }
+}
+
+/// Decode a base64 string produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`Base64Error`] on malformed input.
+pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(Base64Error::BadLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks_exact(4).enumerate() {
+        let last = i == bytes.len() / 4 - 1;
+        let pad = quad.iter().filter(|&&b| b == b'=').count();
+        if pad > 2 || (!last && pad > 0) {
+            return Err(Base64Error::BadPadding);
+        }
+        // Padding may only appear at the tail of the quad.
+        if (quad[0] == b'=' || quad[1] == b'=') || (quad[2] == b'=' && quad[3] != b'=') {
+            return Err(Base64Error::BadPadding);
+        }
+        let c0 = decode_char(quad[0])?;
+        let c1 = decode_char(quad[1])?;
+        let c2 = if quad[2] == b'=' { 0 } else { decode_char(quad[2])? };
+        let c3 = if quad[3] == b'=' { 0 } else { decode_char(quad[3])? };
+        let triple = (c0 << 18) | (c1 << 12) | (c2 << 6) | c3;
+        out.push((triple >> 16) as u8);
+        if quad[2] != b'=' {
+            out.push((triple >> 8) as u8);
+        }
+        if quad[3] != b'=' {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc_vectors() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, enc) in cases {
+            assert_eq!(encode(raw), enc);
+            assert_eq!(decode(enc).unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_all_lengths_mod_3() {
+        for len in 0..50 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "length {len}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        assert_eq!(decode("abc"), Err(Base64Error::BadLength(3)));
+    }
+
+    #[test]
+    fn rejects_bad_char() {
+        assert_eq!(decode("Zm9!"), Err(Base64Error::BadChar(b'!')));
+    }
+
+    #[test]
+    fn rejects_interior_padding() {
+        assert_eq!(decode("Zg==Zm9v"), Err(Base64Error::BadPadding));
+        assert_eq!(decode("Z==="), Err(Base64Error::BadPadding));
+        assert_eq!(decode("Zm=v"), Err(Base64Error::BadPadding));
+    }
+}

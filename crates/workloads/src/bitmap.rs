@@ -1,0 +1,235 @@
+//! Bitmap generation and scaling (the `thumbnailer` Table-1 workload:
+//! "generates a random bitmap image and scales it to different sizes").
+//!
+//! Pixels are 8-bit RGB. Scaling uses box filtering (area averaging) for
+//! downscale and bilinear sampling for upscale — enough realism to make
+//! the kernel memory- and ALU-bound like a real thumbnailer.
+
+use sky_sim::SimRng;
+
+/// An RGB bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    /// Row-major RGB triples, `3 * width * height` bytes.
+    pixels: Vec<u8>,
+}
+
+impl Bitmap {
+    /// A black bitmap of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "bitmap dimensions must be positive");
+        Bitmap { width, height, pixels: vec![0; 3 * width * height] }
+    }
+
+    /// Generate a pseudo-random image with smooth structure (random
+    /// gradients + noise) so downscaling has real content to average.
+    pub fn generate(width: usize, height: usize, rng: &mut SimRng) -> Self {
+        let mut bmp = Bitmap::new(width, height);
+        // Three random plane-waves per channel plus per-pixel noise.
+        let mut params = [[0.0f64; 4]; 9];
+        for p in params.iter_mut() {
+            *p = [
+                rng.range_f64(0.0, 0.2),
+                rng.range_f64(0.0, 0.2),
+                rng.range_f64(0.0, std::f64::consts::TAU),
+                rng.range_f64(20.0, 90.0),
+            ];
+        }
+        for y in 0..height {
+            for x in 0..width {
+                for c in 0..3 {
+                    let mut v = 128.0;
+                    for k in 0..3 {
+                        let [fx, fy, phase, amp] = params[3 * c + k];
+                        v += amp * (fx * x as f64 + fy * y as f64 + phase).sin();
+                    }
+                    v += rng.range_f64(-8.0, 8.0);
+                    bmp.set(x, y, c, v.clamp(0.0, 255.0) as u8);
+                }
+            }
+        }
+        bmp
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw RGB bytes.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize, c: usize) -> usize {
+        3 * (y * self.width + x) + c
+    }
+
+    /// Channel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize, c: usize) -> u8 {
+        self.pixels[self.idx(x, y, c)]
+    }
+
+    fn set(&mut self, x: usize, y: usize, c: usize, v: u8) {
+        let i = self.idx(x, y, c);
+        self.pixels[i] = v;
+    }
+
+    /// Scale to a new size: box filter when shrinking, bilinear when
+    /// growing (per axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either target dimension is zero.
+    pub fn scale(&self, new_width: usize, new_height: usize) -> Bitmap {
+        assert!(new_width > 0 && new_height > 0, "target dimensions must be positive");
+        let mut out = Bitmap::new(new_width, new_height);
+        let sx = self.width as f64 / new_width as f64;
+        let sy = self.height as f64 / new_height as f64;
+        for y in 0..new_height {
+            for x in 0..new_width {
+                for c in 0..3 {
+                    let v = if sx >= 1.0 || sy >= 1.0 {
+                        // Box average over the source footprint.
+                        let x0 = (x as f64 * sx).floor() as usize;
+                        let x1 = (((x + 1) as f64 * sx).ceil() as usize).min(self.width);
+                        let y0 = (y as f64 * sy).floor() as usize;
+                        let y1 = (((y + 1) as f64 * sy).ceil() as usize).min(self.height);
+                        let mut acc = 0u64;
+                        let mut count = 0u64;
+                        for yy in y0..y1.max(y0 + 1) {
+                            for xx in x0..x1.max(x0 + 1) {
+                                acc += self.get(xx.min(self.width - 1), yy.min(self.height - 1), c)
+                                    as u64;
+                                count += 1;
+                            }
+                        }
+                        (acc / count) as u8
+                    } else {
+                        // Bilinear sample.
+                        let fx = (x as f64 + 0.5) * sx - 0.5;
+                        let fy = (y as f64 + 0.5) * sy - 0.5;
+                        let x0 = fx.floor().max(0.0) as usize;
+                        let y0 = fy.floor().max(0.0) as usize;
+                        let x1 = (x0 + 1).min(self.width - 1);
+                        let y1 = (y0 + 1).min(self.height - 1);
+                        let tx = (fx - x0 as f64).clamp(0.0, 1.0);
+                        let ty = (fy - y0 as f64).clamp(0.0, 1.0);
+                        let p00 = self.get(x0, y0, c) as f64;
+                        let p10 = self.get(x1, y0, c) as f64;
+                        let p01 = self.get(x0, y1, c) as f64;
+                        let p11 = self.get(x1, y1, c) as f64;
+                        let v = p00 * (1.0 - tx) * (1.0 - ty)
+                            + p10 * tx * (1.0 - ty)
+                            + p01 * (1.0 - tx) * ty
+                            + p11 * tx * ty;
+                        v.round().clamp(0.0, 255.0) as u8
+                    };
+                    out.set(x, y, c, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean luminance (0–255) — a cheap content summary used as a
+    /// workload checksum component.
+    pub fn mean_luminance(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .pixels
+            .chunks_exact(3)
+            .map(|p| (299 * p[0] as u64 + 587 * p[1] as u64 + 114 * p[2] as u64) / 1000)
+            .sum();
+        sum as f64 / (self.width * self.height) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(7).derive("bitmap")
+    }
+
+    #[test]
+    fn generation_fills_pixels() {
+        let b = Bitmap::generate(64, 48, &mut rng());
+        assert_eq!(b.width(), 64);
+        assert_eq!(b.height(), 48);
+        assert_eq!(b.pixels().len(), 64 * 48 * 3);
+        // Not all pixels identical.
+        let first = b.get(0, 0, 0);
+        assert!(
+            (0..48).any(|y| (0..64).any(|x| b.get(x, y, 0) != first)),
+            "image should have structure"
+        );
+    }
+
+    #[test]
+    fn downscale_dimensions_and_luminance_preserved() {
+        let b = Bitmap::generate(128, 128, &mut rng());
+        let small = b.scale(32, 32);
+        assert_eq!(small.width(), 32);
+        assert_eq!(small.height(), 32);
+        // Box averaging approximately preserves mean luminance.
+        let diff = (b.mean_luminance() - small.mean_luminance()).abs();
+        assert!(diff < 4.0, "luminance drift {diff}");
+    }
+
+    #[test]
+    fn upscale_dimensions() {
+        let b = Bitmap::generate(16, 16, &mut rng());
+        let big = b.scale(64, 64);
+        assert_eq!(big.width(), 64);
+        assert_eq!(big.height(), 64);
+        let diff = (b.mean_luminance() - big.mean_luminance()).abs();
+        assert!(diff < 4.0, "luminance drift {diff}");
+    }
+
+    #[test]
+    fn identity_scale_is_near_lossless_for_flat_image() {
+        let flat = Bitmap::new(10, 10);
+        let same = flat.scale(10, 10);
+        assert_eq!(flat, same);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Bitmap::generate(32, 32, &mut SimRng::seed_from(1));
+        let b = Bitmap::generate(32, 32, &mut SimRng::seed_from(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = Bitmap::new(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_target_rejected() {
+        let b = Bitmap::new(4, 4);
+        let _ = b.scale(0, 4);
+    }
+}

@@ -1,0 +1,270 @@
+//! In-memory ephemeral filesystem.
+//!
+//! Serverless function instances get a small ephemeral scratch volume
+//! (`/tmp`, 512 MB by default on AWS Lambda). The disk-bound workloads
+//! (disk writer, disk write-and-process, zipper) and the dynamic-function
+//! payload cache operate against this abstraction so the kernels are
+//! genuinely executable without touching the host filesystem.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors returned by [`EphemeralFs`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The file does not exist.
+    NotFound(String),
+    /// The write would exceed the volume's capacity.
+    VolumeFull {
+        /// Capacity in bytes.
+        capacity: usize,
+        /// Bytes that would be used after the write.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "file not found: {p}"),
+            FsError::VolumeFull { capacity, requested } => {
+                write!(f, "ephemeral volume full: {requested} bytes requested, capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// A bounded in-memory filesystem with flat paths.
+///
+/// ```
+/// use sky_workloads::fs::EphemeralFs;
+/// let mut fs = EphemeralFs::with_capacity(1024);
+/// fs.write("a.txt", b"hello")?;
+/// assert_eq!(fs.read("a.txt")?, b"hello");
+/// fs.delete("a.txt")?;
+/// assert!(fs.read("a.txt").is_err());
+/// # Ok::<(), sky_workloads::fs::FsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EphemeralFs {
+    files: BTreeMap<String, Vec<u8>>,
+    capacity: usize,
+    used: usize,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+/// AWS Lambda's default `/tmp` size.
+pub const DEFAULT_CAPACITY: usize = 512 * 1024 * 1024;
+
+impl Default for EphemeralFs {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl EphemeralFs {
+    /// A fresh volume with the default 512 MB capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh volume with the given capacity in bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EphemeralFs {
+            files: BTreeMap::new(),
+            capacity,
+            used: 0,
+            bytes_written: 0,
+            bytes_read: 0,
+        }
+    }
+
+    /// Create or replace a file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::VolumeFull`] if the write would exceed capacity; the
+    /// volume is unchanged in that case.
+    pub fn write(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        let existing = self.files.get(path).map(|f| f.len()).unwrap_or(0);
+        let after = self.used - existing + data.len();
+        if after > self.capacity {
+            return Err(FsError::VolumeFull { capacity: self.capacity, requested: after });
+        }
+        self.files.insert(path.to_string(), data.to_vec());
+        self.used = after;
+        self.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Append to a file, creating it if absent.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::VolumeFull`] if the append would exceed capacity.
+    pub fn append(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        let after = self.used + data.len();
+        if after > self.capacity {
+            return Err(FsError::VolumeFull { capacity: self.capacity, requested: after });
+        }
+        self.files.entry(path.to_string()).or_default().extend_from_slice(data);
+        self.used = after;
+        self.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Read a file's contents.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if the file does not exist.
+    pub fn read(&mut self, path: &str) -> Result<&[u8], FsError> {
+        match self.files.get(path) {
+            Some(data) => {
+                self.bytes_read += data.len() as u64;
+                Ok(data)
+            }
+            None => Err(FsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Remove a file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if the file does not exist.
+    pub fn delete(&mut self, path: &str) -> Result<(), FsError> {
+        match self.files.remove(path) {
+            Some(data) => {
+                self.used -= data.len();
+                Ok(())
+            }
+            None => Err(FsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Paths currently stored, in sorted order.
+    pub fn list(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(|s| s.as_str())
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Volume capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative bytes written over the volume's lifetime (I/O counter
+    /// for the disk-bound workloads' work accounting).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Cumulative bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Remove all files (e.g. between workload runs on a reused FI).
+    pub fn clear(&mut self) {
+        self.files.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_delete_cycle() {
+        let mut fs = EphemeralFs::with_capacity(100);
+        fs.write("f", b"12345").unwrap();
+        assert!(fs.exists("f"));
+        assert_eq!(fs.used(), 5);
+        assert_eq!(fs.read("f").unwrap(), b"12345");
+        fs.delete("f").unwrap();
+        assert_eq!(fs.used(), 0);
+        assert_eq!(fs.delete("f"), Err(FsError::NotFound("f".into())));
+    }
+
+    #[test]
+    fn overwrite_accounts_correctly() {
+        let mut fs = EphemeralFs::with_capacity(10);
+        fs.write("f", b"12345678").unwrap();
+        fs.write("f", b"12").unwrap();
+        assert_eq!(fs.used(), 2);
+        fs.write("g", b"12345678").unwrap();
+        assert_eq!(fs.used(), 10);
+    }
+
+    #[test]
+    fn capacity_enforced_atomically() {
+        let mut fs = EphemeralFs::with_capacity(8);
+        fs.write("a", b"1234").unwrap();
+        let err = fs.write("b", b"123456").unwrap_err();
+        assert!(matches!(err, FsError::VolumeFull { capacity: 8, requested: 10 }));
+        // Volume unchanged after the failed write.
+        assert_eq!(fs.used(), 4);
+        assert!(!fs.exists("b"));
+    }
+
+    #[test]
+    fn append_grows_file() {
+        let mut fs = EphemeralFs::with_capacity(100);
+        fs.append("log", b"ab").unwrap();
+        fs.append("log", b"cd").unwrap();
+        assert_eq!(fs.read("log").unwrap(), b"abcd");
+        assert_eq!(fs.bytes_written(), 4);
+    }
+
+    #[test]
+    fn io_counters_accumulate() {
+        let mut fs = EphemeralFs::with_capacity(100);
+        fs.write("f", b"abc").unwrap();
+        let _ = fs.read("f").unwrap();
+        let _ = fs.read("f").unwrap();
+        assert_eq!(fs.bytes_written(), 3);
+        assert_eq!(fs.bytes_read(), 6);
+        fs.delete("f").unwrap();
+        // Lifetime counters survive deletion.
+        assert_eq!(fs.bytes_written(), 3);
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let mut fs = EphemeralFs::with_capacity(100);
+        fs.write("b", b"1").unwrap();
+        fs.write("a", b"1").unwrap();
+        let names: Vec<&str> = fs.list().collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(fs.file_count(), 2);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_counters() {
+        let mut fs = EphemeralFs::with_capacity(100);
+        fs.write("a", b"123").unwrap();
+        fs.clear();
+        assert_eq!(fs.file_count(), 0);
+        assert_eq!(fs.used(), 0);
+        assert_eq!(fs.bytes_written(), 3);
+    }
+}

@@ -1,0 +1,285 @@
+//! Minimal JSON document model, generator and flattener (the
+//! `json_flattener` Table-1 workload: "recursively generates a large JSON
+//! object and flattens it into key-value pairs").
+//!
+//! Self-contained by design — the workload's cost is building and walking
+//! the tree, so we model the document directly rather than pulling
+//! `serde_json::Value` into the kernel's hot path.
+
+use sky_sim::SimRng;
+use std::collections::BTreeMap;
+
+/// A JSON-like value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (all numbers are f64, as in JSON).
+    Number(f64),
+    /// String.
+    String(String),
+    /// Ordered array.
+    Array(Vec<JsonValue>),
+    /// Object with sorted keys.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Generate a pseudo-random document with roughly `target_nodes`
+    /// nodes and depth up to `max_depth`. The root is always an object
+    /// (the workload "recursively generates a large JSON object") and
+    /// grows top-level keys until the node budget is spent.
+    pub fn generate(target_nodes: usize, max_depth: usize, rng: &mut SimRng) -> JsonValue {
+        let mut budget = target_nodes.max(1);
+        let mut map = BTreeMap::new();
+        let mut i = 0usize;
+        while budget > 0 {
+            let key = format!("root_{i}");
+            map.insert(key, Self::gen_node(&mut budget, max_depth.saturating_sub(1), rng));
+            i += 1;
+        }
+        JsonValue::Object(map)
+    }
+
+    fn gen_node(budget: &mut usize, depth: usize, rng: &mut SimRng) -> JsonValue {
+        *budget = budget.saturating_sub(1);
+        if depth == 0 || *budget == 0 {
+            return Self::gen_leaf(rng);
+        }
+        match rng.next_below(10) {
+            // 40% objects, 30% arrays, 30% leaves at internal levels.
+            0..=3 => {
+                let n_children = rng.range_inclusive(2, 6) as usize;
+                let mut map = BTreeMap::new();
+                for i in 0..n_children {
+                    if *budget == 0 {
+                        break;
+                    }
+                    let key = format!("k{}_{}", depth, i);
+                    map.insert(key, Self::gen_node(budget, depth - 1, rng));
+                }
+                JsonValue::Object(map)
+            }
+            4..=6 => {
+                let n_children = rng.range_inclusive(2, 8) as usize;
+                let mut items = Vec::new();
+                for _ in 0..n_children {
+                    if *budget == 0 {
+                        break;
+                    }
+                    items.push(Self::gen_node(budget, depth - 1, rng));
+                }
+                JsonValue::Array(items)
+            }
+            _ => Self::gen_leaf(rng),
+        }
+    }
+
+    fn gen_leaf(rng: &mut SimRng) -> JsonValue {
+        match rng.next_below(4) {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(rng.chance(0.5)),
+            2 => JsonValue::Number(rng.range_f64(-1e6, 1e6)),
+            _ => {
+                let len = rng.range_inclusive(3, 16) as usize;
+                let s: String = (0..len)
+                    .map(|_| (b'a' + rng.next_below(26) as u8) as char)
+                    .collect();
+                JsonValue::String(s)
+            }
+        }
+    }
+
+    /// Count all nodes in the tree (containers + leaves).
+    pub fn node_count(&self) -> usize {
+        match self {
+            JsonValue::Array(items) => 1 + items.iter().map(JsonValue::node_count).sum::<usize>(),
+            JsonValue::Object(map) => 1 + map.values().map(JsonValue::node_count).sum::<usize>(),
+            _ => 1,
+        }
+    }
+
+    /// Maximum nesting depth (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            JsonValue::Array(items) => {
+                1 + items.iter().map(JsonValue::depth).max().unwrap_or(0)
+            }
+            JsonValue::Object(map) => {
+                1 + map.values().map(JsonValue::depth).max().unwrap_or(0)
+            }
+            _ => 1,
+        }
+    }
+
+    /// Flatten into `path -> scalar` pairs using dotted/bracketed paths,
+    /// e.g. `a.b[3].c`. Empty containers flatten to nothing.
+    pub fn flatten(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        self.flatten_into("", &mut out);
+        out
+    }
+
+    fn flatten_into(&self, prefix: &str, out: &mut Vec<(String, String)>) {
+        match self {
+            JsonValue::Null => out.push((prefix.to_string(), "null".to_string())),
+            JsonValue::Bool(b) => out.push((prefix.to_string(), b.to_string())),
+            JsonValue::Number(n) => out.push((prefix.to_string(), format!("{n}"))),
+            JsonValue::String(s) => out.push((prefix.to_string(), s.clone())),
+            JsonValue::Array(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    item.flatten_into(&format!("{prefix}[{i}]"), out);
+                }
+            }
+            JsonValue::Object(map) => {
+                for (k, v) in map {
+                    let path = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    v.flatten_into(&path, out);
+                }
+            }
+        }
+    }
+
+    /// Serialize to a compact JSON string (for payload-size realism).
+    pub fn to_json_string(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => out.push_str(&format!("{n}")),
+            JsonValue::String(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32))
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(k);
+                    out.push_str("\":");
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(3).derive("json")
+    }
+
+    #[test]
+    fn generation_respects_budget_roughly() {
+        let doc = JsonValue::generate(1000, 8, &mut rng());
+        let n = doc.node_count();
+        assert!(n > 100, "doc too small: {n}");
+        assert!(doc.depth() <= 9);
+    }
+
+    #[test]
+    fn flatten_leaf_count_matches() {
+        let doc = JsonValue::generate(500, 6, &mut rng());
+        let flat = doc.flatten();
+        // Every flattened pair is a scalar leaf; count leaves directly.
+        fn leaves(v: &JsonValue) -> usize {
+            match v {
+                JsonValue::Array(items) => items.iter().map(leaves).sum(),
+                JsonValue::Object(map) => map.values().map(leaves).sum(),
+                _ => 1,
+            }
+        }
+        assert_eq!(flat.len(), leaves(&doc));
+    }
+
+    #[test]
+    fn flatten_paths_simple_object() {
+        let mut map = BTreeMap::new();
+        map.insert(
+            "a".to_string(),
+            JsonValue::Array(vec![JsonValue::Number(1.0), JsonValue::Bool(true)]),
+        );
+        map.insert("b".to_string(), JsonValue::String("x".to_string()));
+        let doc = JsonValue::Object(map);
+        let flat = doc.flatten();
+        assert_eq!(
+            flat,
+            vec![
+                ("a[0]".to_string(), "1".to_string()),
+                ("a[1]".to_string(), "true".to_string()),
+                ("b".to_string(), "x".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn flatten_paths_are_unique() {
+        let doc = JsonValue::generate(800, 7, &mut rng());
+        let flat = doc.flatten();
+        let mut paths: Vec<&String> = flat.iter().map(|(p, _)| p).collect();
+        let before = paths.len();
+        paths.sort();
+        paths.dedup();
+        assert_eq!(paths.len(), before, "flatten paths must be unique");
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let doc = JsonValue::String("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(doc.to_json_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn json_serialization_shape() {
+        let mut map = BTreeMap::new();
+        map.insert("n".to_string(), JsonValue::Null);
+        let doc = JsonValue::Array(vec![JsonValue::Object(map), JsonValue::Number(2.5)]);
+        assert_eq!(doc.to_json_string(), "[{\"n\":null},2.5]");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = JsonValue::generate(300, 5, &mut SimRng::seed_from(9));
+        let b = JsonValue::generate(300, 5, &mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+}

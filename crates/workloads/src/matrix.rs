@@ -1,0 +1,254 @@
+//! Dense matrix operations (the `matrix_multiply` Table-1 workload:
+//! "generates large matrices and executes multiply and dot operations in
+//! loops") and the array arithmetic behind `math_service`.
+
+use sky_sim::SimRng;
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// A matrix of uniform random values in `[-1, 1)`.
+    pub fn random(rows: usize, cols: usize, rng: &mut SimRng) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.data.iter_mut() {
+            *v = rng.range_f64(-1.0, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Naive triple-loop multiply (reference implementation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn multiply_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for j in 0..other.cols {
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * other.data[k * other.cols + j];
+                }
+                out.data[i * other.cols + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Cache-blocked multiply with an i-k-j loop order — the kernel the
+    /// workload actually runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn multiply(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        const BLOCK: usize = 32;
+        let (n, m, p) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(n, p);
+        for ib in (0..n).step_by(BLOCK) {
+            for kb in (0..m).step_by(BLOCK) {
+                for jb in (0..p).step_by(BLOCK) {
+                    for i in ib..(ib + BLOCK).min(n) {
+                        for k in kb..(kb + BLOCK).min(m) {
+                            let a = self.data[i * m + k];
+                            let row_out = &mut out.data[i * p..(i + 1) * p];
+                            let row_b = &other.data[k * p..(k + 1) * p];
+                            for j in jb..(jb + BLOCK).min(p) {
+                                row_out[j] += a * row_b[j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Sum of all elements (cheap checksum).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// The `math_service` arithmetic pass: element-wise fused
+/// multiply-add/divide/sqrt chains over large arrays, returning a
+/// checksum. `rounds` controls repetition.
+pub fn math_service_pass(values: &mut [f64], rounds: usize) -> f64 {
+    let mut checksum = 0.0;
+    for r in 0..rounds {
+        let k = 1.0 + (r % 7) as f64 * 0.25;
+        for v in values.iter_mut() {
+            // A representative arithmetic mix; abs() keeps sqrt defined.
+            *v = ((*v * k + 0.5).abs()).sqrt() * 0.75 + *v * 0.25;
+        }
+        checksum += values.iter().sum::<f64>() / values.len() as f64;
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(21).derive("matrix")
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Matrix::random(17, 17, &mut rng());
+        let i = Matrix::identity(17);
+        let prod = a.multiply(&i);
+        for r in 0..17 {
+            for c in 0..17 {
+                assert!((prod.get(r, c) - a.get(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let a = Matrix::random(45, 33, &mut rng());
+        let b = Matrix::random(33, 27, &mut rng());
+        let fast = a.multiply(&b);
+        let slow = a.multiply_naive(&b);
+        assert_eq!(fast.rows(), 45);
+        assert_eq!(fast.cols(), 27);
+        for r in 0..45 {
+            for c in 0..27 {
+                assert!(
+                    (fast.get(r, c) - slow.get(r, c)).abs() < 1e-9,
+                    "mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_dimensions() {
+        let a = Matrix::zeros(2, 5);
+        let b = Matrix::zeros(5, 3);
+        let c = a.multiply(&b);
+        assert_eq!((c.rows(), c.cols()), (2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.multiply(&b);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn dot_length_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms_and_sums() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 0, 3.0);
+        m.set(1, 1, 4.0);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.sum(), 7.0);
+    }
+
+    #[test]
+    fn math_service_pass_is_deterministic_and_finite() {
+        let mut a: Vec<f64> = (0..1000).map(|i| (i as f64) / 999.0 - 0.5).collect();
+        let mut b = a.clone();
+        let ca = math_service_pass(&mut a, 5);
+        let cb = math_service_pass(&mut b, 5);
+        assert_eq!(ca, cb);
+        assert!(ca.is_finite());
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        let _ = Matrix::zeros(0, 3);
+    }
+}

@@ -1,0 +1,253 @@
+//! SHA-1 implemented from scratch (FIPS 180-1).
+//!
+//! Used three ways in the reproduction: as the `sha1_hash` workload kernel
+//! (Table 1), as the content-hash for dynamic-function payload caching
+//! (`sky-mesh`), and inside the disk-write-and-process workload's
+//! `sha1sum` step. SHA-1 is cryptographically broken for collision
+//! resistance; here it is a workload and a cache key, exactly as in the
+//! paper's tooling, not a security boundary.
+
+/// A 20-byte SHA-1 digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest(pub [u8; 20]);
+
+impl Digest {
+    /// Lowercase hex rendering, `40` characters.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// The first 8 bytes as a `u64` (cheap cache-key form).
+    pub fn as_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("digest has 20 bytes"))
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Streaming SHA-1 hasher.
+///
+/// ```
+/// use sky_workloads::sha1::Sha1;
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// assert_eq!(h.finalize().to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    length_bits: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            h: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            length_bits: 0,
+        }
+    }
+
+    /// Absorb input bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length_bits = self
+            .length_bits
+            .wrapping_add((data.len() as u64).wrapping_mul(8));
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.process_block(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    /// Finish and return the digest.
+    pub fn finalize(mut self) -> Digest {
+        let length_bits = self.length_bits;
+        self.raw_update_padding();
+        // Length in bits, big-endian, fills the final 8 bytes.
+        let len_bytes = length_bits.to_be_bytes();
+        self.buffer[56..64].copy_from_slice(&len_bytes);
+        let block = self.buffer;
+        self.process_block(&block);
+        let mut out = [0u8; 20];
+        for (i, word) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn raw_update_padding(&mut self) {
+        // Append 0x80 then zeros until 56 bytes mod 64 remain.
+        self.buffer[self.buffer_len] = 0x80;
+        let start = self.buffer_len + 1;
+        if start > 56 {
+            for b in &mut self.buffer[start..64] {
+                *b = 0;
+            }
+            let block = self.buffer;
+            self.process_block(&block);
+            for b in &mut self.buffer[..56] {
+                *b = 0;
+            }
+        } else {
+            for b in &mut self.buffer[start..56] {
+                *b = 0;
+            }
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of a byte slice.
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-1 / RFC 3174 test vectors.
+    #[test]
+    fn empty_string() {
+        assert_eq!(sha1(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(sha1(b"abc").to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(h.finalize().to_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let one_shot = sha1(&data);
+        // Feed in awkward chunk sizes crossing block boundaries.
+        let mut h = Sha1::new();
+        let mut rest = data.as_slice();
+        for size in [1usize, 63, 64, 65, 127, 128, 1000].iter().cycle() {
+            if rest.is_empty() {
+                break;
+            }
+            let take = (*size).min(rest.len());
+            h.update(&rest[..take]);
+            rest = &rest[take..];
+        }
+        assert_eq!(h.finalize(), one_shot);
+    }
+
+    #[test]
+    fn exact_block_boundary_lengths() {
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0x5au8; len];
+            // Compare against a reference chunked computation.
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), sha1(&data), "length {len}");
+        }
+    }
+
+    #[test]
+    fn digest_helpers() {
+        let d = sha1(b"abc");
+        assert_eq!(d.to_hex().len(), 40);
+        assert_eq!(d.as_u64(), 0xa9993e364706816a);
+        assert_eq!(format!("{d}"), d.to_hex());
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(sha1(b"hello"), sha1(b"hellp"));
+    }
+}

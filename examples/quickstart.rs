@@ -1,0 +1,50 @@
+//! Quickstart: build a world, characterize a zone, and see the hidden
+//! hardware heterogeneity the paper exploits.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use sky_core::cloud::{Catalog, Provider};
+use sky_core::faas::{FaasEngine, FleetConfig};
+use sky_core::{CampaignConfig, SamplingCampaign};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A seeded 41-region world (same seed => same world, always).
+    let mut engine = FaasEngine::new(Catalog::paper_world(7), FleetConfig::new(7));
+    let account = engine.create_account(Provider::Aws);
+
+    // 2. Deploy the sampling fleet to one availability zone and fire a
+    //    few 1,000-request polls (paper §3.1).
+    let az = "us-west-1b".parse()?;
+    let mut campaign = SamplingCampaign::new(
+        &mut engine,
+        account,
+        &az,
+        CampaignConfig { deployments: 6, ..Default::default() },
+    )?;
+    for _ in 0..5 {
+        let stats = campaign.poll_once(&mut engine);
+        println!(
+            "poll {}: {} unique FIs observed (cumulative {}), ${:.4}",
+            stats.index + 1,
+            stats.unique_fis,
+            stats.cumulative_fis,
+            stats.cost_usd
+        );
+    }
+
+    // 3. The characterization: the zone's hidden CPU distribution, seen
+    //    purely through SAAF reports.
+    println!("\nestimated CPU distribution of {az}:");
+    for (cpu, share) in campaign.characterization().to_mix().iter() {
+        println!("  {:8} {:5.1}%  ({})", cpu.short_label(), share * 100.0, cpu.model_name());
+    }
+    println!(
+        "\n{} unique function instances, {} reports, total spend ${:.4}",
+        campaign.characterization().unique_fis(),
+        campaign.characterization().reports(),
+        campaign.total_cost_usd()
+    );
+    Ok(())
+}

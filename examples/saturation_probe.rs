@@ -1,0 +1,50 @@
+//! Reproduce the paper's EX-1 saturation evidence interactively: poll a
+//! zone until >50% of requests fail, then show that a second, fully
+//! independent account hits the same wall immediately.
+//!
+//! ```bash
+//! cargo run --release --example saturation_probe
+//! ```
+
+use sky_core::cloud::{Catalog, Provider};
+use sky_core::faas::{FaasEngine, FleetConfig};
+use sky_core::{CampaignConfig, SamplingCampaign};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = FaasEngine::new(Catalog::paper_world(3), FleetConfig::new(3));
+    let az = "eu-north-1a".parse()?; // the smallest pool in the catalog
+
+    let account_a = engine.create_account(Provider::Aws);
+    let mut campaign_a =
+        SamplingCampaign::new(&mut engine, account_a, &az, CampaignConfig::default())?;
+    println!("account A polls {az} until the failure point:");
+    let result = campaign_a.run_until_saturation(&mut engine);
+    for poll in &result.polls {
+        println!(
+            "  poll {:>2}: {:>4} new FIs, {:>5.1}% failed",
+            poll.index + 1,
+            poll.new_fis,
+            poll.failure_rate() * 100.0
+        );
+    }
+    println!(
+        "=> saturated after {} polls, {} unique FIs, ${:.3} spent\n",
+        result.polls.len(),
+        result.total_fis(),
+        result.total_cost_usd
+    );
+
+    // A completely independent account, immediately afterwards.
+    let account_b = engine.create_account(Provider::Aws);
+    let mut campaign_b =
+        SamplingCampaign::new(&mut engine, account_b, &az, CampaignConfig::default())?;
+    let first = campaign_b.poll_once(&mut engine);
+    println!(
+        "account B's very first poll: {:.1}% failures ({} of {})",
+        first.failure_rate() * 100.0,
+        first.failures,
+        first.requests
+    );
+    println!("=> the zone's provisioned pool is exhausted, not a per-account limit.");
+    Ok(())
+}

