@@ -43,8 +43,8 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| black_box(base64::decode(black_box(&encoded)).expect("valid base64")));
     });
 
-    let bundle = PayloadBundle::source_only("{\"workload\":\"zipper\"}")
-        .with_file("data.bin", data.clone());
+    let bundle =
+        PayloadBundle::source_only("{\"workload\":\"zipper\"}").with_file("data.bin", data.clone());
     group.bench_function("payload_encode_256k", |b| {
         b.iter(|| black_box(encode(black_box(&bundle)).expect("fits the cap")));
     });

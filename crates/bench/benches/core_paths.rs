@@ -8,17 +8,15 @@ use sky_core::cloud::{Arch, AzId, CpuMix, CpuType, Provider};
 use sky_core::faas::{HostId, InstanceId, SaafReport};
 use sky_core::sim::{SimDuration, SimTime};
 use sky_core::workloads::{PerfModel, WorkloadKind};
-use sky_core::{
-    Characterization, CharacterizationStore, RouterConfig, RuntimeTable, SmartRouter,
-};
+use sky_core::{Characterization, CharacterizationStore, RouterConfig, RuntimeTable, SmartRouter};
 use std::hint::black_box;
 
 fn report(i: u64) -> SaafReport {
     let cpu = CpuType::AWS_X86[(i % 4) as usize];
     SaafReport {
-        cpu_model: cpu.model_name().to_string(),
+        cpu_model: cpu.model_name().into(),
         cpu_ghz: cpu.clock_ghz(),
-        instance_uuid: format!("fi-{i:032}"),
+        instance_uuid: format!("fi-{i:032}").into(),
         host_id: HostId::from_raw(i / 20),
         instance_id: InstanceId::from_raw(i),
         new_container: true,
@@ -49,10 +47,8 @@ fn bench_characterization(c: &mut Criterion) {
             (CpuType::IntelXeon3_0, 0.3),
             (CpuType::AmdEpyc, 0.1),
         ]);
-        let reference = CpuMix::from_shares(&[
-            (CpuType::IntelXeon2_5, 0.5),
-            (CpuType::IntelXeon3_0, 0.5),
-        ]);
+        let reference =
+            CpuMix::from_shares(&[(CpuType::IntelXeon2_5, 0.5), (CpuType::IntelXeon3_0, 0.5)]);
         b.iter(|| black_box(black_box(&a).ape_percent(black_box(&reference))));
     });
     group.finish();

@@ -17,7 +17,10 @@ fn bench_event_queue(c: &mut Criterion) {
             let mut q = EventQueue::with_capacity(10_000);
             for i in 0..10_000u64 {
                 // Pseudo-shuffled times.
-                q.schedule(SimTime::from_micros(i.wrapping_mul(2654435761) % 1_000_000), i);
+                q.schedule(
+                    SimTime::from_micros(i.wrapping_mul(2654435761) % 1_000_000),
+                    i,
+                );
             }
             let mut last = 0u64;
             while let Some((t, _)) = q.pop() {
@@ -36,11 +39,12 @@ fn bench_poll_batch(c: &mut Criterion) {
     group.bench_function("sleep_poll_1000", |b| {
         b.iter_with_setup(
             || {
-                let mut engine =
-                    FaasEngine::new(Catalog::paper_world(42), FleetConfig::new(42));
+                let mut engine = FaasEngine::new(Catalog::paper_world(42), FleetConfig::new(42));
                 let account = engine.create_account(Provider::Aws);
                 let az = "us-west-1a".parse().expect("valid AZ");
-                let dep = engine.deploy(account, &az, 2048, Arch::X86_64).expect("deploys");
+                let dep = engine
+                    .deploy(account, &az, 2048, Arch::X86_64)
+                    .expect("deploys");
                 (engine, dep)
             },
             |(mut engine, dep)| {
@@ -48,7 +52,9 @@ fn bench_poll_batch(c: &mut Criterion) {
                     .map(|i| BatchRequest {
                         deployment: dep,
                         offset: SimDuration::from_micros(i * 500),
-                        body: RequestBody::Sleep { duration: SimDuration::from_millis(250) },
+                        body: RequestBody::Sleep {
+                            duration: SimDuration::from_millis(250),
+                        },
                     })
                     .collect();
                 black_box(engine.run_batch(requests).len())
@@ -58,12 +64,13 @@ fn bench_poll_batch(c: &mut Criterion) {
     group.bench_function("day_tick_churn", |b| {
         b.iter_with_setup(
             || {
-                let mut engine =
-                    FaasEngine::new(Catalog::paper_world(42), FleetConfig::new(42));
+                let mut engine = FaasEngine::new(Catalog::paper_world(42), FleetConfig::new(42));
                 let account = engine.create_account(Provider::Aws);
                 for az_name in ["us-west-1a", "us-west-1b", "eu-central-1a"] {
                     let az = az_name.parse().expect("valid AZ");
-                    let _ = engine.deploy(account, &az, 2048, Arch::X86_64).expect("deploys");
+                    let _ = engine
+                        .deploy(account, &az, 2048, Arch::X86_64)
+                        .expect("deploys");
                 }
                 engine
             },

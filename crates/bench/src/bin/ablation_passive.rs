@@ -11,76 +11,120 @@
 //!    (zero marginal dollars — the workload was running anyway);
 //!
 //! against the platform ground truth.
+//!
+//! The two methods are independent sweep cells (each with its own seeded
+//! world and ground-truth snapshot), so they run in parallel under
+//! `--jobs N` and merge deterministically: active rows first.
 
+use sky_bench::sweep::{self, Jobs};
 use sky_bench::{Scale, World, WORLD_SEED};
 use sky_core::cloud::Arch;
 use sky_core::sim::series::{fmt_usd, Table};
-use sky_core::sim::SimDuration;
 use sky_core::workloads::WorkloadKind;
 use sky_core::{CampaignConfig, SamplingCampaign, WorkloadProfiler};
 
-fn main() {
-    let scale = Scale::from_env();
+#[derive(Clone, Copy)]
+enum Method {
+    Active,
+    Passive,
+}
+
+/// Build a fresh world, instantiate us-west-1b, and snapshot its ground
+/// truth. Both cells derive the identical truth (same seed).
+fn world_with_truth() -> (World, sky_core::cloud::CpuMix) {
     let mut world = World::new(WORLD_SEED);
     let az = World::az("us-west-1b");
-    let truth = {
-        // Instantiate the platform, then snapshot ground truth.
-        let dep = world
-            .engine
-            .deploy(world.aws, &az, 2048, Arch::X86_64)
+    let dep = world
+        .engine
+        .deploy(world.aws, &az, 2048, Arch::X86_64)
+        .expect("deploys");
+    let _ = dep;
+    let truth = world
+        .engine
+        .platform(&az)
+        .expect("platform exists")
+        .ground_truth_mix();
+    (world, truth)
+}
+
+fn run_method(method: Method, scale: Scale) -> Vec<[String; 4]> {
+    let az = World::az("us-west-1b");
+    let (mut world, truth) = world_with_truth();
+    let mut rows = Vec::new();
+    match method {
+        Method::Active => {
+            let mut campaign = SamplingCampaign::new(
+                &mut world.engine,
+                world.aws,
+                &az,
+                CampaignConfig {
+                    deployments: 8,
+                    ..Default::default()
+                },
+            )
             .expect("deploys");
-        let _ = dep;
-        world.engine.platform(&az).expect("platform exists").ground_truth_mix()
-    };
+            let mut spent = 0.0;
+            for checkpoint in [1usize, 3, 6] {
+                while campaign.polls().len() < checkpoint {
+                    let stats = campaign.poll_once(&mut world.engine);
+                    spent += stats.cost_usd;
+                }
+                rows.push([
+                    format!("active, {checkpoint} poll(s)"),
+                    campaign.characterization().unique_fis().to_string(),
+                    format!("{:.1}", campaign.characterization().ape_percent(&truth)),
+                    fmt_usd(spent),
+                ]);
+            }
+        }
+        Method::Passive => {
+            // Production-style bursts; fold their SAAF reports.
+            let dep = world
+                .engine
+                .deploy(world.aws, &az, 2048, Arch::X86_64)
+                .expect("deploys");
+            let mut profiler = WorkloadProfiler::new();
+            let mut folded = 0usize;
+            for checkpoint in [500usize, 2_000, scale.pick(6_000, 3_000)] {
+                let n = checkpoint - folded;
+                profiler.profile(
+                    &mut world.engine,
+                    dep,
+                    WorkloadKind::JsonFlattener,
+                    n,
+                    250,
+                    7,
+                );
+                folded = checkpoint;
+                let passive = profiler
+                    .passive_characterization(&az)
+                    .expect("traffic observed");
+                rows.push([
+                    format!("passive, {checkpoint} requests"),
+                    passive.unique_fis().to_string(),
+                    format!("{:.1}", passive.ape_percent(&truth)),
+                    "$0.0000 (traffic ran anyway)".to_string(),
+                ]);
+            }
+        }
+    }
+    rows
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let jobs = Jobs::from_env();
+
+    let cells = sweep::run(vec![Method::Active, Method::Passive], jobs, |_, &method| {
+        run_method(method, scale)
+    });
 
     let mut out = Table::new(
         "Ablation: active polls vs passive production traffic (us-west-1b)",
         &["method", "FIs observed", "APE vs truth %", "marginal cost"],
     );
-
-    // Active polling.
-    let mut campaign = SamplingCampaign::new(
-        &mut world.engine,
-        world.aws,
-        &az,
-        CampaignConfig { deployments: 8, ..Default::default() },
-    )
-    .expect("deploys");
-    let mut spent = 0.0;
-    for checkpoint in [1usize, 3, 6] {
-        while campaign.polls().len() < checkpoint {
-            let stats = campaign.poll_once(&mut world.engine);
-            spent += stats.cost_usd;
-        }
-        out.row(&[
-            format!("active, {checkpoint} poll(s)"),
-            campaign.characterization().unique_fis().to_string(),
-            format!("{:.1}", campaign.characterization().ape_percent(&truth)),
-            fmt_usd(spent),
-        ]);
-    }
-    world.engine.advance_by(SimDuration::from_mins(15));
-
-    // Passive: run production-style bursts and fold their reports.
-    let dep = world
-        .engine
-        .deploy(world.aws, &az, 2048, Arch::X86_64)
-        .expect("deploys");
-    let mut profiler = WorkloadProfiler::new();
-    let mut folded = 0usize;
-    for checkpoint in [500usize, 2_000, scale.pick(6_000, 3_000)] {
-        let n = checkpoint - folded;
-        profiler.profile(&mut world.engine, dep, WorkloadKind::JsonFlattener, n, 250, 7);
-        folded = checkpoint;
-        let passive = profiler
-            .passive_characterization(&az)
-            .expect("traffic observed");
-        out.row(&[
-            format!("passive, {checkpoint} requests"),
-            passive.unique_fis().to_string(),
-            format!("{:.1}", passive.ape_percent(&truth)),
-            "$0.0000 (traffic ran anyway)".to_string(),
-        ]);
+    for row in cells.iter().flatten() {
+        out.row(row);
     }
     println!("{}", out.render());
     println!("Passive characterization converges toward the active estimate while");

@@ -6,7 +6,15 @@
 //! the store (staleness bound lifted so the router keeps using the old
 //! snapshot). In volatile zones, day-old knowledge picks worse zones;
 //! this quantifies the re-sampling cadence the store recommends.
+//!
+//! Each age is an independent sweep cell. Staleness only bites because
+//! the fleet keeps serving (and churning) between bursts, so a cell
+//! **replays** the burst history of every earlier age in its own seeded
+//! world before measuring its own — the timeline is identical to the
+//! serial experiment, and the five cells run in parallel under
+//! `--jobs N`, merging in age order.
 
+use sky_bench::sweep::{self, Jobs};
 use sky_bench::{profile_workload, Scale, World, WORLD_SEED};
 use sky_core::cloud::Arch;
 use sky_core::sim::series::Table;
@@ -17,12 +25,18 @@ use sky_core::{
     SamplingCampaign, SmartRouter,
 };
 
-fn main() {
-    let scale = Scale::from_env();
+const AGES_DAYS: [u64; 5] = [0, 1, 3, 7, 14];
+
+/// Replay the serial experiment through `AGES_DAYS[..=idx]` in a fresh
+/// world and report the row for `AGES_DAYS[idx]`.
+fn route_at_age(idx: usize, scale: Scale) -> [String; 3] {
     let burst = scale.pick(1_000, 150);
     let kind = WorkloadKind::LogisticRegression;
-    let candidates =
-        vec![World::az("us-west-1a"), World::az("us-west-1b"), World::az("ca-central-1a")];
+    let candidates = vec![
+        World::az("us-west-1a"),
+        World::az("us-west-1b"),
+        World::az("ca-central-1a"),
+    ];
     let baseline_az = World::az("us-west-1b");
 
     let mut world = World::new(WORLD_SEED);
@@ -50,7 +64,10 @@ fn main() {
             &mut world.engine,
             world.aws,
             az,
-            CampaignConfig { deployments: 6, ..Default::default() },
+            CampaignConfig {
+                deployments: 6,
+                ..Default::default()
+            },
         )
         .expect("deploys");
         let at = world.engine.now();
@@ -65,19 +82,18 @@ fn main() {
     }
     let router = SmartRouter::new(store, table, RouterConfig::default());
 
-    let mut out = Table::new(
-        "Ablation: regional-routing value of an aging characterization",
-        &["age", "chosen az", "savings vs fixed us-west-1b %"],
-    );
-    for age_days in [0u64, 1, 3, 7, 14] {
-        world
-            .engine
-            .advance_to(sky_core::sim::SimTime::start_of_day(1 + age_days) + SimDuration::from_hours(3));
+    let mut row = None;
+    for (i, &age_days) in AGES_DAYS.iter().take(idx + 1).enumerate() {
+        world.engine.advance_to(
+            sky_core::sim::SimTime::start_of_day(1 + age_days) + SimDuration::from_hours(3),
+        );
         let base = router.run_burst(
             &mut world.engine,
             kind,
             burst,
-            &RoutingPolicy::Baseline { az: baseline_az.clone() },
+            &RoutingPolicy::Baseline {
+                az: baseline_az.clone(),
+            },
             |az| deployments.get(az).copied(),
         );
         world.engine.advance_by(SimDuration::from_mins(15));
@@ -85,15 +101,39 @@ fn main() {
             &mut world.engine,
             kind,
             burst,
-            &RoutingPolicy::Regional { candidates: candidates.clone() },
+            &RoutingPolicy::Regional {
+                candidates: candidates.clone(),
+            },
             |az| deployments.get(az).copied(),
         );
-        let per = |r: &sky_core::BurstReport| r.total_cost_usd() / r.completed.max(1) as f64;
-        out.row(&[
-            format!("{age_days}d"),
-            regional.az.to_string(),
-            format!("{:.1}", savings_fraction(per(&base), per(&regional)) * 100.0),
-        ]);
+        if i == idx {
+            let per = |r: &sky_core::BurstReport| r.total_cost_usd() / r.completed.max(1) as f64;
+            row = Some([
+                format!("{age_days}d"),
+                regional.az.to_string(),
+                format!(
+                    "{:.1}",
+                    savings_fraction(per(&base), per(&regional)) * 100.0
+                ),
+            ]);
+        }
+    }
+    row.expect("own age measured")
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let jobs = Jobs::from_env();
+
+    let cells: Vec<usize> = (0..AGES_DAYS.len()).collect();
+    let rows = sweep::run(cells, jobs, |_, &idx| route_at_age(idx, scale));
+
+    let mut out = Table::new(
+        "Ablation: regional-routing value of an aging characterization",
+        &["age", "chosen az", "savings vs fixed us-west-1b %"],
+    );
+    for row in &rows {
+        out.row(row);
     }
     println!("{}", out.render());
     println!("All three candidates are volatile zones: the snapshot's routing value");

@@ -38,7 +38,11 @@ fn run(world: &mut World, days: u32, polls_per_sample: usize, adaptive: bool) ->
             .engine
             .advance_to(start + SimDuration::from_days(day as u64) + SimDuration::from_hours(2));
         let due: Vec<_> = if adaptive {
-            scheduler.due_zones(&store, &zones, world.engine.now()).into_iter().cloned().collect()
+            scheduler
+                .due_zones(&store, &zones, world.engine.now())
+                .into_iter()
+                .cloned()
+                .collect()
         } else {
             zones.clone()
         };
@@ -47,7 +51,10 @@ fn run(world: &mut World, days: u32, polls_per_sample: usize, adaptive: bool) ->
                 &mut world.engine,
                 world.aws,
                 az,
-                CampaignConfig { deployments: polls_per_sample, ..Default::default() },
+                CampaignConfig {
+                    deployments: polls_per_sample,
+                    ..Default::default()
+                },
             )
             .expect("campaign deploys");
             let at = world.engine.now();

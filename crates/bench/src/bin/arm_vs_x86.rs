@@ -6,7 +6,13 @@
 //! baseline, but bills at a ~20 % lower GB-second rate — so the *cost*
 //! ranking differs from the *runtime* ranking per workload (cf. \[9\],
 //! \[19\], which study exactly this x86/ARM trade-off).
+//!
+//! Each workload is an independent sweep cell (its own seeded world,
+//! deployments, and per-kind derived rng), so the twelve x86/arm
+//! comparisons run in parallel under `--jobs N` and merge
+//! deterministically in Table-1 order.
 
+use sky_bench::sweep::{self, Jobs};
 use sky_bench::{Scale, World, WORLD_SEED};
 use sky_core::cloud::Arch;
 use sky_core::faas::{BatchRequest, RequestBody, WorkloadSpec};
@@ -14,47 +20,53 @@ use sky_core::sim::series::Table;
 use sky_core::sim::{OnlineStats, SimDuration, SimRng};
 use sky_core::workloads::WorkloadKind;
 
-fn main() {
-    let scale = Scale::from_env();
+struct KindResult {
+    row: [String; 7],
+    arm_cheaper: bool,
+}
+
+fn compare_kind(kind: WorkloadKind, scale: Scale) -> KindResult {
     let runs = scale.pick(400, 80);
     let mut world = World::new(WORLD_SEED);
     let az = World::az("us-west-1a");
-    let dep_x86 = world.engine.deploy(world.aws, &az, 2048, Arch::X86_64).unwrap();
-    let dep_arm = world.engine.deploy(world.aws, &az, 2048, Arch::Arm64).unwrap();
-    let mut rng = SimRng::seed_from(WORLD_SEED).derive("arm-vs-x86");
+    let dep_x86 = world
+        .engine
+        .deploy(world.aws, &az, 2048, Arch::X86_64)
+        .unwrap();
+    let dep_arm = world
+        .engine
+        .deploy(world.aws, &az, 2048, Arch::Arm64)
+        .unwrap();
+    let mut rng = SimRng::seed_from(WORLD_SEED)
+        .derive("arm-vs-x86")
+        .derive_idx("kind", kind as u64);
 
-    let mut table = Table::new(
-        "arm64 (Graviton2) vs x86_64 at 2GB: runtime and cost per invocation",
-        &["function", "x86 ms", "arm ms", "arm runtime x", "x86 $", "arm $", "cheaper"],
-    );
-    let mut arm_wins = 0u32;
-    for kind in WorkloadKind::ALL {
-        let mut stats = std::collections::BTreeMap::new();
-        for (label, dep) in [("x86", dep_x86), ("arm", dep_arm)] {
-            let requests: Vec<BatchRequest> = (0..runs)
-                .map(|_| BatchRequest {
-                    deployment: dep,
-                    offset: SimDuration::from_micros(rng.next_below(120_000)),
-                    body: RequestBody::Workload { spec: WorkloadSpec::new(kind) },
-                })
-                .collect();
-            let outcomes = world.engine.run_batch(requests);
-            let mut ms = OnlineStats::new();
-            let mut usd = OnlineStats::new();
-            for o in outcomes.iter().filter(|o| o.status.is_success()) {
-                ms.push(o.billed.as_millis_f64());
-                usd.push(o.cost_usd);
-            }
-            stats.insert(label, (ms.mean(), usd.mean()));
-            world.engine.advance_by(SimDuration::from_mins(12));
+    let mut stats = std::collections::BTreeMap::new();
+    for (label, dep) in [("x86", dep_x86), ("arm", dep_arm)] {
+        let requests: Vec<BatchRequest> = (0..runs)
+            .map(|_| BatchRequest {
+                deployment: dep,
+                offset: SimDuration::from_micros(rng.next_below(120_000)),
+                body: RequestBody::Workload {
+                    spec: WorkloadSpec::new(kind),
+                },
+            })
+            .collect();
+        let outcomes = world.engine.run_batch(requests);
+        let mut ms = OnlineStats::new();
+        let mut usd = OnlineStats::new();
+        for o in outcomes.iter().filter(|o| o.status.is_success()) {
+            ms.push(o.billed.as_millis_f64());
+            usd.push(o.cost_usd);
         }
-        let (x86_ms, x86_usd) = stats["x86"];
-        let (arm_ms, arm_usd) = stats["arm"];
-        let cheaper = if arm_usd < x86_usd { "arm64" } else { "x86_64" };
-        if arm_usd < x86_usd {
-            arm_wins += 1;
-        }
-        table.row(&[
+        stats.insert(label, (ms.mean(), usd.mean()));
+        world.engine.advance_by(SimDuration::from_mins(12));
+    }
+    let (x86_ms, x86_usd) = stats["x86"];
+    let (arm_ms, arm_usd) = stats["arm"];
+    let cheaper = if arm_usd < x86_usd { "arm64" } else { "x86_64" };
+    KindResult {
+        row: [
             kind.name().to_string(),
             format!("{x86_ms:.0}"),
             format!("{arm_ms:.0}"),
@@ -62,7 +74,37 @@ fn main() {
             format!("{x86_usd:.6}"),
             format!("{arm_usd:.6}"),
             cheaper.to_string(),
-        ]);
+        ],
+        arm_cheaper: arm_usd < x86_usd,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let jobs = Jobs::from_env();
+
+    let results = sweep::run(WorkloadKind::ALL.to_vec(), jobs, |_, &kind| {
+        compare_kind(kind, scale)
+    });
+
+    let mut table = Table::new(
+        "arm64 (Graviton2) vs x86_64 at 2GB: runtime and cost per invocation",
+        &[
+            "function",
+            "x86 ms",
+            "arm ms",
+            "arm runtime x",
+            "x86 $",
+            "arm $",
+            "cheaper",
+        ],
+    );
+    let mut arm_wins = 0u32;
+    for r in &results {
+        if r.arm_cheaper {
+            arm_wins += 1;
+        }
+        table.row(&r.row);
     }
     println!("{}", table.render());
     println!(

@@ -32,16 +32,31 @@ fn main() {
     let mut world = World::new(WORLD_SEED);
     let mut deployments = std::collections::BTreeMap::new();
     for az in &candidates {
-        deployments
-            .insert(az.clone(), world.engine.deploy(world.aws, az, 2048, Arch::X86_64).unwrap());
+        deployments.insert(
+            az.clone(),
+            world
+                .engine
+                .deploy(world.aws, az, 2048, Arch::X86_64)
+                .unwrap(),
+        );
     }
-    let table =
-        profile_workload(&mut world.engine, deployments[&single_zone], kind, scale.pick(900, 200));
+    let table = profile_workload(
+        &mut world.engine,
+        deployments[&single_zone],
+        kind,
+        scale.pick(900, 200),
+    );
     world.engine.advance_by(SimDuration::from_mins(30));
 
     let mut out = Table::new(
         format!("Availability: outage injected in {single_zone} on day {outage_day}"),
-        &["day", "single-zone ok %", "sky ok %", "sky chose", "probe failure %"],
+        &[
+            "day",
+            "single-zone ok %",
+            "sky ok %",
+            "sky chose",
+            "probe failure %",
+        ],
     );
     let start = world.engine.now();
     let mut single_total = (0usize, 0usize); // (completed, issued)
@@ -51,7 +66,9 @@ fn main() {
             .engine
             .advance_to(start + SimDuration::from_days(day as u64) + SimDuration::from_hours(1));
         if day == outage_day {
-            world.engine.inject_outage(&single_zone, SimDuration::from_hours(20));
+            world
+                .engine
+                .inject_outage(&single_zone, SimDuration::from_hours(20));
         }
         // Daily probes (health + characterization).
         let mut store = CharacterizationStore::new();
@@ -61,7 +78,10 @@ fn main() {
                 &mut world.engine,
                 world.aws,
                 az,
-                CampaignConfig { deployments: 3, ..Default::default() },
+                CampaignConfig {
+                    deployments: 3,
+                    ..Default::default()
+                },
             )
             .unwrap();
             let at = world.engine.now();
@@ -83,7 +103,9 @@ fn main() {
             &mut world.engine,
             kind,
             burst,
-            &RoutingPolicy::Baseline { az: single_zone.clone() },
+            &RoutingPolicy::Baseline {
+                az: single_zone.clone(),
+            },
             |az| deployments.get(az).copied(),
         );
         world.engine.advance_by(SimDuration::from_mins(15));
@@ -91,7 +113,10 @@ fn main() {
             &mut world.engine,
             kind,
             burst,
-            &RoutingPolicy::Hybrid { candidates: candidates.clone(), mode: RetryMode::RetrySlow },
+            &RoutingPolicy::Hybrid {
+                candidates: candidates.clone(),
+                mode: RetryMode::RetrySlow,
+            },
             |az| deployments.get(az).copied(),
         );
         single_total.0 += single.completed;

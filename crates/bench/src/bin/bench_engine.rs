@@ -1,0 +1,159 @@
+//! **Engine throughput benchmark** — writes `BENCH_engine.json` at the
+//! repo root.
+//!
+//! Two measurements:
+//!
+//! 1. *Hot path*: wall time and events/second for `run_batch` over 1k
+//!    and 10k sleep probes (the infrastructure-sampling request mix) in
+//!    a fresh seeded world, using [`FaasEngine::events_processed`].
+//! 2. *Sweep speedup*: wall time of sibling multi-cell experiment
+//!    binaries at `--jobs 1` vs `--jobs max(4, cores)` under
+//!    `SKY_SCALE=quick`, asserting the two runs' stdout is
+//!    byte-identical. (On a single-core host the speedup is honestly
+//!    ~1.0×; the `host_cores` field records the conditions.)
+
+use std::time::Instant;
+
+use sky_bench::{World, WORLD_SEED};
+use sky_core::cloud::Arch;
+use sky_core::faas::{BatchRequest, RequestBody};
+use sky_core::sim::{SimDuration, SimRng};
+
+struct BatchRun {
+    requests: usize,
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    completed: usize,
+}
+
+/// Time one `run_batch` of `n` sleep probes in a fresh world; best of
+/// `iters` runs.
+fn bench_run_batch(n: usize, iters: usize) -> BatchRun {
+    let mut best: Option<BatchRun> = None;
+    for _ in 0..iters {
+        let mut world = World::new(WORLD_SEED);
+        let az = World::az("us-west-1b");
+        let dep = world
+            .engine
+            .deploy(world.aws, &az, 2048, Arch::X86_64)
+            .expect("deploys");
+        let mut rng = SimRng::seed_from(WORLD_SEED).derive("bench-engine");
+        let requests: Vec<BatchRequest> = (0..n)
+            .map(|_| BatchRequest {
+                deployment: dep,
+                offset: SimDuration::from_micros(rng.next_below(5_000_000)),
+                body: RequestBody::Sleep {
+                    duration: SimDuration::from_millis(200),
+                },
+            })
+            .collect();
+        let events_before = world.engine.events_processed();
+        let start = Instant::now();
+        let outcomes = world.engine.run_batch(requests);
+        let wall = start.elapsed().as_secs_f64();
+        let events = world.engine.events_processed() - events_before;
+        let run = BatchRun {
+            requests: n,
+            wall_ms: wall * 1_000.0,
+            events,
+            events_per_sec: events as f64 / wall,
+            completed: outcomes.iter().filter(|o| o.status.is_success()).count(),
+        };
+        if best
+            .as_ref()
+            .map(|b| run.wall_ms < b.wall_ms)
+            .unwrap_or(true)
+        {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one iteration")
+}
+
+/// Run a sibling experiment binary with the given job count, returning
+/// (wall seconds, stdout bytes). The caller's `SKY_SCALE` is passed
+/// through (default `quick`, so the benchmark finishes fast; set
+/// `SKY_SCALE=full` for paper-scale cells where parallelism pays off).
+fn run_sibling(name: &str, jobs: usize) -> Option<(f64, Vec<u8>)> {
+    let exe = std::env::current_exe().ok()?.parent()?.join(name);
+    if !exe.exists() {
+        return None;
+    }
+    let scale = std::env::var("SKY_SCALE").unwrap_or_else(|_| "quick".into());
+    let start = Instant::now();
+    let out = std::process::Command::new(exe)
+        .arg(format!("--jobs={jobs}"))
+        .env("SKY_SCALE", scale)
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Some((start.elapsed().as_secs_f64(), out.stdout))
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let parallel_jobs = cores.max(4);
+
+    eprintln!("run_batch hot path (best of 3)...");
+    let batches: Vec<BatchRun> = [1_000usize, 10_000]
+        .iter()
+        .map(|&n| bench_run_batch(n, 3))
+        .collect();
+    for b in &batches {
+        eprintln!(
+            "  {} requests: {:.1} ms, {} events, {:.0} events/s, {} completed",
+            b.requests, b.wall_ms, b.events, b.events_per_sec, b.completed
+        );
+    }
+
+    let mut sweeps = Vec::new();
+    for name in ["fig5_progressive_sampling", "fig2_global_characterization"] {
+        eprintln!("sweep speedup: {name} --jobs 1 vs --jobs {parallel_jobs} (quick scale)...");
+        let serial = run_sibling(name, 1);
+        let parallel = run_sibling(name, parallel_jobs);
+        match (serial, parallel) {
+            (Some((serial_s, serial_out)), Some((parallel_s, parallel_out))) => {
+                let speedup = serial_s / parallel_s;
+                let identical = serial_out == parallel_out;
+                eprintln!(
+                    "  serial {serial_s:.2}s, parallel {parallel_s:.2}s, speedup {speedup:.2}x, \
+                     identical output: {identical}"
+                );
+                sweeps.push(serde_json::json!({
+                    "binary": name,
+                    "jobs": parallel_jobs,
+                    "serial_ms": serial_s * 1_000.0,
+                    "parallel_ms": parallel_s * 1_000.0,
+                    "speedup": speedup,
+                    "identical_output": identical,
+                }));
+            }
+            _ => eprintln!(
+                "  {name} not found next to this binary — skipped (build the workspace first)"
+            ),
+        }
+    }
+
+    let report = serde_json::json!({
+        "benchmark": "sky-bench engine throughput",
+        "host_cores": cores,
+        "run_batch": batches.iter().map(|b| serde_json::json!({
+            "requests": b.requests,
+            "wall_ms": b.wall_ms,
+            "events": b.events,
+            "events_per_sec": b.events_per_sec,
+            "completed": b.completed,
+        })).collect::<Vec<_>>(),
+        "sweep_speedup": sweeps,
+    });
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    let rendered = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&path, rendered.as_bytes()).expect("write BENCH_engine.json");
+    println!("{rendered}");
+    eprintln!("wrote {}", path.display());
+}

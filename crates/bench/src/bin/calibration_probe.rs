@@ -17,13 +17,23 @@ fn main() {
     let account = engine.create_account(Provider::Aws);
 
     println!("== saturation behaviour per AZ ==");
-    for az_name in ["eu-north-1a", "us-west-1a", "us-west-1b", "eu-central-1a", "us-east-2b"] {
+    for az_name in [
+        "eu-north-1a",
+        "us-west-1a",
+        "us-west-1b",
+        "eu-central-1a",
+        "us-east-2b",
+    ] {
         let az = az_name.parse().unwrap();
         let mut campaign =
             SamplingCampaign::new(&mut engine, account, &az, CampaignConfig::default()).unwrap();
         let result = campaign.run_until_saturation(&mut engine);
         let truth = engine.platform(&az).unwrap().ground_truth_mix();
-        let first_ape = result.polls.first().map(|p| p.mix_after.ape_percent(&truth)).unwrap();
+        let first_ape = result
+            .polls
+            .first()
+            .map(|p| p.mix_after.ape_percent(&truth))
+            .unwrap();
         println!(
             "{az_name}: polls={} sat={} fis={} cost=${:.3} first-poll-APE={:.1}% final-APE-vs-truth={:.1}% p95={:?}",
             result.polls.len(),
@@ -58,7 +68,10 @@ fn main() {
         &mut engine,
         WorkloadKind::Zipper,
         1000,
-        &RoutingPolicy::Retry { az: az.clone(), mode: RetryMode::FocusFastest },
+        &RoutingPolicy::Retry {
+            az: az.clone(),
+            mode: RetryMode::FocusFastest,
+        },
         |_| Some(dep),
     );
     engine.advance_by(SimDuration::from_mins(15));
@@ -66,7 +79,10 @@ fn main() {
         &mut engine,
         WorkloadKind::Zipper,
         1000,
-        &RoutingPolicy::Retry { az: az.clone(), mode: RetryMode::RetrySlow },
+        &RoutingPolicy::Retry {
+            az: az.clone(),
+            mode: RetryMode::RetrySlow,
+        },
         |_| Some(dep),
     );
     let per = |r: &sky_core::BurstReport| r.total_cost_usd() / r.completed.max(1) as f64;
@@ -90,7 +106,13 @@ fn main() {
     }
 
     println!("\n== ground truth mixes (seed {seed}) ==");
-    for az_name in ["us-west-1a", "us-west-1b", "sa-east-1a", "eu-north-1a", "ca-central-1a"] {
+    for az_name in [
+        "us-west-1a",
+        "us-west-1b",
+        "sa-east-1a",
+        "eu-north-1a",
+        "ca-central-1a",
+    ] {
         let az: sky_core::cloud::AzId = az_name.parse().unwrap();
         if let Some(p) = engine.platform(&az) {
             let mix = p.ground_truth_mix();

@@ -24,20 +24,29 @@ fn main() {
     let client = GeoPoint::new(51.5, -0.1); // London
     let home = World::az("eu-west-2a");
     let candidates = vec![
-        World::az("eu-west-2a"),   // near, mixed grid
-        World::az("eu-north-1a"),  // hydro grid
-        World::az("eu-central-1a"),// bigger pool, dirtier grid
-        World::az("sa-east-1a"),   // clean grid, far away
+        World::az("eu-west-2a"),    // near, mixed grid
+        World::az("eu-north-1a"),   // hydro grid
+        World::az("eu-central-1a"), // bigger pool, dirtier grid
+        World::az("sa-east-1a"),    // clean grid, far away
     ];
 
     let mut world = World::new(WORLD_SEED);
     let mut deployments = std::collections::BTreeMap::new();
     for az in &candidates {
-        deployments
-            .insert(az.clone(), world.engine.deploy(world.aws, az, 2048, Arch::X86_64).unwrap());
+        deployments.insert(
+            az.clone(),
+            world
+                .engine
+                .deploy(world.aws, az, 2048, Arch::X86_64)
+                .unwrap(),
+        );
     }
-    let table =
-        profile_workload(&mut world.engine, deployments[&home], kind, scale.pick(900, 200));
+    let table = profile_workload(
+        &mut world.engine,
+        deployments[&home],
+        kind,
+        scale.pick(900, 200),
+    );
     world.engine.advance_by(SimDuration::from_mins(30));
     let mut store = CharacterizationStore::new();
     for az in &candidates {
@@ -45,7 +54,10 @@ fn main() {
             &mut world.engine,
             world.aws,
             az,
-            CampaignConfig { deployments: 4, ..Default::default() },
+            CampaignConfig {
+                deployments: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         let at = world.engine.now();
@@ -64,12 +76,18 @@ fn main() {
         "Candidate grids at the burst hour",
         &["az", "gCO2e/kWh", "rtt ms from London"],
     );
-    let probe_config = RouterConfig { client: Some(client), ..Default::default() };
+    let probe_config = RouterConfig {
+        client: Some(client),
+        ..Default::default()
+    };
     let probe = SmartRouter::new(store.clone(), table.clone(), probe_config);
     for az in &candidates {
         grid.row(&[
             az.to_string(),
-            format!("{:.0}", CarbonModel::intensity(az.region(), world.engine.now())),
+            format!(
+                "{:.0}",
+                CarbonModel::intensity(az.region(), world.engine.now())
+            ),
             format!(
                 "{:.0}",
                 probe
@@ -83,23 +101,52 @@ fn main() {
 
     let mut out = Table::new(
         "Objectives compared (same workload, same candidates)",
-        &["objective", "chosen az", "$ / 1k", "gCO2e / 1k", "rtt ms", "cost vs fixed %"],
+        &[
+            "objective",
+            "chosen az",
+            "$ / 1k",
+            "gCO2e / 1k",
+            "rtt ms",
+            "cost vs fixed %",
+        ],
     );
     let per = |r: &sky_core::BurstReport| r.total_cost_usd() / r.completed.max(1) as f64;
     let gper = |r: &sky_core::BurstReport| 1_000.0 * r.est_gco2e / r.completed.max(1) as f64;
     let policies: Vec<(&str, RoutingPolicy, Option<SimDuration>)> = vec![
-        ("fixed (eu-west-2a)", RoutingPolicy::Baseline { az: home.clone() }, None),
-        ("cheapest (this paper)", RoutingPolicy::Regional { candidates: candidates.clone() }, None),
-        ("greenest ([12])", RoutingPolicy::CarbonAware { candidates: candidates.clone() }, None),
+        (
+            "fixed (eu-west-2a)",
+            RoutingPolicy::Baseline { az: home.clone() },
+            None,
+        ),
+        (
+            "cheapest (this paper)",
+            RoutingPolicy::Regional {
+                candidates: candidates.clone(),
+            },
+            None,
+        ),
+        (
+            "greenest ([12])",
+            RoutingPolicy::CarbonAware {
+                candidates: candidates.clone(),
+            },
+            None,
+        ),
         (
             "greenest, rtt<=60ms",
-            RoutingPolicy::CarbonAware { candidates: candidates.clone() },
+            RoutingPolicy::CarbonAware {
+                candidates: candidates.clone(),
+            },
             Some(SimDuration::from_millis(60)),
         ),
     ];
     let mut base_cost = None;
     for (label, policy, max_rtt) in policies {
-        let config = RouterConfig { client: Some(client), max_rtt, ..Default::default() };
+        let config = RouterConfig {
+            client: Some(client),
+            max_rtt,
+            ..Default::default()
+        };
         let router = SmartRouter::new(store.clone(), table.clone(), config);
         let report = router.run_burst(&mut world.engine, kind, burst, &policy, |az| {
             deployments.get(az).copied()
@@ -112,7 +159,10 @@ fn main() {
             report.az.to_string(),
             format!("{:.4}", 1_000.0 * cost),
             format!("{:.2}", gper(&report)),
-            format!("{:.0}", report.rtt.map(|r| r.as_millis_f64()).unwrap_or(0.0)),
+            format!(
+                "{:.0}",
+                report.rtt.map(|r| r.as_millis_f64()).unwrap_or(0.0)
+            ),
             format!("{:+.1}", -100.0 * savings_fraction(base, cost)),
         ]);
     }

@@ -19,7 +19,10 @@ fn main() {
 
     // One poll.
     let config = CampaignConfig {
-        poll: PollConfig { requests, ..Default::default() },
+        poll: PollConfig {
+            requests,
+            ..Default::default()
+        },
         max_polls: scale.pick(40, 8),
         ..Default::default()
     };
@@ -32,11 +35,17 @@ fn main() {
     let char_polls = campaign.run_polls(&mut world.engine, 5);
     let characterization_cost =
         one_poll.cost_usd + char_polls.iter().map(|p| p.cost_usd).sum::<f64>();
-    ledger.add("6-poll characterization", characterization_cost - one_poll.cost_usd);
+    ledger.add(
+        "6-poll characterization",
+        characterization_cost - one_poll.cost_usd,
+    );
 
     // Full saturation.
     let result = campaign.run_until_saturation(&mut world.engine);
-    ledger.add("saturation remainder", result.total_cost_usd - characterization_cost);
+    ledger.add(
+        "saturation remainder",
+        result.total_cost_usd - characterization_cost,
+    );
 
     // Two-week, five-zone daily characterization campaign at the
     // cost-optimized cadence (6 polls/zone/day).
@@ -51,7 +60,10 @@ fn main() {
                 &mut world.engine,
                 world.aws,
                 &zone,
-                CampaignConfig { deployments: 6, ..config.clone() },
+                CampaignConfig {
+                    deployments: 6,
+                    ..config.clone()
+                },
             )
             .expect("deploys");
             c.run_polls(&mut world.engine, 6);

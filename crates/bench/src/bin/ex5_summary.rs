@@ -5,7 +5,13 @@
 //! function over the campaign window and reports per-function cumulative
 //! savings vs the fixed us-west-1b baseline. The paper reports an average
 //! of 10.03 % ± 3.70 % savings, with graph BFS best at 18.2 %.
+//!
+//! Each workload is an independent sweep cell (its own per-kind seeded
+//! world, as the serial loop already used), so the twelve multi-day
+//! campaigns run in parallel under `--jobs N` and merge deterministically
+//! in Table-1 order.
 
+use sky_bench::sweep::{self, Jobs};
 use sky_bench::{
     cumulative_savings, profile_workload, run_daily_routing, DailyRoutingConfig, Scale, World,
     WORLD_SEED,
@@ -16,8 +22,12 @@ use sky_core::sim::{OnlineStats, SimDuration};
 use sky_core::workloads::WorkloadKind;
 use sky_core::{RetryMode, RoutingPolicy};
 
-fn main() {
-    let scale = Scale::from_env();
+struct KindResult {
+    row: [String; 6],
+    savings: f64,
+}
+
+fn run_kind(kind: WorkloadKind, scale: Scale) -> KindResult {
     let days = scale.pick(14, 2);
     let burst = scale.pick(1_000, 120);
     let baseline = World::az("us-west-1b");
@@ -27,55 +37,78 @@ fn main() {
         World::az("sa-east-1a"),
     ];
 
-    let mut out = Table::new(
-        "EX-5: hybrid (region hop + retry) cumulative savings per workload",
-        &["function", "savings %", "best day %", "hops", "retried %", "sampling $"],
-    );
-    let mut stats = OnlineStats::new();
-    let mut best: Option<(WorkloadKind, f64)> = None;
-    for kind in WorkloadKind::ALL {
-        let mut world = World::new(WORLD_SEED ^ (kind as u64) << 8);
-        let dep = world
-            .engine
-            .deploy(world.aws, &baseline, 2048, Arch::X86_64)
-            .expect("deploys");
-        let table = profile_workload(&mut world.engine, dep, kind, scale.pick(1_000, 150));
-        world.engine.advance_by(SimDuration::from_mins(30));
-        let config = DailyRoutingConfig {
-            kind,
-            days,
-            burst,
-            baseline_az: baseline.clone(),
-            policy: RoutingPolicy::Hybrid {
-                candidates: candidates.clone(),
-                mode: RetryMode::RetrySlow,
-            },
-            sampled_azs: candidates.clone(),
-            polls_per_day: 4,
-        };
-        let outcomes = run_daily_routing(&mut world, &table, &config);
-        let savings = cumulative_savings(&outcomes);
-        stats.push(savings * 100.0);
-        if best.map(|(_, s)| savings > s).unwrap_or(true) {
-            best = Some((kind, savings));
-        }
-        let best_day =
-            outcomes.iter().map(|o| o.savings()).fold(f64::NEG_INFINITY, f64::max);
-        let hops = outcomes.iter().filter(|o| o.az != baseline).count();
-        let retried: f64 = outcomes
-            .iter()
-            .map(|o| o.optimized.retried_fraction())
-            .sum::<f64>()
-            / outcomes.len() as f64;
-        let sampling: f64 = outcomes.iter().map(|o| o.sampling_cost_usd).sum();
-        out.row(&[
+    let mut world = World::new(WORLD_SEED ^ (kind as u64) << 8);
+    let dep = world
+        .engine
+        .deploy(world.aws, &baseline, 2048, Arch::X86_64)
+        .expect("deploys");
+    let table = profile_workload(&mut world.engine, dep, kind, scale.pick(1_000, 150));
+    world.engine.advance_by(SimDuration::from_mins(30));
+    let config = DailyRoutingConfig {
+        kind,
+        days,
+        burst,
+        baseline_az: baseline.clone(),
+        policy: RoutingPolicy::Hybrid {
+            candidates: candidates.clone(),
+            mode: RetryMode::RetrySlow,
+        },
+        sampled_azs: candidates,
+        polls_per_day: 4,
+    };
+    let outcomes = run_daily_routing(&mut world, &table, &config);
+    let savings = cumulative_savings(&outcomes);
+    let best_day = outcomes
+        .iter()
+        .map(|o| o.savings())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let hops = outcomes.iter().filter(|o| o.az != baseline).count();
+    let retried: f64 = outcomes
+        .iter()
+        .map(|o| o.optimized.retried_fraction())
+        .sum::<f64>()
+        / outcomes.len() as f64;
+    let sampling: f64 = outcomes.iter().map(|o| o.sampling_cost_usd).sum();
+    KindResult {
+        row: [
             kind.name().to_string(),
             format!("{:.1}", savings * 100.0),
             format!("{:.1}", best_day * 100.0),
             format!("{hops}/{days}"),
             format!("{:.0}", retried * 100.0),
             format!("{sampling:.2}"),
-        ]);
+        ],
+        savings,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let jobs = Jobs::from_env();
+
+    let results = sweep::run(WorkloadKind::ALL.to_vec(), jobs, |_, &kind| {
+        run_kind(kind, scale)
+    });
+
+    let mut out = Table::new(
+        "EX-5: hybrid (region hop + retry) cumulative savings per workload",
+        &[
+            "function",
+            "savings %",
+            "best day %",
+            "hops",
+            "retried %",
+            "sampling $",
+        ],
+    );
+    let mut stats = OnlineStats::new();
+    let mut best: Option<(WorkloadKind, f64)> = None;
+    for (kind, r) in WorkloadKind::ALL.iter().zip(&results) {
+        stats.push(r.savings * 100.0);
+        if best.map(|(_, s)| r.savings > s).unwrap_or(true) {
+            best = Some((*kind, r.savings));
+        }
+        out.row(&r.row);
     }
     println!("{}", out.render());
     let (best_kind, best_savings) = best.expect("twelve workloads ran");

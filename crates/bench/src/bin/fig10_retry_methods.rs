@@ -41,7 +41,10 @@ fn main() {
             days,
             burst,
             baseline_az: az.clone(),
-            policy: RoutingPolicy::Retry { az: az.clone(), mode: mode.clone() },
+            policy: RoutingPolicy::Retry {
+                az: az.clone(),
+                mode,
+            },
             sampled_azs: vec![az.clone()],
             polls_per_day: 4,
         };

@@ -53,7 +53,14 @@ fn main() {
 
     let mut out = Table::new(
         "Figure 11: logistic regression, hybrid (region hop + retry) vs us-west-1b",
-        &["day", "chosen az", "base $/1k", "hybrid $/1k", "savings %", "sampling $"],
+        &[
+            "day",
+            "chosen az",
+            "base $/1k",
+            "hybrid $/1k",
+            "savings %",
+            "sampling $",
+        ],
     );
     let per_k =
         |r: &sky_core::BurstReport| 1_000.0 * r.total_cost_usd() / r.completed.max(1) as f64;
@@ -69,7 +76,10 @@ fn main() {
     }
     println!("{}", out.render());
 
-    let best_day = outcomes.iter().map(|o| o.savings()).fold(f64::NEG_INFINITY, f64::max);
+    let best_day = outcomes
+        .iter()
+        .map(|o| o.savings())
+        .fold(f64::NEG_INFINITY, f64::max);
     let sampling_total: f64 = outcomes.iter().map(|o| o.sampling_cost_usd).sum();
     let hops = outcomes.iter().filter(|o| o.az != baseline).count();
     println!(

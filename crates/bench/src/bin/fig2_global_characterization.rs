@@ -5,85 +5,116 @@
 //! prints each region's observed CPU distribution, plus the paper's
 //! qualitative findings (EPYC rarity, il-central-1, af-south-1,
 //! us-west-2, IBM/DO homogeneity).
+//!
+//! Each region is an independent sweep cell (its own seeded world), so
+//! the 41 campaigns run in parallel under `--jobs N` / `SKY_JOBS` and
+//! merge deterministically in catalog order.
 
+use sky_bench::sweep::{self, Jobs};
 use sky_bench::{Scale, World, WORLD_SEED};
-use sky_core::cloud::{CpuType, Provider};
+use sky_core::cloud::{CpuType, Provider, RegionId};
 use sky_core::sim::series::Table;
-use sky_core::sim::SimDuration;
 use sky_core::{CampaignConfig, PollConfig, SamplingCampaign};
 
-fn main() {
-    let scale = Scale::from_env();
+struct RegionRow {
+    provider: Provider,
+    region: String,
+    fis: u64,
+    shares: String,
+    epyc_share: f64,
+}
+
+fn characterize_region(region: &RegionId, provider: Provider, scale: Scale) -> RegionRow {
     let polls_per_az = scale.pick(4, 1);
     let requests = scale.pick(1_000, 300);
     let mut world = World::new(WORLD_SEED);
-
-    let mut accounts = std::collections::BTreeMap::new();
-    accounts.insert(Provider::Aws, world.aws);
-    for provider in [Provider::Ibm, Provider::DigitalOcean] {
-        accounts.insert(provider, world.engine.create_account(provider));
+    let account = match provider {
+        Provider::Aws => world.aws,
+        _ => world.engine.create_account(provider),
+    };
+    // Sample the region's first AZ (the paper aggregates per region).
+    let az = world
+        .engine
+        .catalog()
+        .azs_in_region(region)
+        .next()
+        .expect("every region has an AZ")
+        .id
+        .clone();
+    // IBM/DO platforms have smaller quotas; cap the poll size.
+    let az_requests = match provider {
+        Provider::Aws => requests,
+        Provider::Ibm => 200,
+        Provider::DigitalOcean => 100,
+    };
+    let config = CampaignConfig {
+        deployments: polls_per_az.max(2),
+        memory_base_mb: match provider {
+            Provider::Aws => 2_038,
+            Provider::Ibm => 2_048,
+            Provider::DigitalOcean => 512,
+        },
+        poll: PollConfig {
+            requests: az_requests,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    // IBM/DO only offer fixed memory menus: all deployments share one
+    // setting there.
+    let config = match provider {
+        Provider::Aws => config,
+        _ => CampaignConfig {
+            deployments: 2,
+            memory_base_mb: config.memory_base_mb,
+            ..config
+        },
+    };
+    let mut campaign =
+        SamplingCampaign::new(&mut world.engine, account, &az, config).expect("deploys");
+    campaign.run_polls(&mut world.engine, polls_per_az);
+    let mix = campaign.characterization().to_mix();
+    let shares: Vec<String> = mix
+        .iter()
+        .map(|(cpu, share)| format!("{}:{:.0}%", cpu.short_label(), share * 100.0))
+        .collect();
+    RegionRow {
+        provider,
+        region: region.to_string(),
+        fis: campaign.characterization().unique_fis(),
+        shares: shares.join(" "),
+        epyc_share: mix.share(CpuType::AmdEpyc),
     }
+}
 
-    let regions: Vec<(sky_core::cloud::RegionId, Provider)> = world
+fn main() {
+    let scale = Scale::from_env();
+    let jobs = Jobs::from_env();
+
+    let regions: Vec<(RegionId, Provider)> = World::new(WORLD_SEED)
         .engine
         .catalog()
         .regions()
         .map(|r| (r.id.clone(), r.provider))
         .collect();
 
+    let rows = sweep::run(regions, jobs, |_, (region, provider)| {
+        characterize_region(region, *provider, scale)
+    });
+
     let mut table = Table::new(
         "Figure 2: CPU distribution per region (share of sampled FIs)",
         &["provider", "region", "FIs", "distribution"],
     );
     let mut epyc_by_region: Vec<(String, f64)> = Vec::new();
-    for (region, provider) in regions {
-        // Sample the region's first AZ (the paper aggregates per region).
-        let az = world
-            .engine
-            .catalog()
-            .azs_in_region(&region)
-            .next()
-            .expect("every region has an AZ")
-            .id
-            .clone();
-        // IBM/DO platforms have smaller quotas; cap the poll size.
-        let az_requests = match provider {
-            Provider::Aws => requests,
-            Provider::Ibm => 200,
-            Provider::DigitalOcean => 100,
-        };
-        let config = CampaignConfig {
-            deployments: polls_per_az.max(2),
-            memory_base_mb: match provider {
-                Provider::Aws => 2_038,
-                Provider::Ibm => 2_048,
-                Provider::DigitalOcean => 512,
-            },
-            poll: PollConfig { requests: az_requests, ..Default::default() },
-            ..Default::default()
-        };
-        // IBM/DO only offer fixed memory menus: all deployments share one
-        // setting there.
-        let config = match provider {
-            Provider::Aws => config,
-            _ => CampaignConfig { deployments: 2, memory_base_mb: config.memory_base_mb, ..config },
-        };
-        let mut campaign = SamplingCampaign::new(&mut world.engine, accounts[&provider], &az, config)
-            .expect("deploys");
-        campaign.run_polls(&mut world.engine, polls_per_az);
-        let mix = campaign.characterization().to_mix();
-        let shares: Vec<String> = mix
-            .iter()
-            .map(|(cpu, share)| format!("{}:{:.0}%", cpu.short_label(), share * 100.0))
-            .collect();
-        epyc_by_region.push((region.to_string(), mix.share(CpuType::AmdEpyc)));
+    for row in &rows {
+        epyc_by_region.push((row.region.clone(), row.epyc_share));
         table.row(&[
-            format!("{provider:?}"),
-            region.to_string(),
-            campaign.characterization().unique_fis().to_string(),
-            shares.join(" "),
+            format!("{:?}", row.provider),
+            row.region.clone(),
+            row.fis.to_string(),
+            row.shares.clone(),
         ]);
-        world.engine.advance_by(SimDuration::from_mins(12));
     }
     println!("{}", table.render());
 

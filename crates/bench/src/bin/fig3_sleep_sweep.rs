@@ -18,7 +18,13 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 3: unique FIs and cost per poll vs sleep interval and memory",
-        &["memory MB", "sleep ms", "unique FIs", "coverage %", "poll cost"],
+        &[
+            "memory MB",
+            "sleep ms",
+            "unique FIs",
+            "coverage %",
+            "poll cost",
+        ],
     );
     for &memory in memories_mb {
         let mut world = World::new(WORLD_SEED ^ memory as u64);
@@ -41,7 +47,10 @@ fn main() {
                 memory.to_string(),
                 sleep.to_string(),
                 stats.unique_fis.to_string(),
-                format!("{:.1}", 100.0 * stats.unique_fis as f64 / stats.requests as f64),
+                format!(
+                    "{:.1}",
+                    100.0 * stats.unique_fis as f64 / stats.requests as f64
+                ),
                 fmt_usd(stats.cost_usd),
             ]);
             // Let the zone drain before the next configuration.

@@ -22,7 +22,10 @@ fn main() {
     let az = World::az(scale.pick("us-west-1a", "eu-north-1a"));
 
     let config = CampaignConfig {
-        poll: PollConfig { requests, ..Default::default() },
+        poll: PollConfig {
+            requests,
+            ..Default::default()
+        },
         max_polls: scale.pick(40, 15),
         ..Default::default()
     };

@@ -15,13 +15,19 @@ use sky_core::{run_temporal_campaign, CampaignConfig, PollConfig, TemporalConfig
 
 fn main() {
     let scale = Scale::from_env();
-    let mut engine = FaasEngine::new(Catalog::paper_world(WORLD_SEED), FleetConfig::new(WORLD_SEED));
+    let mut engine = FaasEngine::new(
+        Catalog::paper_world(WORLD_SEED),
+        FleetConfig::new(WORLD_SEED),
+    );
     let account = engine.create_account(Provider::Aws);
     let config = TemporalConfig {
         observations: scale.pick(14, 3),
         cadence: SimDuration::from_hours(22),
         campaign: CampaignConfig {
-            poll: PollConfig { requests: scale.pick(1_000, 300), ..Default::default() },
+            poll: PollConfig {
+                requests: scale.pick(1_000, 300),
+                ..Default::default()
+            },
             max_polls: scale.pick(60, 10),
             ..Default::default()
         },
@@ -33,7 +39,17 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 6: polls needed per day to reach 95% characterization accuracy",
-        &["az", "day", "hour", "polls to failure", "FIs", "p85", "p90", "p95", "p99"],
+        &[
+            "az",
+            "day",
+            "hour",
+            "polls to failure",
+            "FIs",
+            "p85",
+            "p90",
+            "p95",
+            "p99",
+        ],
     );
     for r in &result.records {
         let fmt = |o: Option<usize>| o.map(|p| p.to_string()).unwrap_or_else(|| "-".into());

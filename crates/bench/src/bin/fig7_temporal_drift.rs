@@ -17,14 +17,20 @@ use sky_core::{run_temporal_campaign, CampaignConfig, PollConfig, TemporalConfig
 
 fn main() {
     let scale = Scale::from_env();
-    let mut engine = FaasEngine::new(Catalog::paper_world(WORLD_SEED), FleetConfig::new(WORLD_SEED));
+    let mut engine = FaasEngine::new(
+        Catalog::paper_world(WORLD_SEED),
+        FleetConfig::new(WORLD_SEED),
+    );
     let account = engine.create_account(Provider::Aws);
     let days = scale.pick(14, 4);
     let config = TemporalConfig {
         observations: days,
         cadence: SimDuration::from_hours(22),
         campaign: CampaignConfig {
-            poll: PollConfig { requests: scale.pick(1_000, 300), ..Default::default() },
+            poll: PollConfig {
+                requests: scale.pick(1_000, 300),
+                ..Default::default()
+            },
             max_polls: scale.pick(60, 10),
             ..Default::default()
         },
@@ -41,8 +47,7 @@ fn main() {
         "Figure 7: APE vs day-1 characterization (percent)",
         &header_refs,
     );
-    let drifts: Vec<Vec<(f64, f64)>> =
-        zones.iter().map(|z| result.drift_series(z)).collect();
+    let drifts: Vec<Vec<(f64, f64)>> = zones.iter().map(|z| result.drift_series(z)).collect();
     for day in 0..days as usize {
         let mut row = vec![day.to_string()];
         for drift in &drifts {
@@ -59,7 +64,13 @@ fn main() {
 
     let mut classes = Table::new(
         "Derived stability classification (drives adaptive sampling cadence)",
-        &["az", "max step APE %", "max drift vs day 1 %", "class", "re-sample every"],
+        &[
+            "az",
+            "max step APE %",
+            "max drift vs day 1 %",
+            "class",
+            "re-sample every",
+        ],
     );
     for z in &zones {
         let step = result.store.max_step_ape(z).unwrap_or(0.0);

@@ -5,16 +5,19 @@
 //! paper finds 22 of 24 hours within 10 % of the baseline.
 
 use sky_bench::{Scale, World, WORLD_SEED};
+use sky_core::cloud::Catalog;
 use sky_core::cloud::{CpuType, Provider};
 use sky_core::faas::{FaasEngine, FleetConfig};
 use sky_core::sim::series::Table;
 use sky_core::sim::SimDuration;
 use sky_core::{run_temporal_campaign, CampaignConfig, PollConfig, TemporalConfig};
-use sky_core::cloud::Catalog;
 
 fn main() {
     let scale = Scale::from_env();
-    let mut engine = FaasEngine::new(Catalog::paper_world(WORLD_SEED), FleetConfig::new(WORLD_SEED));
+    let mut engine = FaasEngine::new(
+        Catalog::paper_world(WORLD_SEED),
+        FleetConfig::new(WORLD_SEED),
+    );
     let account = engine.create_account(Provider::Aws);
     let az = World::az("us-west-1b");
     let hours = scale.pick(24, 6);
@@ -22,7 +25,10 @@ fn main() {
         observations: hours,
         cadence: SimDuration::from_hours(1),
         campaign: CampaignConfig {
-            poll: PollConfig { requests: scale.pick(1_000, 300), ..Default::default() },
+            poll: PollConfig {
+                requests: scale.pick(1_000, 300),
+                ..Default::default()
+            },
             max_polls: scale.pick(12, 6),
             ..Default::default()
         },
@@ -33,9 +39,21 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 8: hourly CPU distribution and APE vs first hour (us-west-1b)",
-        &["hour", "2.5GHz %", "2.9GHz %", "3.0GHz %", "EPYC %", "APE vs h0 %"],
+        &[
+            "hour",
+            "2.5GHz %",
+            "2.9GHz %",
+            "3.0GHz %",
+            "EPYC %",
+            "APE vs h0 %",
+        ],
     );
-    let baseline = result.records.first().expect("at least one record").mix.clone();
+    let baseline = result
+        .records
+        .first()
+        .expect("at least one record")
+        .mix
+        .clone();
     let mut within_10 = 0u32;
     for r in &result.records {
         let ape = r.mix.ape_percent(&baseline);

@@ -7,16 +7,19 @@
 //! hierarchy: 3.0 GHz 5–15 % faster; 2.9 GHz 15–30 % slower; EPYC
 //! slowest (up to 50 % for logistic_regression/math_service) with the
 //! disk_writer exception where EPYC slightly beats the baseline.
+//!
+//! Each workload is an independent sweep cell (its own seeded world and
+//! deployment), so the twelve profiling campaigns run in parallel under
+//! `--jobs N` and merge deterministically in Table-1 order.
 
+use sky_bench::sweep::{self, Jobs};
 use sky_bench::{Scale, World, WORLD_SEED};
 use sky_core::cloud::{Arch, CpuType};
 use sky_core::sim::series::Table;
-use sky_core::sim::SimDuration;
 use sky_core::workloads::WorkloadKind;
 use sky_core::WorkloadProfiler;
 
-fn main() {
-    let scale = Scale::from_env();
+fn profile_kind(kind: WorkloadKind, scale: Scale) -> [String; 6] {
     let runs = scale.pick(2_000, 200);
     let mut world = World::new(WORLD_SEED);
     let az = World::az("us-west-1b"); // all four CPU types present
@@ -26,34 +29,52 @@ fn main() {
         .expect("deploys");
 
     let mut profiler = WorkloadProfiler::new();
-    for kind in WorkloadKind::ALL {
-        profiler.profile(&mut world.engine, dep, kind, runs, 250, WORLD_SEED ^ kind as u64);
-        world.engine.advance_by(SimDuration::from_mins(12));
-    }
+    profiler.profile(
+        &mut world.engine,
+        dep,
+        kind,
+        runs,
+        250,
+        WORLD_SEED ^ kind as u64,
+    );
     let table = profiler.table();
+
+    let cell = |cpu: CpuType| -> String {
+        table
+            .normalized(kind, CpuType::IntelXeon2_5)
+            .iter()
+            .find(|&&(c, _)| c == cpu)
+            .map(|&(_, f)| format!("{f:.2}"))
+            .unwrap_or_else(|| "-".into())
+    };
+    let total: u64 = CpuType::AWS_X86
+        .iter()
+        .map(|&c| table.samples(kind, c))
+        .sum();
+    [
+        kind.name().to_string(),
+        cell(CpuType::IntelXeon2_5),
+        cell(CpuType::IntelXeon2_9),
+        cell(CpuType::IntelXeon3_0),
+        cell(CpuType::AmdEpyc),
+        total.to_string(),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let jobs = Jobs::from_env();
+
+    let rows = sweep::run(WorkloadKind::ALL.to_vec(), jobs, |_, &kind| {
+        profile_kind(kind, scale)
+    });
 
     let mut out = Table::new(
         "Figure 9: runtime normalized to the 2.5GHz Xeon (values > 1 are slower)",
         &["function", "2.5GHz", "2.9GHz", "3.0GHz", "EPYC", "samples"],
     );
-    for kind in WorkloadKind::ALL {
-        let cell = |cpu: CpuType| -> String {
-            table
-                .normalized(kind, CpuType::IntelXeon2_5)
-                .iter()
-                .find(|&&(c, _)| c == cpu)
-                .map(|&(_, f)| format!("{f:.2}"))
-                .unwrap_or_else(|| "-".into())
-        };
-        let total: u64 = CpuType::AWS_X86.iter().map(|&c| table.samples(kind, c)).sum();
-        out.row(&[
-            kind.name().to_string(),
-            cell(CpuType::IntelXeon2_5),
-            cell(CpuType::IntelXeon2_9),
-            cell(CpuType::IntelXeon3_0),
-            cell(CpuType::AmdEpyc),
-            total.to_string(),
-        ]);
+    for row in &rows {
+        out.row(row);
     }
     println!("{}", out.render());
     println!("Paper: 3.0GHz fastest (5-15% gains), 2.9GHz 15-30% slower, EPYC slowest");

@@ -34,10 +34,20 @@ fn main() {
     let mut world = World::new(WORLD_SEED);
     let mut deployments = std::collections::BTreeMap::new();
     for az in &candidates {
-        deployments
-            .insert(az.clone(), world.engine.deploy(world.aws, az, 2048, Arch::X86_64).unwrap());
+        deployments.insert(
+            az.clone(),
+            world
+                .engine
+                .deploy(world.aws, az, 2048, Arch::X86_64)
+                .unwrap(),
+        );
     }
-    let table = profile_workload(&mut world.engine, deployments[&home], kind, scale.pick(1_200, 300));
+    let table = profile_workload(
+        &mut world.engine,
+        deployments[&home],
+        kind,
+        scale.pick(1_200, 300),
+    );
     world.engine.advance_by(SimDuration::from_mins(30));
 
     // Characterize all candidates.
@@ -47,7 +57,10 @@ fn main() {
             &mut world.engine,
             world.aws,
             az,
-            CampaignConfig { deployments: 5, ..Default::default() },
+            CampaignConfig {
+                deployments: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
         let at = world.engine.now();
@@ -62,15 +75,18 @@ fn main() {
     }
 
     // Per-zone economics: billable cost vs (unbilled) RTT.
-    let base_config = RouterConfig { client: Some(client), ..Default::default() };
+    let base_config = RouterConfig {
+        client: Some(client),
+        ..Default::default()
+    };
     let probe = SmartRouter::new(store.clone(), table.clone(), base_config);
     let per = |r: &sky_core::BurstReport| r.total_cost_usd() / r.completed.max(1) as f64;
     // Placement clusters bursts onto few hosts, so single-burst costs are
     // noisy: average three bursts per measurement.
     let run_avg = |world: &mut World,
-                       router: &SmartRouter,
-                       policy: &RoutingPolicy,
-                       deployments: &std::collections::BTreeMap<_, _>|
+                   router: &SmartRouter,
+                   policy: &RoutingPolicy,
+                   deployments: &std::collections::BTreeMap<_, _>|
      -> (f64, sky_core::BurstReport) {
         let mut total = 0.0;
         let mut last = None;
@@ -104,7 +120,10 @@ fn main() {
         );
         zones.row(&[
             az.to_string(),
-            format!("{:.0}", report.rtt.map(|r| r.as_millis_f64()).unwrap_or(0.0)),
+            format!(
+                "{:.0}",
+                report.rtt.map(|r| r.as_millis_f64()).unwrap_or(0.0)
+            ),
             format!("{:+.1}", -100.0 * savings_fraction(base_cost, cost)),
         ]);
     }
@@ -125,13 +144,22 @@ fn main() {
         let (cost, report) = run_avg(
             &mut world,
             &router,
-            &RoutingPolicy::Regional { candidates: candidates.clone() },
+            &RoutingPolicy::Regional {
+                candidates: candidates.clone(),
+            },
             &deployments,
         );
         bounds.row(&[
-            if bound_ms == u64::MAX { "none".into() } else { format!("{bound_ms}ms") },
+            if bound_ms == u64::MAX {
+                "none".into()
+            } else {
+                format!("{bound_ms}ms")
+            },
             report.az.to_string(),
-            format!("{:.0}", report.rtt.map(|r| r.as_millis_f64()).unwrap_or(0.0)),
+            format!(
+                "{:.0}",
+                report.rtt.map(|r| r.as_millis_f64()).unwrap_or(0.0)
+            ),
             format!("{:+.1}", 100.0 * savings_fraction(base_cost, cost)),
         ]);
     }

@@ -11,7 +11,14 @@ use std::time::Instant;
 fn main() {
     let mut table = Table::new(
         "Table 1: serverless workload suite (kernels executed for real)",
-        &["function", "vCPUs", "checksum", "work units", "host ms", "description"],
+        &[
+            "function",
+            "vCPUs",
+            "checksum",
+            "work units",
+            "host ms",
+            "description",
+        ],
     );
     for kind in WorkloadKind::ALL {
         let mut fs = EphemeralFs::new();

@@ -8,6 +8,8 @@
 //! Binaries honour the `SKY_SCALE` environment variable (`full`, the
 //! default, or `quick` for a fast smoke run at reduced sample counts).
 
+pub mod sweep;
+
 use sky_core::cloud::{AzId, Catalog, Provider};
 use sky_core::faas::{AccountId, DeploymentId, FaasEngine, FleetConfig};
 use sky_core::sim::SimDuration;
@@ -72,10 +74,16 @@ impl World {
 
 /// The five EX-4 zones.
 pub fn ex4_zones() -> Vec<AzId> {
-    ["us-west-1a", "us-west-1b", "sa-east-1a", "eu-north-1a", "ca-central-1a"]
-        .iter()
-        .map(|s| World::az(s))
-        .collect()
+    [
+        "us-west-1a",
+        "us-west-1b",
+        "sa-east-1a",
+        "eu-north-1a",
+        "ca-central-1a",
+    ]
+    .iter()
+    .map(|s| World::az(s))
+    .collect()
 }
 
 /// The eleven EX-3 zones.
@@ -106,7 +114,14 @@ pub fn profile_workload(
     runs: usize,
 ) -> RuntimeTable {
     let mut profiler = WorkloadProfiler::new();
-    profiler.profile(engine, deployment, kind, runs, 200, WORLD_SEED ^ kind as u64);
+    profiler.profile(
+        engine,
+        deployment,
+        kind,
+        runs,
+        200,
+        WORLD_SEED ^ kind as u64,
+    );
     profiler.into_table()
 }
 
@@ -181,8 +196,7 @@ pub fn run_daily_routing(
     let start = engine.now();
     let mut outcomes = Vec::new();
     for day in 0..config.days {
-        engine
-            .advance_to(start + SimDuration::from_days(day as u64) + SimDuration::from_hours(1));
+        engine.advance_to(start + SimDuration::from_days(day as u64) + SimDuration::from_hours(1));
         // Characterization refresh.
         let mut sampling_cost = 0.0;
         for az in &config.sampled_azs {
@@ -190,7 +204,10 @@ pub fn run_daily_routing(
                 engine,
                 world.aws,
                 az,
-                CampaignConfig { deployments: config.polls_per_day.max(2), ..Default::default() },
+                CampaignConfig {
+                    deployments: config.polls_per_day.max(2),
+                    ..Default::default()
+                },
             )
             .expect("campaign deploys");
             let at = engine.now();
@@ -210,7 +227,9 @@ pub fn run_daily_routing(
             engine,
             config.kind,
             config.burst,
-            &RoutingPolicy::Baseline { az: config.baseline_az.clone() },
+            &RoutingPolicy::Baseline {
+                az: config.baseline_az.clone(),
+            },
             |az| deployments.get(az).copied(),
         );
         engine.advance_by(SimDuration::from_mins(15));

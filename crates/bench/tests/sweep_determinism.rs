@@ -1,0 +1,44 @@
+//! The sweep runner's core guarantee, end to end: a multi-cell
+//! experiment binary produces byte-identical stdout at any job count.
+
+use std::process::Command;
+
+fn stdout_with_jobs(exe: &str, jobs: usize) -> Vec<u8> {
+    let out = Command::new(exe)
+        .arg(format!("--jobs={jobs}"))
+        .env("SKY_SCALE", "quick")
+        .output()
+        .expect("experiment binary runs");
+    assert!(
+        out.status.success(),
+        "{exe} --jobs={jobs} failed: {:?}",
+        out.status
+    );
+    out.stdout
+}
+
+#[test]
+fn fig5_parallel_output_is_byte_identical_to_serial() {
+    let exe = env!("CARGO_BIN_EXE_fig5_progressive_sampling");
+    let serial = stdout_with_jobs(exe, 1);
+    assert!(!serial.is_empty(), "fig5 printed nothing");
+    for jobs in [2, 4] {
+        assert_eq!(
+            serial,
+            stdout_with_jobs(exe, jobs),
+            "fig5 output differs between --jobs=1 and --jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn ablation_parallel_output_is_byte_identical_to_serial() {
+    let exe = env!("CARGO_BIN_EXE_ablation_staleness");
+    let serial = stdout_with_jobs(exe, 1);
+    assert!(!serial.is_empty(), "ablation_staleness printed nothing");
+    assert_eq!(
+        serial,
+        stdout_with_jobs(exe, 4),
+        "ablation_staleness output differs between --jobs=1 and --jobs=4"
+    );
+}

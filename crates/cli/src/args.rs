@@ -32,7 +32,11 @@ impl std::fmt::Display for ArgsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArgsError::MissingValue(flag) => write!(f, "--{flag} requires a value"),
-            ArgsError::BadValue { flag, value, expected } => {
+            ArgsError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag}={value:?} is not a valid {expected}")
             }
         }
@@ -96,7 +100,12 @@ impl Args {
     pub fn flag_list(&self, name: &str) -> Vec<String> {
         self.flags
             .get(name)
-            .map(|v| v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect())
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 }
@@ -136,6 +145,9 @@ mod tests {
     #[test]
     fn bad_integer_rejected() {
         let args = parse(&["--polls", "six"]);
-        assert!(matches!(args.flag_u64("polls", 1), Err(ArgsError::BadValue { .. })));
+        assert!(matches!(
+            args.flag_u64("polls", 1),
+            Err(ArgsError::BadValue { .. })
+        ));
     }
 }

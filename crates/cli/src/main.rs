@@ -4,7 +4,7 @@
 //! ```text
 //! skyward world        [--seed N]
 //! skyward workloads
-//! skyward characterize <az> [--polls N] [--seed N] [--json]
+//! skyward characterize <az>[,<az>...] [--polls N] [--jobs N] [--seed N] [--json]
 //! skyward saturate     <az> [--seed N]
 //! skyward profile      <workload> <az> [--runs N] [--seed N]
 //! skyward route        <workload> --baseline <az> [--candidates a,b,c]
@@ -18,11 +18,12 @@
 mod args;
 
 use args::Args;
+use sky_bench::sweep::{self, Jobs};
 use sky_core::cloud::{Arch, AzId, Catalog, CpuType, Provider};
 use sky_core::faas::{FaasEngine, FleetConfig};
 use sky_core::sim::series::Table;
 use sky_core::sim::SimDuration;
-use sky_core::workloads::{WorkloadKind, PerfModel};
+use sky_core::workloads::{PerfModel, WorkloadKind};
 use sky_core::{
     savings_fraction, CampaignConfig, CharacterizationStore, RetryMode, RouterConfig,
     RoutingPolicy, SamplingCampaign, SmartRouter, WorkloadProfiler,
@@ -89,25 +90,32 @@ fn print_help() {
          commands:\n\
          \x20 world        [--seed N]                 list regions and zones\n\
          \x20 workloads                               the Table-1 workload suite\n\
-         \x20 characterize <az> [--polls N]           estimate a zone's CPU mix\n\
+         \x20 characterize <az>[,<az>...] [--polls N] estimate zones' CPU mixes\n\
+         \x20              [--jobs N]                 (zones characterized in parallel)\n\
          \x20 saturate     <az>                       poll a zone to its failure point\n\
          \x20 profile      <workload> <az> [--runs N] per-CPU runtimes for a workload\n\
          \x20 route        <workload> --baseline <az> [--candidates a,b,c]\n\
          \x20              [--policy baseline|regional|retry-slow|focus|hybrid]\n\
          \x20              [--burst N]                compare a policy against the baseline\n\
          \n\
-         global flags: --seed N (default 42), --json on characterize"
+         global flags: --seed N (default 42), --json on characterize,\n\
+         \x20             --jobs N (worker threads for multi-zone characterize;\n\
+         \x20             defaults to SKY_JOBS or the machine's parallelism)"
     );
 }
 
 fn parse_az(name: &str) -> Result<AzId, String> {
-    name.parse().map_err(|_| format!("invalid availability zone {name:?}"))
+    name.parse()
+        .map_err(|_| format!("invalid availability zone {name:?}"))
 }
 
 fn parse_workload(name: &str) -> Result<WorkloadKind, String> {
     WorkloadKind::from_name(name).ok_or_else(|| {
         let names: Vec<&str> = WorkloadKind::ALL.iter().map(|k| k.name()).collect();
-        format!("unknown workload {name:?}; choose one of: {}", names.join(", "))
+        format!(
+            "unknown workload {name:?}; choose one of: {}",
+            names.join(", ")
+        )
     })
 }
 
@@ -154,25 +162,57 @@ fn cmd_workloads() -> Result<(), String> {
 }
 
 fn cmd_characterize(args: &Args, seed: u64) -> Result<(), String> {
-    let az = parse_az(args.positional(1).ok_or("characterize needs an <az>")?)?;
+    let raw = args.positional(1).ok_or("characterize needs an <az>")?;
+    let azs: Vec<AzId> = raw
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| parse_az(s.trim()))
+        .collect::<Result<_, _>>()?;
+    if azs.is_empty() {
+        return Err("characterize needs at least one <az>".into());
+    }
     let polls = args.flag_u64("polls", 6).map_err(|e| e.to_string())? as usize;
+    let json = args.flag("json").is_some();
+    // `Jobs::from_env` also honours `--jobs N` from argv, but routing it
+    // through the parser gives proper errors for bad values.
+    let jobs = match args.flag("jobs") {
+        Some(_) => Jobs::new(args.flag_u64("jobs", 1).map_err(|e| e.to_string())? as usize),
+        None => Jobs::from_env(),
+    };
+
+    // Each zone is an independent sweep cell with its own seeded engine,
+    // so multi-zone characterizations fan out over `--jobs` threads and
+    // print in the order the zones were named.
+    let reports = sweep::run(azs, jobs, |_, az| characterize_zone(az, polls, seed, json));
+    for report in reports {
+        println!("{}", report?);
+    }
+    Ok(())
+}
+
+/// Characterize one zone in a fresh engine and render its report (one
+/// JSON document per zone under `--json`).
+fn characterize_zone(az: &AzId, polls: usize, seed: u64, json: bool) -> Result<String, String> {
     let mut engine = engine_for(seed);
     let spec = engine
         .catalog()
-        .az(&az)
+        .az(az)
         .ok_or_else(|| format!("{az} is not in the catalog (try `skyward world`)"))?;
     let account = engine.create_account(spec.provider);
     let mut campaign = SamplingCampaign::new(
         &mut engine,
         account,
-        &az,
-        CampaignConfig { deployments: polls.max(2), ..Default::default() },
+        az,
+        CampaignConfig {
+            deployments: polls.max(2),
+            ..Default::default()
+        },
     )
     .map_err(|e| e.to_string())?;
     campaign.run_polls(&mut engine, polls);
     let mix = campaign.characterization().to_mix();
-    if args.flag("json").is_some() {
-        let json = serde_json::json!({
+    if json {
+        let value = serde_json::json!({
             "az": az.to_string(),
             "polls": polls,
             "unique_fis": campaign.characterization().unique_fis(),
@@ -181,8 +221,7 @@ fn cmd_characterize(args: &Args, seed: u64) -> Result<(), String> {
                 serde_json::json!({"cpu": cpu.model_name(), "share": share})
             }).collect::<Vec<_>>(),
         });
-        println!("{}", serde_json::to_string_pretty(&json).expect("serializable"));
-        return Ok(());
+        return Ok(serde_json::to_string_pretty(&value).expect("serializable"));
     }
     let mut table = Table::new(
         format!("{az}: CPU characterization after {polls} poll(s)"),
@@ -195,14 +234,13 @@ fn cmd_characterize(args: &Args, seed: u64) -> Result<(), String> {
             cpu.model_name().to_string(),
         ]);
     }
-    println!("{}", table.render());
-    println!(
-        "{} unique FIs from {} reports; spend ${:.4}",
+    Ok(format!(
+        "{}\n{} unique FIs from {} reports; spend ${:.4}",
+        table.render(),
         campaign.characterization().unique_fis(),
         campaign.characterization().reports(),
         campaign.total_cost_usd()
-    );
-    Ok(())
+    ))
 }
 
 fn cmd_saturate(args: &Args, seed: u64) -> Result<(), String> {
@@ -213,9 +251,8 @@ fn cmd_saturate(args: &Args, seed: u64) -> Result<(), String> {
         .az(&az)
         .ok_or_else(|| format!("{az} is not in the catalog"))?;
     let account = engine.create_account(spec.provider);
-    let mut campaign =
-        SamplingCampaign::new(&mut engine, account, &az, CampaignConfig::default())
-            .map_err(|e| e.to_string())?;
+    let mut campaign = SamplingCampaign::new(&mut engine, account, &az, CampaignConfig::default())
+        .map_err(|e| e.to_string())?;
     let result = campaign.run_until_saturation(&mut engine);
     let mut table = Table::new(
         format!("{az}: sequential polls to the failure point"),
@@ -257,7 +294,10 @@ fn cmd_profile(args: &Args, seed: u64) -> Result<(), String> {
     let run = profiler.profile(&mut engine, dep, kind, runs, 200, seed);
     let table = profiler.table();
     let mut out = Table::new(
-        format!("{kind} in {az}: observed runtime by CPU ({} completed)", run.completed),
+        format!(
+            "{kind} in {az}: observed runtime by CPU ({} completed)",
+            run.completed
+        ),
         &["cpu", "mean ms", "vs 2.5GHz", "samples"],
     );
     for (cpu, ms) in table.ranking(kind) {
@@ -292,14 +332,20 @@ fn cmd_route(args: &Args, seed: u64) -> Result<(), String> {
     let burst = args.flag_u64("burst", 400).map_err(|e| e.to_string())? as usize;
     let policy_name = args.flag("policy").unwrap_or("hybrid");
     let policy = match policy_name {
-        "baseline" => RoutingPolicy::Baseline { az: baseline_az.clone() },
-        "regional" => RoutingPolicy::Regional { candidates: candidates.clone() },
-        "retry-slow" => {
-            RoutingPolicy::Retry { az: baseline_az.clone(), mode: RetryMode::RetrySlow }
-        }
-        "focus" => {
-            RoutingPolicy::Retry { az: baseline_az.clone(), mode: RetryMode::FocusFastest }
-        }
+        "baseline" => RoutingPolicy::Baseline {
+            az: baseline_az.clone(),
+        },
+        "regional" => RoutingPolicy::Regional {
+            candidates: candidates.clone(),
+        },
+        "retry-slow" => RoutingPolicy::Retry {
+            az: baseline_az.clone(),
+            mode: RetryMode::RetrySlow,
+        },
+        "focus" => RoutingPolicy::Retry {
+            az: baseline_az.clone(),
+            mode: RetryMode::FocusFastest,
+        },
         "hybrid" => RoutingPolicy::Hybrid {
             candidates: candidates.clone(),
             mode: RetryMode::RetrySlow,
@@ -334,7 +380,10 @@ fn cmd_route(args: &Args, seed: u64) -> Result<(), String> {
             &mut engine,
             account,
             az,
-            CampaignConfig { deployments: 4, ..Default::default() },
+            CampaignConfig {
+                deployments: 4,
+                ..Default::default()
+            },
         )
         .map_err(|e| e.to_string())?;
         let at = engine.now();
@@ -354,7 +403,9 @@ fn cmd_route(args: &Args, seed: u64) -> Result<(), String> {
         &mut engine,
         kind,
         burst,
-        &RoutingPolicy::Baseline { az: baseline_az.clone() },
+        &RoutingPolicy::Baseline {
+            az: baseline_az.clone(),
+        },
         resolve,
     );
     engine.advance_by(SimDuration::from_mins(15));
@@ -363,7 +414,14 @@ fn cmd_route(args: &Args, seed: u64) -> Result<(), String> {
 
     let mut out = Table::new(
         format!("{kind}: {policy_name} vs baseline ({baseline_az})"),
-        &["strategy", "az", "$ / 1k requests", "mean ms", "retried", "errors"],
+        &[
+            "strategy",
+            "az",
+            "$ / 1k requests",
+            "mean ms",
+            "retried",
+            "errors",
+        ],
     );
     for (label, report) in [("baseline", &base), (policy_name, &optimized)] {
         out.row(&[

@@ -26,7 +26,7 @@ impl CarbonModel {
             "eu-north-1" => 30.0,
             "ca-central-1" | "ca-tor" | "tor1" => 120.0,
             "sa-east-1" | "br-sao" => 100.0,
-            "eu-west-3" => 85.0, // France, nuclear
+            "eu-west-3" => 85.0,  // France, nuclear
             "us-west-2" => 135.0, // Pacific NW hydro
             // Mixed grids.
             "us-west-1" | "sfo3" => 240.0,

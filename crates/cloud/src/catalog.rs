@@ -156,8 +156,7 @@ impl Catalog {
 
         for (name, lat, lon, n_az) in AWS_REGIONS {
             let id = RegionId::new(*name);
-            let letters: Vec<char> =
-                (0..*n_az).map(|i| (b'a' + i as u8) as char).collect();
+            let letters: Vec<char> = (0..*n_az).map(|i| (b'a' + i as u8) as char).collect();
             regions.push(RegionSpec {
                 id: id.clone(),
                 provider: Provider::Aws,
@@ -325,21 +324,87 @@ fn aws_az_spec(az: &AzId, rng: &SimRng) -> AzSpec {
     // (mix, hosts, churn, background_base, diurnal_amplitude)
     let named: Option<(CpuMix, u32, ChurnClass, f64, f64)> = match name.as_str() {
         // EX-3/EX-4/EX-5 zones, calibrated (see module docs).
-        "us-east-2a" => Some((mix4(1.0, 0.0, 0.0, 0.0), 180, ChurnClass::Stable, 0.25, 0.08)),
-        "us-east-2b" => Some((mix4(0.55, 0.25, 0.15, 0.05), 170, ChurnClass::Drifting, 0.28, 0.12)),
-        "us-east-2c" => Some((mix4(0.60, 0.0, 0.40, 0.0), 160, ChurnClass::Drifting, 0.26, 0.10)),
-        "us-west-1a" => Some((mix4(0.35, 0.30, 0.30, 0.05), 230, ChurnClass::Volatile, 0.30, 0.15)),
-        "us-west-1b" => Some((mix4(0.15, 0.30, 0.40, 0.15), 220, ChurnClass::Volatile, 0.30, 0.18)),
-        "ca-central-1a" => Some((mix4(0.50, 0.20, 0.30, 0.0), 200, ChurnClass::Volatile, 0.28, 0.14)),
-        "sa-east-1a" => Some((mix4(0.40, 0.0, 0.55, 0.05), 190, ChurnClass::Stable, 0.24, 0.08)),
-        "eu-north-1a" => Some((mix4(0.70, 0.0, 0.30, 0.0), 60, ChurnClass::Stable, 0.25, 0.08)),
-        "eu-central-1a" => Some((mix4(0.50, 0.15, 0.35, 0.0), 560, ChurnClass::Drifting, 0.27, 0.12)),
-        "ap-northeast-1a" => Some((mix4(0.45, 0.25, 0.30, 0.0), 260, ChurnClass::Drifting, 0.29, 0.13)),
-        "ap-southeast-2a" => Some((mix4(0.60, 0.10, 0.30, 0.0), 210, ChurnClass::Stable, 0.26, 0.10)),
+        "us-east-2a" => Some((
+            mix4(1.0, 0.0, 0.0, 0.0),
+            180,
+            ChurnClass::Stable,
+            0.25,
+            0.08,
+        )),
+        "us-east-2b" => Some((
+            mix4(0.55, 0.25, 0.15, 0.05),
+            170,
+            ChurnClass::Drifting,
+            0.28,
+            0.12,
+        )),
+        "us-east-2c" => Some((
+            mix4(0.60, 0.0, 0.40, 0.0),
+            160,
+            ChurnClass::Drifting,
+            0.26,
+            0.10,
+        )),
+        "us-west-1a" => Some((
+            mix4(0.35, 0.30, 0.30, 0.05),
+            230,
+            ChurnClass::Volatile,
+            0.30,
+            0.15,
+        )),
+        "us-west-1b" => Some((
+            mix4(0.15, 0.30, 0.40, 0.15),
+            220,
+            ChurnClass::Volatile,
+            0.30,
+            0.18,
+        )),
+        "ca-central-1a" => Some((
+            mix4(0.50, 0.20, 0.30, 0.0),
+            200,
+            ChurnClass::Volatile,
+            0.28,
+            0.14,
+        )),
+        "sa-east-1a" => Some((
+            mix4(0.40, 0.0, 0.55, 0.05),
+            190,
+            ChurnClass::Stable,
+            0.24,
+            0.08,
+        )),
+        "eu-north-1a" => Some((
+            mix4(0.70, 0.0, 0.30, 0.0),
+            60,
+            ChurnClass::Stable,
+            0.25,
+            0.08,
+        )),
+        "eu-central-1a" => Some((
+            mix4(0.50, 0.15, 0.35, 0.0),
+            560,
+            ChurnClass::Drifting,
+            0.27,
+            0.12,
+        )),
+        "ap-northeast-1a" => Some((
+            mix4(0.45, 0.25, 0.30, 0.0),
+            260,
+            ChurnClass::Drifting,
+            0.29,
+            0.13,
+        )),
+        "ap-southeast-2a" => Some((
+            mix4(0.60, 0.10, 0.30, 0.0),
+            210,
+            ChurnClass::Stable,
+            0.26,
+            0.10,
+        )),
         _ => None,
     };
-    let (initial_mix, hosts, churn, background_base, diurnal_amplitude) = named
-        .unwrap_or_else(|| {
+    let (initial_mix, hosts, churn, background_base, diurnal_amplitude) =
+        named.unwrap_or_else(|| {
             let mut r = rng.derive(&name);
             // Regional flavour constraints from EX-2.
             let (x30_lo, x30_hi) = if region == "af-south-1" {
@@ -356,8 +421,16 @@ fn aws_az_spec(az: &AzId, rng: &SimRng) -> AzSpec {
             } else {
                 0.0
             };
-            let x30 = if x30_hi == 0.0 { 0.0 } else { r.range_f64(x30_lo, x30_hi) };
-            let x29 = if r.chance(0.6) { r.range_f64(0.05, 0.25) } else { 0.0 };
+            let x30 = if x30_hi == 0.0 {
+                0.0
+            } else {
+                r.range_f64(x30_lo, x30_hi)
+            };
+            let x29 = if r.chance(0.6) {
+                r.range_f64(0.05, 0.25)
+            } else {
+                0.0
+            };
             // 2.5 GHz takes the remainder: present in every region.
             let x25 = (1.0 - x30 - x29 - epyc).max(0.10);
             let mix = mix4(x25, x29, x30, epyc);
@@ -495,7 +568,11 @@ mod tests {
         let cat = Catalog::paper_world(5);
         for az in cat.azs().filter(|a| a.provider != Provider::Aws) {
             let dom = az.initial_mix.dominant().unwrap();
-            assert!(az.initial_mix.share(dom) >= 0.95, "{} not homogeneous", az.id);
+            assert!(
+                az.initial_mix.share(dom) >= 0.95,
+                "{} not homogeneous",
+                az.id
+            );
             assert_eq!(az.arm_hosts, 0);
         }
     }

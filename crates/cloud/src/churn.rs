@@ -108,10 +108,7 @@ mod tests {
     use super::*;
 
     fn mix() -> CpuMix {
-        CpuMix::from_shares(&[
-            (CpuType::IntelXeon2_5, 0.5),
-            (CpuType::IntelXeon3_0, 0.5),
-        ])
+        CpuMix::from_shares(&[(CpuType::IntelXeon2_5, 0.5), (CpuType::IntelXeon3_0, 0.5)])
     }
 
     #[test]

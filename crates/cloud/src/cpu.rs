@@ -100,7 +100,10 @@ impl CpuType {
     /// Parse a `/proc/cpuinfo` model string back into a catalogued type.
     /// This is what SAAF does with the raw string it scrapes.
     pub fn from_model_name(name: &str) -> Option<CpuType> {
-        CpuType::ALL.iter().copied().find(|c| c.model_name() == name)
+        CpuType::ALL
+            .iter()
+            .copied()
+            .find(|c| c.model_name() == name)
     }
 
     /// Nominal clock in GHz (0 reported for EPYC/Graviton whose model
@@ -162,6 +165,100 @@ impl fmt::Display for CpuType {
     }
 }
 
+/// A set of CPU types packed into a `u16` bitmask (one bit per
+/// [`CpuType`] variant).
+///
+/// Ban sets used in gated requests were previously `Vec<CpuType>`,
+/// cloned per request and scanned linearly on every invocation. A
+/// `CpuSet` is `Copy`, membership is a single AND, and iteration yields
+/// types in stable `CpuType::ALL` order.
+///
+/// ```
+/// use sky_cloud::{CpuSet, CpuType};
+/// let set = CpuSet::from_slice(&[CpuType::AmdEpyc, CpuType::IntelXeon2_9]);
+/// assert!(set.contains(CpuType::AmdEpyc));
+/// assert!(!set.contains(CpuType::IntelXeon3_0));
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CpuSet(u16);
+
+impl CpuSet {
+    /// The empty set.
+    pub const EMPTY: CpuSet = CpuSet(0);
+
+    fn bit(cpu: CpuType) -> u16 {
+        1 << (cpu as u16)
+    }
+
+    /// Build from a slice of CPU types (duplicates collapse).
+    pub fn from_slice(cpus: &[CpuType]) -> Self {
+        cpus.iter().copied().collect()
+    }
+
+    /// Add `cpu` to the set.
+    pub fn insert(&mut self, cpu: CpuType) {
+        self.0 |= Self::bit(cpu);
+    }
+
+    /// Whether `cpu` is in the set.
+    pub fn contains(self, cpu: CpuType) -> bool {
+        self.0 & Self::bit(cpu) != 0
+    }
+
+    /// Number of CPU types in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate members in `CpuType::ALL` order.
+    pub fn iter(self) -> impl Iterator<Item = CpuType> {
+        CpuType::ALL.into_iter().filter(move |&c| self.contains(c))
+    }
+}
+
+impl FromIterator<CpuType> for CpuSet {
+    fn from_iter<I: IntoIterator<Item = CpuType>>(iter: I) -> Self {
+        let mut set = CpuSet::EMPTY;
+        for cpu in iter {
+            set.insert(cpu);
+        }
+        set
+    }
+}
+
+impl fmt::Display for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, cpu) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{cpu}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+// Serialized as the list of member CPU types (stable order), so the
+// wire format matches what the old `Vec<CpuType>` ban lists produced.
+impl Serialize for CpuSet {
+    fn to_value(&self) -> serde::Value {
+        self.iter().collect::<Vec<CpuType>>().to_value()
+    }
+}
+
+impl Deserialize for CpuSet {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Vec::<CpuType>::from_value(v)?.into_iter().collect())
+    }
+}
+
 /// A normalized distribution over CPU types — the "CPU characterization"
 /// at the heart of the paper. Used both for ground-truth AZ mixes (this
 /// crate) and for estimated characterizations (`sky-core`).
@@ -186,7 +283,9 @@ pub struct CpuMix {
 impl CpuMix {
     /// An empty mix (no observations / no hardware).
     pub fn empty() -> Self {
-        CpuMix { entries: Vec::new() }
+        CpuMix {
+            entries: Vec::new(),
+        }
     }
 
     /// Build from `(cpu, weight)` pairs; weights are normalized to sum
@@ -202,7 +301,10 @@ impl CpuMix {
         }
         let mut total = 0.0;
         for &(_, w) in shares {
-            assert!(w.is_finite() && w >= 0.0, "mix weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "mix weights must be finite and non-negative"
+            );
             total += w;
         }
         assert!(total > 0.0, "mix weights must not all be zero");
@@ -225,8 +327,7 @@ impl CpuMix {
 
     /// Build from observation counts (e.g. SAAF reports per CPU type).
     pub fn from_counts(counts: &[(CpuType, u64)]) -> Self {
-        let shares: Vec<(CpuType, f64)> =
-            counts.iter().map(|&(c, n)| (c, n as f64)).collect();
+        let shares: Vec<(CpuType, f64)> = counts.iter().map(|&(c, n)| (c, n as f64)).collect();
         if shares.iter().all(|&(_, w)| w == 0.0) {
             return CpuMix::empty();
         }
@@ -375,22 +476,20 @@ mod tests {
     fn total_variation_properties() {
         let a = CpuMix::from_shares(&[(CpuType::IntelXeon2_5, 1.0)]);
         let b = CpuMix::from_shares(&[(CpuType::IntelXeon3_0, 1.0)]);
-        assert!((a.total_variation(&b) - 1.0).abs() < 1e-12, "disjoint mixes");
+        assert!(
+            (a.total_variation(&b) - 1.0).abs() < 1e-12,
+            "disjoint mixes"
+        );
         assert_eq!(a.total_variation(&a), 0.0);
-        let c = CpuMix::from_shares(&[
-            (CpuType::IntelXeon2_5, 0.5),
-            (CpuType::IntelXeon3_0, 0.5),
-        ]);
+        let c = CpuMix::from_shares(&[(CpuType::IntelXeon2_5, 0.5), (CpuType::IntelXeon3_0, 0.5)]);
         assert!((a.total_variation(&c) - 0.5).abs() < 1e-12);
         assert!((a.ape_percent(&c) - 50.0).abs() < 1e-9);
     }
 
     #[test]
     fn expectation_weights_factors() {
-        let mix = CpuMix::from_shares(&[
-            (CpuType::IntelXeon2_5, 0.5),
-            (CpuType::IntelXeon3_0, 0.5),
-        ]);
+        let mix =
+            CpuMix::from_shares(&[(CpuType::IntelXeon2_5, 0.5), (CpuType::IntelXeon3_0, 0.5)]);
         let e = mix.expectation(|c| if c == CpuType::IntelXeon3_0 { 0.9 } else { 1.0 });
         assert!((e - 0.95).abs() < 1e-12);
     }
@@ -409,10 +508,8 @@ mod tests {
 
     #[test]
     fn dominant_cpu() {
-        let mix = CpuMix::from_shares(&[
-            (CpuType::IntelXeon2_5, 0.3),
-            (CpuType::IntelXeon3_0, 0.7),
-        ]);
+        let mix =
+            CpuMix::from_shares(&[(CpuType::IntelXeon2_5, 0.3), (CpuType::IntelXeon3_0, 0.7)]);
         assert_eq!(mix.dominant(), Some(CpuType::IntelXeon3_0));
         assert_eq!(CpuMix::empty().dominant(), None);
     }
@@ -421,5 +518,33 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_weight_rejected() {
         let _ = CpuMix::from_shares(&[(CpuType::AmdEpyc, -0.1)]);
+    }
+
+    #[test]
+    fn cpu_set_membership_and_iteration() {
+        let mut set = CpuSet::EMPTY;
+        assert!(set.is_empty());
+        set.insert(CpuType::AmdEpyc);
+        set.insert(CpuType::IntelXeon2_9);
+        set.insert(CpuType::AmdEpyc); // duplicate is a no-op
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(CpuType::AmdEpyc));
+        assert!(set.contains(CpuType::IntelXeon2_9));
+        assert!(!set.contains(CpuType::IntelXeon3_0));
+        // Iteration follows CpuType::ALL order regardless of insertion order.
+        let members: Vec<CpuType> = set.iter().collect();
+        assert_eq!(members, vec![CpuType::IntelXeon2_9, CpuType::AmdEpyc]);
+        assert_eq!(CpuSet::from_slice(&members), set);
+    }
+
+    #[test]
+    fn cpu_set_serde_roundtrip_as_list() {
+        let set: CpuSet = CpuType::AWS_X86.into_iter().collect();
+        let json = serde_json::to_string(&set).unwrap();
+        // Wire format matches a plain list of CPU types.
+        let as_vec: Vec<CpuType> = serde_json::from_str(&json).unwrap();
+        assert_eq!(as_vec.len(), 4);
+        let back: CpuSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, set);
     }
 }

@@ -40,7 +40,12 @@ impl DiurnalModel {
             base >= 0.0 && amplitude >= 0.0 && base + amplitude <= 0.95,
             "diurnal occupancy must stay below 95% of capacity"
         );
-        DiurnalModel { base, amplitude, peak_hour: 15.0, contention_strength: 0.06 }
+        DiurnalModel {
+            base,
+            amplitude,
+            peak_hour: 15.0,
+            contention_strength: 0.06,
+        }
     }
 
     /// Background occupancy fraction at a local fractional hour `[0, 24)`.

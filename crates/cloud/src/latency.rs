@@ -38,8 +38,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * R_EARTH_KM * a.sqrt().atan2((1.0 - a).sqrt())
     }
 }
@@ -58,7 +57,10 @@ impl Default for LatencyModel {
     fn default() -> Self {
         // ~150 km/ms one-way effective speed (fiber + 30% route stretch),
         // 8 ms fixed overhead.
-        LatencyModel { km_per_ms: 150.0, fixed_rtt_ms: 8.0 }
+        LatencyModel {
+            km_per_ms: 150.0,
+            fixed_rtt_ms: 8.0,
+        }
     }
 }
 

@@ -39,7 +39,7 @@ pub mod region;
 pub use carbon::CarbonModel;
 pub use catalog::{AzSpec, Catalog, ChurnClass, RegionSpec};
 pub use churn::ChurnModel;
-pub use cpu::{Arch, CpuMix, CpuType};
+pub use cpu::{Arch, CpuMix, CpuSet, CpuType};
 pub use diurnal::DiurnalModel;
 pub use latency::{GeoPoint, LatencyModel};
 pub use pricing::PriceBook;

@@ -108,12 +108,8 @@ mod tests {
             2048,
             SimDuration::from_secs(1),
         );
-        let arm = PriceBook::invocation_cost(
-            Provider::Aws,
-            Arch::Arm64,
-            2048,
-            SimDuration::from_secs(1),
-        );
+        let arm =
+            PriceBook::invocation_cost(Provider::Aws, Arch::Arm64, 2048, SimDuration::from_secs(1));
         assert!(arm < x86);
     }
 
@@ -144,12 +140,7 @@ mod tests {
 
     #[test]
     fn zero_duration_still_pays_request_fee() {
-        let c = PriceBook::invocation_cost(
-            Provider::Aws,
-            Arch::X86_64,
-            128,
-            SimDuration::ZERO,
-        );
+        let c = PriceBook::invocation_cost(Provider::Aws, Arch::X86_64, 128, SimDuration::ZERO);
         assert_eq!(c, 0.20 / 1_000_000.0);
     }
 }

@@ -113,7 +113,11 @@ mod tests {
 
     #[test]
     fn arm_only_on_aws() {
-        assert!(Provider::Aws.arch_options().contains(&crate::cpu::Arch::Arm64));
-        assert!(!Provider::Ibm.arch_options().contains(&crate::cpu::Arch::Arm64));
+        assert!(Provider::Aws
+            .arch_options()
+            .contains(&crate::cpu::Arch::Arm64));
+        assert!(!Provider::Ibm
+            .arch_options()
+            .contains(&crate::cpu::Arch::Arm64));
     }
 }

@@ -8,10 +8,14 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// A cloud region identifier, e.g. `us-east-2`.
+///
+/// Backed by `Arc<str>` so the clones that end up in events, reports and
+/// routing tables share one allocation instead of copying the name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct RegionId(String);
+pub struct RegionId(Arc<str>);
 
 impl RegionId {
     /// Construct from a region name.
@@ -22,7 +26,7 @@ impl RegionId {
     pub fn new(name: impl Into<String>) -> Self {
         let name = name.into();
         assert!(!name.is_empty(), "region name must not be empty");
-        RegionId(name)
+        RegionId(name.into())
     }
 
     /// The region name as a string slice.
@@ -32,7 +36,10 @@ impl RegionId {
 
     /// The AZ in this region with the given zone letter.
     pub fn az(&self, letter: char) -> AzId {
-        AzId { region: self.clone(), letter }
+        AzId {
+            region: self.clone(),
+            letter,
+        }
     }
 }
 
@@ -58,15 +65,17 @@ pub struct AzId {
 }
 
 impl Serialize for AzId {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_string())
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for AzId {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        s.parse().map_err(serde::de::Error::custom)
+impl Deserialize for AzId {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::expected("availability-zone string", v))?;
+        s.parse().map_err(serde::Error::custom)
     }
 }
 
@@ -125,7 +134,9 @@ impl FromStr for AzId {
     /// Parse `us-west-1b` into region `us-west-1` + letter `b`, or the
     /// single-zone form `eu-de-a` into region `eu-de` + letter `a`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseAzError { input: s.to_string() };
+        let err = || ParseAzError {
+            input: s.to_string(),
+        };
         if s.len() < 2 {
             return Err(err());
         }
@@ -141,7 +152,10 @@ impl FromStr for AzId {
         if region_part.is_empty() || region_part.ends_with('-') {
             return Err(err());
         }
-        Ok(AzId { region: RegionId::new(region_part), letter })
+        Ok(AzId {
+            region: RegionId::new(region_part),
+            letter,
+        })
     }
 }
 

@@ -11,6 +11,7 @@ use sky_cloud::{CpuMix, CpuType};
 use sky_faas::SaafReport;
 use sky_sim::SimTime;
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 /// An accumulating CPU characterization for one deployment target
 /// (typically an AZ).
@@ -21,9 +22,10 @@ pub struct Characterization {
     /// Unrecognized CPU model strings (never produced by the simulator,
     /// but the profiler does not assume that).
     unknown: u64,
-    /// FI uuids already counted.
+    /// FI uuids already counted. `Arc<str>` keys share the reports'
+    /// uuid allocations instead of copying each string.
     #[serde(skip)]
-    seen_fis: HashSet<String>,
+    seen_fis: HashSet<Arc<str>>,
     /// Total reports folded in (including duplicates of known FIs).
     reports: u64,
     /// Time of the first and last observation.
@@ -122,9 +124,9 @@ mod tests {
 
     fn report(uuid: &str, cpu: CpuType, t: u64) -> SaafReport {
         SaafReport {
-            cpu_model: cpu.model_name().to_string(),
+            cpu_model: cpu.model_name().into(),
             cpu_ghz: cpu.clock_ghz(),
-            instance_uuid: uuid.to_string(),
+            instance_uuid: uuid.into(),
             host_id: HostId::from_raw(0),
             instance_id: InstanceId::from_raw(0),
             new_container: true,
@@ -141,7 +143,10 @@ mod tests {
     fn unique_fi_deduplication() {
         let mut c = Characterization::new();
         assert!(c.observe(&report("a", CpuType::IntelXeon2_5, 1)));
-        assert!(!c.observe(&report("a", CpuType::IntelXeon2_5, 2)), "same FI");
+        assert!(
+            !c.observe(&report("a", CpuType::IntelXeon2_5, 2)),
+            "same FI"
+        );
         assert!(c.observe(&report("b", CpuType::IntelXeon3_0, 3)));
         assert_eq!(c.unique_fis(), 2);
         assert_eq!(c.reports(), 3);
@@ -153,7 +158,7 @@ mod tests {
     fn unknown_cpus_counted_but_excluded_from_mix() {
         let mut c = Characterization::new();
         let mut r = report("x", CpuType::AmdEpyc, 1);
-        r.cpu_model = "Mystery".to_string();
+        r.cpu_model = "Mystery".into();
         c.observe(&r);
         c.observe(&report("y", CpuType::AmdEpyc, 2));
         assert_eq!(c.unknown(), 1);
@@ -169,10 +174,8 @@ mod tests {
         for i in 50..100 {
             c.observe(&report(&format!("f{i}"), CpuType::IntelXeon3_0, i));
         }
-        let truth = CpuMix::from_shares(&[
-            (CpuType::IntelXeon2_5, 0.5),
-            (CpuType::IntelXeon3_0, 0.5),
-        ]);
+        let truth =
+            CpuMix::from_shares(&[(CpuType::IntelXeon2_5, 0.5), (CpuType::IntelXeon3_0, 0.5)]);
         assert!(c.ape_percent(&truth) < 1e-9);
         let skewed = CpuMix::from_shares(&[(CpuType::IntelXeon2_5, 1.0)]);
         assert!((c.ape_percent(&skewed) - 50.0).abs() < 1e-9);

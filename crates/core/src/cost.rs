@@ -28,7 +28,10 @@ impl CostLedger {
     ///
     /// Panics if `usd` is negative or not finite.
     pub fn add(&mut self, category: impl Into<String>, usd: f64) {
-        assert!(usd.is_finite() && usd >= 0.0, "spend must be finite and non-negative");
+        assert!(
+            usd.is_finite() && usd >= 0.0,
+            "spend must be finite and non-negative"
+        );
         *self.entries.entry(category.into()).or_default() += usd;
     }
 

@@ -13,7 +13,9 @@
 use crate::characterization::Characterization;
 use serde::{Deserialize, Serialize};
 use sky_cloud::{AzId, CpuType};
-use sky_faas::{BatchRequest, DeploymentId, FaasEngine, InvocationOutcome, RequestBody, WorkloadSpec};
+use sky_faas::{
+    BatchRequest, DeploymentId, FaasEngine, InvocationOutcome, RequestBody, WorkloadSpec,
+};
 use sky_sim::{OnlineStats, SimDuration, SimRng};
 use sky_workloads::WorkloadKind;
 use std::collections::BTreeMap;
@@ -34,7 +36,11 @@ struct RuntimeTableSerde {
 impl From<RuntimeTableSerde> for RuntimeTable {
     fn from(s: RuntimeTableSerde) -> Self {
         RuntimeTable {
-            stats: s.entries.into_iter().map(|(k, c, st)| ((k, c), st)).collect(),
+            stats: s
+                .entries
+                .into_iter()
+                .map(|(k, c, st)| ((k, c), st))
+                .collect(),
         }
     }
 }
@@ -113,7 +119,11 @@ impl RuntimeTable {
     /// Expected runtime of `kind` under a CPU mix, using observed means
     /// (CPUs without observations are skipped, with their probability
     /// renormalized over observed types). `None` if nothing observed.
-    pub fn expected_ms_under_mix(&self, kind: WorkloadKind, mix: &sky_cloud::CpuMix) -> Option<f64> {
+    pub fn expected_ms_under_mix(
+        &self,
+        kind: WorkloadKind,
+        mix: &sky_cloud::CpuMix,
+    ) -> Option<f64> {
         let mut total_w = 0.0;
         let mut acc = 0.0;
         for (cpu, share) in mix.iter() {
@@ -211,7 +221,10 @@ impl WorkloadProfiler {
         wave: usize,
         seed: u64,
     ) -> ProfileRun {
-        let dep = engine.deployment(deployment).expect("deployment exists").clone();
+        let dep = engine
+            .deployment(deployment)
+            .expect("deployment exists")
+            .clone();
         let mut rng = SimRng::seed_from(seed).derive("profiler");
         let mut completed = 0usize;
         let mut errors = 0usize;
@@ -224,7 +237,9 @@ impl WorkloadProfiler {
                 .map(|_| BatchRequest {
                     deployment,
                     offset: SimDuration::from_micros(rng.next_below(150_000)),
-                    body: RequestBody::Workload { spec: WorkloadSpec::new(kind) },
+                    body: RequestBody::Workload {
+                        spec: WorkloadSpec::new(kind),
+                    },
                 })
                 .collect();
             let outcomes = engine.run_batch(requests);
@@ -241,7 +256,13 @@ impl WorkloadProfiler {
             // across the pool rather than reusing one clique of hosts.
             engine.advance_by(SimDuration::from_mins(10));
         }
-        ProfileRun { az: dep.az, kind, completed, errors, cost_usd: cost }
+        ProfileRun {
+            az: dep.az,
+            kind,
+            completed,
+            errors,
+            cost_usd: cost,
+        }
     }
 }
 
@@ -256,10 +277,26 @@ mod tests {
     fn table_ranking_and_normalization() {
         let mut t = RuntimeTable::new();
         for _ in 0..10 {
-            t.record(WorkloadKind::Zipper, CpuType::IntelXeon2_5, SimDuration::from_millis(1000));
-            t.record(WorkloadKind::Zipper, CpuType::IntelXeon3_0, SimDuration::from_millis(890));
-            t.record(WorkloadKind::Zipper, CpuType::AmdEpyc, SimDuration::from_millis(1450));
-            t.record(WorkloadKind::Zipper, CpuType::IntelXeon2_9, SimDuration::from_millis(1280));
+            t.record(
+                WorkloadKind::Zipper,
+                CpuType::IntelXeon2_5,
+                SimDuration::from_millis(1000),
+            );
+            t.record(
+                WorkloadKind::Zipper,
+                CpuType::IntelXeon3_0,
+                SimDuration::from_millis(890),
+            );
+            t.record(
+                WorkloadKind::Zipper,
+                CpuType::AmdEpyc,
+                SimDuration::from_millis(1450),
+            );
+            t.record(
+                WorkloadKind::Zipper,
+                CpuType::IntelXeon2_9,
+                SimDuration::from_millis(1280),
+            );
         }
         assert_eq!(t.fastest(WorkloadKind::Zipper), Some(CpuType::IntelXeon3_0));
         assert_eq!(
@@ -270,18 +307,27 @@ mod tests {
         let epyc = norm.iter().find(|&&(c, _)| c == CpuType::AmdEpyc).unwrap();
         assert!((epyc.1 - 1.45).abs() < 1e-9);
         assert_eq!(t.samples(WorkloadKind::Zipper, CpuType::AmdEpyc), 10);
-        assert!(t.expected_ms(WorkloadKind::GraphMst, CpuType::AmdEpyc).is_none());
+        assert!(t
+            .expected_ms(WorkloadKind::GraphMst, CpuType::AmdEpyc)
+            .is_none());
     }
 
     #[test]
     fn expected_under_mix_renormalizes_unobserved() {
         let mut t = RuntimeTable::new();
-        t.record(WorkloadKind::Sha1Hash, CpuType::IntelXeon2_5, SimDuration::from_millis(100));
+        t.record(
+            WorkloadKind::Sha1Hash,
+            CpuType::IntelXeon2_5,
+            SimDuration::from_millis(100),
+        );
         let mix = sky_cloud::CpuMix::from_shares(&[
             (CpuType::IntelXeon2_5, 0.5),
             (CpuType::IntelXeon3_0, 0.5), // unobserved
         ]);
-        assert_eq!(t.expected_ms_under_mix(WorkloadKind::Sha1Hash, &mix), Some(100.0));
+        assert_eq!(
+            t.expected_ms_under_mix(WorkloadKind::Sha1Hash, &mix),
+            Some(100.0)
+        );
         assert_eq!(t.expected_ms_under_mix(WorkloadKind::Zipper, &mix), None);
     }
 
@@ -289,17 +335,32 @@ mod tests {
     fn merge_combines_counts() {
         let mut a = RuntimeTable::new();
         let mut b = RuntimeTable::new();
-        a.record(WorkloadKind::GraphBfs, CpuType::IntelXeon2_5, SimDuration::from_millis(100));
-        b.record(WorkloadKind::GraphBfs, CpuType::IntelXeon2_5, SimDuration::from_millis(300));
+        a.record(
+            WorkloadKind::GraphBfs,
+            CpuType::IntelXeon2_5,
+            SimDuration::from_millis(100),
+        );
+        b.record(
+            WorkloadKind::GraphBfs,
+            CpuType::IntelXeon2_5,
+            SimDuration::from_millis(300),
+        );
         a.merge(&b);
         assert_eq!(a.samples(WorkloadKind::GraphBfs, CpuType::IntelXeon2_5), 2);
-        assert_eq!(a.expected_ms(WorkloadKind::GraphBfs, CpuType::IntelXeon2_5), Some(200.0));
+        assert_eq!(
+            a.expected_ms(WorkloadKind::GraphBfs, CpuType::IntelXeon2_5),
+            Some(200.0)
+        );
     }
 
     #[test]
     fn serde_roundtrip() {
         let mut t = RuntimeTable::new();
-        t.record(WorkloadKind::MathService, CpuType::AmdEpyc, SimDuration::from_millis(500));
+        t.record(
+            WorkloadKind::MathService,
+            CpuType::AmdEpyc,
+            SimDuration::from_millis(500),
+        );
         let json = serde_json::to_string(&t).unwrap();
         let back: RuntimeTable = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
@@ -329,7 +390,10 @@ mod tests {
         assert!(ranking.len() >= 3, "observed {} CPU types", ranking.len());
         // Observed normalized runtimes should match the model hierarchy:
         // 3.0GHz fastest, EPYC slowest.
-        assert_eq!(table.fastest(WorkloadKind::LogisticRegression), Some(CpuType::IntelXeon3_0));
+        assert_eq!(
+            table.fastest(WorkloadKind::LogisticRegression),
+            Some(CpuType::IntelXeon3_0)
+        );
         let norm = table.normalized(WorkloadKind::LogisticRegression, CpuType::IntelXeon2_5);
         for (cpu, factor) in norm {
             let model = PerfModel::cpu_factor(WorkloadKind::LogisticRegression, cpu);

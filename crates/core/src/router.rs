@@ -17,7 +17,7 @@
 use crate::profiler::RuntimeTable;
 use crate::store::CharacterizationStore;
 use serde::{Deserialize, Serialize};
-use sky_cloud::{AzId, Catalog, CpuType, GeoPoint, LatencyModel};
+use sky_cloud::{AzId, Catalog, CpuSet, CpuType, GeoPoint, LatencyModel};
 use sky_faas::{
     BatchRequest, DeploymentId, FaasEngine, InvocationOutcome, RequestBody, WorkloadSpec,
 };
@@ -26,7 +26,7 @@ use sky_workloads::WorkloadKind;
 use std::collections::BTreeMap;
 
 /// Which CPUs the retry method bans.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum RetryMode {
     /// Ban the two slowest observed CPUs (typically AMD EPYC and the
     /// 2.9 GHz Xeon) — the paper's conservative `retry slow`.
@@ -35,7 +35,7 @@ pub enum RetryMode {
     /// `focus fastest`.
     FocusFastest,
     /// Ban an explicit set (the paper's tunable ban list, §3.5).
-    Custom(Vec<CpuType>),
+    Custom(CpuSet),
 }
 
 impl RetryMode {
@@ -45,12 +45,12 @@ impl RetryMode {
     pub const SLOW_BAN_MARGIN: f64 = 1.08;
 
     /// Resolve the ban set for a workload from observed runtimes.
-    pub fn banned(&self, table: &RuntimeTable, kind: WorkloadKind) -> Vec<CpuType> {
+    pub fn banned(&self, table: &RuntimeTable, kind: WorkloadKind) -> CpuSet {
         match self {
             RetryMode::RetrySlow => {
                 let ranking = table.ranking(kind);
                 let Some(&(_, fastest_ms)) = ranking.first() else {
-                    return Vec::new();
+                    return CpuSet::EMPTY;
                 };
                 // The two slowest, but only if meaningfully slower than
                 // the best available hardware.
@@ -66,7 +66,7 @@ impl RetryMode {
                 let ranking = table.ranking(kind);
                 ranking.iter().skip(1).map(|&(c, _)| c).collect()
             }
-            RetryMode::Custom(set) => set.clone(),
+            RetryMode::Custom(set) => *set,
         }
     }
 }
@@ -227,7 +227,11 @@ pub struct SmartRouter {
 impl SmartRouter {
     /// A router with the given knowledge.
     pub fn new(store: CharacterizationStore, table: RuntimeTable, config: RouterConfig) -> Self {
-        SmartRouter { store, table, config }
+        SmartRouter {
+            store,
+            table,
+            config,
+        }
     }
 
     /// Expected runtime (ms) of a workload in a zone under the zone's
@@ -263,8 +267,11 @@ impl SmartRouter {
         } else {
             &healthy
         };
-        let scan: Vec<&AzId> =
-            if pool.is_empty() { candidates.iter().collect() } else { pool.to_vec() };
+        let scan: Vec<&AzId> = if pool.is_empty() {
+            candidates.iter().collect()
+        } else {
+            pool.to_vec()
+        };
         scan.iter()
             .filter_map(|az| self.expected_ms(kind, az, now).map(|ms| (*az, ms)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("runtimes are finite"))
@@ -315,7 +322,9 @@ impl SmartRouter {
             return candidates
                 .iter()
                 .min_by_key(|az| {
-                    self.rtt_to(az, catalog).map(|r| r.as_micros()).unwrap_or(u64::MAX)
+                    self.rtt_to(az, catalog)
+                        .map(|r| r.as_micros())
+                        .unwrap_or(u64::MAX)
                 })
                 .expect("non-empty candidates")
                 .clone();
@@ -331,23 +340,24 @@ impl SmartRouter {
     /// # Panics
     ///
     /// Panics if `candidates` is empty.
-    pub fn choose_az_carbon(
-        &self,
-        candidates: &[AzId],
-        now: SimTime,
-        catalog: &Catalog,
-    ) -> AzId {
+    pub fn choose_az_carbon(&self, candidates: &[AzId], now: SimTime, catalog: &Catalog) -> AzId {
         assert!(!candidates.is_empty(), "need at least one candidate zone");
         let within: Vec<&AzId> = match (self.config.client, self.config.max_rtt) {
             (Some(_), Some(max_rtt)) => candidates
                 .iter()
                 .filter(|az| {
-                    self.rtt_to(az, catalog).map(|rtt| rtt <= max_rtt).unwrap_or(true)
+                    self.rtt_to(az, catalog)
+                        .map(|rtt| rtt <= max_rtt)
+                        .unwrap_or(true)
                 })
                 .collect(),
             _ => candidates.iter().collect(),
         };
-        let pool = if within.is_empty() { candidates.iter().collect() } else { within };
+        let pool = if within.is_empty() {
+            candidates.iter().collect()
+        } else {
+            within
+        };
         pool.into_iter()
             .min_by(|a, b| {
                 let ia = sky_cloud::CarbonModel::intensity(a.region(), now);
@@ -379,23 +389,23 @@ impl SmartRouter {
         let now = engine.now();
         let (az, banned) = match policy {
             RoutingPolicy::Baseline { az } => (az.clone(), None),
-            RoutingPolicy::Regional { candidates } | RoutingPolicy::RegionHop { candidates } => {
-                (self.choose_az_bounded(kind, candidates, now, engine.catalog()), None)
-            }
-            RoutingPolicy::Retry { az, mode } => {
-                (az.clone(), Some(mode.banned(&self.table, kind)))
-            }
+            RoutingPolicy::Regional { candidates } | RoutingPolicy::RegionHop { candidates } => (
+                self.choose_az_bounded(kind, candidates, now, engine.catalog()),
+                None,
+            ),
+            RoutingPolicy::Retry { az, mode } => (az.clone(), Some(mode.banned(&self.table, kind))),
             RoutingPolicy::Hybrid { candidates, mode } => (
                 self.choose_az_bounded(kind, candidates, now, engine.catalog()),
                 Some(mode.banned(&self.table, kind)),
             ),
-            RoutingPolicy::CarbonAware { candidates } => {
-                (self.choose_az_carbon(candidates, now, engine.catalog()), None)
-            }
+            RoutingPolicy::CarbonAware { candidates } => (
+                self.choose_az_carbon(candidates, now, engine.catalog()),
+                None,
+            ),
         };
         let rtt = self.rtt_to(&az, engine.catalog());
-        let deployment = resolve(&az)
-            .unwrap_or_else(|| panic!("no deployment resolvable in chosen zone {az}"));
+        let deployment =
+            resolve(&az).unwrap_or_else(|| panic!("no deployment resolvable in chosen zone {az}"));
         let mut rng = SimRng::seed_from(engine.catalog().seed())
             .derive("router-burst")
             .derive(&format!("{az}/{kind}/{}", now.as_micros()));
@@ -403,11 +413,11 @@ impl SmartRouter {
         let requests: Vec<BatchRequest> = (0..n)
             .map(|_| {
                 let spec = WorkloadSpec::new(kind);
-                let body = match &banned {
+                let body = match banned {
                     None => RequestBody::Workload { spec },
                     Some(banned) => RequestBody::GatedWorkload {
                         spec,
-                        banned: banned.clone(),
+                        banned,
                         hold: self.config.hold,
                         max_retries: self.config.max_retries,
                         retry_latency: self.config.retry_latency,
@@ -474,11 +484,8 @@ impl SmartRouter {
         if report.completed > 0 {
             report.mean_billed_ms = billed_sum / report.completed as f64;
         }
-        report.est_gco2e = sky_cloud::CarbonModel::emissions_g(
-            report.az.region(),
-            report.finished,
-            gb_seconds,
-        );
+        report.est_gco2e =
+            sky_cloud::CarbonModel::emissions_g(report.az.region(), report.finished, gb_seconds);
         report
     }
 }
@@ -517,26 +524,22 @@ mod tests {
         let table = model_table(WorkloadKind::Zipper);
         let slow = RetryMode::RetrySlow.banned(&table, WorkloadKind::Zipper);
         assert_eq!(slow.len(), 2);
-        assert!(slow.contains(&CpuType::AmdEpyc));
-        assert!(slow.contains(&CpuType::IntelXeon2_9));
+        assert!(slow.contains(CpuType::AmdEpyc));
+        assert!(slow.contains(CpuType::IntelXeon2_9));
         let focus = RetryMode::FocusFastest.banned(&table, WorkloadKind::Zipper);
         assert_eq!(focus.len(), 3);
-        assert!(!focus.contains(&CpuType::IntelXeon3_0));
-        let custom = RetryMode::Custom(vec![CpuType::AmdEpyc])
+        assert!(!focus.contains(CpuType::IntelXeon3_0));
+        let custom = RetryMode::Custom(CpuSet::from_slice(&[CpuType::AmdEpyc]))
             .banned(&table, WorkloadKind::Zipper);
-        assert_eq!(custom, vec![CpuType::AmdEpyc]);
+        assert_eq!(custom, CpuSet::from_slice(&[CpuType::AmdEpyc]));
     }
 
     #[test]
     fn choose_az_prefers_fast_mix() {
-        let fast_mix = CpuMix::from_shares(&[
-            (CpuType::IntelXeon2_5, 0.3),
-            (CpuType::IntelXeon3_0, 0.7),
-        ]);
-        let slow_mix = CpuMix::from_shares(&[
-            (CpuType::IntelXeon2_9, 0.5),
-            (CpuType::AmdEpyc, 0.5),
-        ]);
+        let fast_mix =
+            CpuMix::from_shares(&[(CpuType::IntelXeon2_5, 0.3), (CpuType::IntelXeon3_0, 0.7)]);
+        let slow_mix =
+            CpuMix::from_shares(&[(CpuType::IntelXeon2_9, 0.5), (CpuType::AmdEpyc, 0.5)]);
         let store = store_with(&[("sa-east-1a", fast_mix), ("us-west-1b", slow_mix)]);
         let router = SmartRouter::new(
             store,
@@ -554,8 +557,11 @@ mod tests {
     #[test]
     fn choose_az_falls_back_without_knowledge() {
         let router = SmartRouter::default();
-        let chosen =
-            router.choose_az(WorkloadKind::Zipper, &[az("us-west-1a"), az("us-west-1b")], SimTime::ZERO);
+        let chosen = router.choose_az(
+            WorkloadKind::Zipper,
+            &[az("us-west-1a"), az("us-west-1b")],
+            SimTime::ZERO,
+        );
         assert_eq!(chosen, az("us-west-1a"), "first candidate without data");
     }
 
@@ -569,7 +575,9 @@ mod tests {
             RouterConfig::default(),
         );
         let two_days = SimTime::ZERO + sky_sim::SimDuration::from_days(2);
-        assert!(router.expected_ms(WorkloadKind::Zipper, &az("sa-east-1a"), two_days).is_none());
+        assert!(router
+            .expected_ms(WorkloadKind::Zipper, &az("sa-east-1a"), two_days)
+            .is_none());
         assert!(router
             .expected_ms(WorkloadKind::Zipper, &az("sa-east-1a"), SimTime::ZERO)
             .is_some());
@@ -601,11 +609,18 @@ mod tests {
             &mut e,
             WorkloadKind::Zipper,
             300,
-            &RoutingPolicy::Retry { az: zone.clone(), mode: RetryMode::FocusFastest },
+            &RoutingPolicy::Retry {
+                az: zone.clone(),
+                mode: RetryMode::FocusFastest,
+            },
             |_| Some(dep),
         );
         assert_eq!(baseline.errors, 0);
-        assert!(focus.completed >= 290, "nearly all complete: {}", focus.completed);
+        assert!(
+            focus.completed >= 290,
+            "nearly all complete: {}",
+            focus.completed
+        );
         assert!(focus.retried > 100, "diverse zone forces retries");
         let save = savings_fraction(
             baseline.total_cost_usd() / baseline.n as f64,
@@ -617,7 +632,11 @@ mod tests {
             save * 100.0
         );
         // The winning CPU dominates the placement histogram.
-        let fast = focus.cpu_counts.get(&CpuType::IntelXeon3_0).copied().unwrap_or(0);
+        let fast = focus
+            .cpu_counts
+            .get(&CpuType::IntelXeon3_0)
+            .copied()
+            .unwrap_or(0);
         assert!(fast as usize >= focus.completed * 9 / 10);
     }
 
@@ -670,8 +689,22 @@ mod tests {
         assert_eq!(report.az, sa, "hybrid should hop to the faster zone");
         assert!(report.completed > 90);
         // Banned CPUs never complete a workload.
-        assert_eq!(report.cpu_counts.get(&CpuType::AmdEpyc).copied().unwrap_or(0), 0);
-        assert_eq!(report.cpu_counts.get(&CpuType::IntelXeon2_9).copied().unwrap_or(0), 0);
+        assert_eq!(
+            report
+                .cpu_counts
+                .get(&CpuType::AmdEpyc)
+                .copied()
+                .unwrap_or(0),
+            0
+        );
+        assert_eq!(
+            report
+                .cpu_counts
+                .get(&CpuType::IntelXeon2_9)
+                .copied()
+                .unwrap_or(0),
+            0
+        );
     }
 
     #[test]
@@ -699,7 +732,10 @@ mod tests {
         );
         let rtt_near = router.rtt_to(&near, &catalog).unwrap();
         let rtt_far = router.rtt_to(&far, &catalog).unwrap();
-        assert!(rtt_far > rtt_near, "São Paulo is farther from Virginia than Ohio");
+        assert!(
+            rtt_far > rtt_near,
+            "São Paulo is farther from Virginia than Ohio"
+        );
 
         // Bounded below São Paulo's RTT: the nearby zone wins despite the
         // slower hardware — the §3.5 latency/cost trade-off.
@@ -728,8 +764,7 @@ mod tests {
             client: Some(GeoPoint::new(47.6, -122.3)), // Seattle
             ..Default::default()
         };
-        let router =
-            SmartRouter::new(CharacterizationStore::new(), RuntimeTable::new(), config);
+        let router = SmartRouter::new(CharacterizationStore::new(), RuntimeTable::new(), config);
         let report = router.run_burst(
             &mut e,
             WorkloadKind::Sha1Hash,
@@ -748,11 +783,8 @@ mod tests {
         let router = SmartRouter::default();
         let clean = az("eu-north-1a"); // Scandinavian hydro
         let dirty = az("ap-southeast-2a"); // coal-heavy
-        let chosen = router.choose_az_carbon(
-            &[dirty.clone(), clean.clone()],
-            SimTime::ZERO,
-            &catalog,
-        );
+        let chosen =
+            router.choose_az_carbon(&[dirty.clone(), clean.clone()], SimTime::ZERO, &catalog);
         assert_eq!(chosen, clean);
         // With a tight RTT bound from a Sydney client, the dirty-but-near
         // zone wins — the latency bound of the predecessor system [12].
@@ -761,11 +793,7 @@ mod tests {
             max_rtt: Some(SimDuration::from_millis(80)),
             ..Default::default()
         };
-        let bounded = SmartRouter::new(
-            CharacterizationStore::new(),
-            RuntimeTable::new(),
-            config,
-        );
+        let bounded = SmartRouter::new(CharacterizationStore::new(), RuntimeTable::new(), config);
         assert_eq!(
             bounded.choose_az_carbon(&[dirty.clone(), clean], SimTime::ZERO, &catalog),
             dirty

@@ -14,9 +14,7 @@
 use crate::characterization::Characterization;
 use serde::{Deserialize, Serialize};
 use sky_cloud::{Arch, AzId, CpuMix};
-use sky_faas::{
-    AccountId, BatchRequest, DeployError, DeploymentId, FaasEngine, RequestBody,
-};
+use sky_faas::{AccountId, BatchRequest, DeployError, DeploymentId, FaasEngine, RequestBody};
 use sky_sim::{SimDuration, SimRng, SimTime};
 
 /// Configuration of one sampling poll.
@@ -160,7 +158,10 @@ impl Default for CampaignConfig {
 impl CampaignConfig {
     /// The paper's exact 10,140–10,240 MB deployment range.
     pub fn paper_10gb() -> Self {
-        CampaignConfig { memory_base_mb: 10_140, ..Default::default() }
+        CampaignConfig {
+            memory_base_mb: 10_140,
+            ..Default::default()
+        }
     }
 }
 
@@ -179,7 +180,10 @@ impl CampaignResult {
     /// The final characterization snapshot (ground-truth estimate when
     /// `saturated`).
     pub fn final_mix(&self) -> CpuMix {
-        self.polls.last().map(|p| p.mix_after.clone()).unwrap_or_default()
+        self.polls
+            .last()
+            .map(|p| p.mix_after.clone())
+            .unwrap_or_default()
     }
 
     /// Total unique FIs observed.
@@ -203,8 +207,11 @@ impl CampaignResult {
     /// there for the rest of the run). `None` if never achieved.
     pub fn polls_to_accuracy(&self, ape_target: f64) -> Option<usize> {
         let reference = self.final_mix();
-        let apes: Vec<f64> =
-            self.polls.iter().map(|p| p.mix_after.ape_percent(&reference)).collect();
+        let apes: Vec<f64> = self
+            .polls
+            .iter()
+            .map(|p| p.mix_after.ape_percent(&reference))
+            .collect();
         // Last index where the error exceeded the target; answer is the
         // poll after that.
         match apes.iter().rposition(|&a| a > ape_target) {
@@ -319,7 +326,9 @@ impl SamplingCampaign {
             .map(|offset| BatchRequest {
                 deployment,
                 offset,
-                body: RequestBody::Sleep { duration: self.config.poll.sleep },
+                body: RequestBody::Sleep {
+                    duration: self.config.poll.sleep,
+                },
             })
             .collect();
         let outcomes = engine.run_batch(requests);
@@ -426,7 +435,11 @@ mod tests {
             "0.25s sleep should pin ~all probes on distinct FIs: {}",
             stats.unique_fis
         );
-        assert!(stats.cost_usd < 0.02, "paper: under two cents per poll: {}", stats.cost_usd);
+        assert!(
+            stats.cost_usd < 0.02,
+            "paper: under two cents per poll: {}",
+            stats.cost_usd
+        );
         assert!(!stats.mix_after.is_empty());
     }
 
@@ -434,7 +447,10 @@ mod tests {
     fn short_sleep_causes_reuse() {
         let (mut engine, account, az) = setup("us-west-1a");
         let config = CampaignConfig {
-            poll: PollConfig { sleep: SimDuration::from_millis(30), ..Default::default() },
+            poll: PollConfig {
+                sleep: SimDuration::from_millis(30),
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mut campaign = SamplingCampaign::new(&mut engine, account, &az, config).unwrap();
@@ -453,7 +469,11 @@ mod tests {
             SamplingCampaign::new(&mut engine, account, &az, CampaignConfig::default()).unwrap();
         let s1 = campaign.poll_once(&mut engine);
         let s2 = campaign.poll_once(&mut engine);
-        assert!(s2.new_fis > 800, "second poll hits a different deployment: {}", s2.new_fis);
+        assert!(
+            s2.new_fis > 800,
+            "second poll hits a different deployment: {}",
+            s2.new_fis
+        );
         assert_eq!(s2.cumulative_fis, s1.new_fis + s2.new_fis);
     }
 

@@ -59,9 +59,7 @@ impl SamplingScheduler {
         }
         match store.classify(az) {
             StabilityClass::Stable => self.config.stable_interval,
-            StabilityClass::Volatile | StabilityClass::Unknown => {
-                self.config.volatile_interval
-            }
+            StabilityClass::Volatile | StabilityClass::Unknown => self.config.volatile_interval,
         }
     }
 
@@ -104,7 +102,11 @@ mod tests {
     fn seed_history(store: &mut CharacterizationStore, zone: &AzId, volatile: bool, days: u64) {
         for day in 0..days {
             let swing = if volatile {
-                if day % 2 == 0 { 0.25 } else { -0.25 }
+                if day % 2 == 0 {
+                    0.25
+                } else {
+                    -0.25
+                }
             } else {
                 0.005 * day as f64
             };
@@ -149,8 +151,14 @@ mod tests {
         let volatile = az("us-west-1b");
         seed_history(&mut store, &stable, false, 5);
         seed_history(&mut store, &volatile, true, 5);
-        assert_eq!(scheduler.interval_for(&store, &stable), SimDuration::from_days(7));
-        assert_eq!(scheduler.interval_for(&store, &volatile), SimDuration::from_hours(22));
+        assert_eq!(
+            scheduler.interval_for(&store, &stable),
+            SimDuration::from_days(7)
+        );
+        assert_eq!(
+            scheduler.interval_for(&store, &volatile),
+            SimDuration::from_hours(22)
+        );
         // Two days after the last snapshot: only the volatile zone is due.
         let now = SimTime::start_of_day(6);
         let zones = [stable.clone(), volatile.clone()];

@@ -105,7 +105,13 @@ impl CharacterizationStore {
         if let Some(last) = entry.last() {
             assert!(at >= last.at, "snapshots must be recorded in time order");
         }
-        entry.push(Snapshot { at, mix, samples, cost_usd, failure_rate });
+        entry.push(Snapshot {
+            at,
+            mix,
+            samples,
+            cost_usd,
+            failure_rate,
+        });
     }
 
     /// The most recent snapshot for a zone.
@@ -153,8 +159,7 @@ impl CharacterizationStore {
         history
             .iter()
             .map(|s| {
-                let days =
-                    s.at.saturating_since(first.at).as_secs_f64() / 86_400.0;
+                let days = s.at.saturating_since(first.at).as_secs_f64() / 86_400.0;
                 (days, s.mix.ape_percent(&first.mix))
             })
             .collect()
@@ -256,7 +261,10 @@ mod tests {
         let drift = store.drift_from_first(&z);
         assert_eq!(drift.len(), 3);
         assert_eq!(drift[0], (0.0, 0.0));
-        assert!((drift[1].1 - 20.0).abs() < 1e-9, "TV((.5,.5),(.3,.7)) = 20%");
+        assert!(
+            (drift[1].1 - 20.0).abs() < 1e-9,
+            "TV((.5,.5),(.3,.7)) = 20%"
+        );
         assert_eq!(drift[2].1, 0.0);
     }
 

@@ -131,8 +131,7 @@ pub fn run_temporal_campaign(
         let at = start + SimDuration::from_micros(config.cadence.as_micros() * obs as u64);
         engine.advance_to(at);
         for az in azs {
-            let mut campaign =
-                SamplingCampaign::new(engine, account, az, config.campaign.clone())?;
+            let mut campaign = SamplingCampaign::new(engine, account, az, config.campaign.clone())?;
             let started = engine.now();
             let result = campaign.run_until_saturation(engine);
             let mix = result.final_mix();
@@ -145,7 +144,13 @@ pub fn run_temporal_campaign(
                 .iter()
                 .map(|&t| result.polls_to_accuracy(t))
                 .collect();
-            store.record(az, started, mix.clone(), result.total_fis(), result.total_cost_usd);
+            store.record(
+                az,
+                started,
+                mix.clone(),
+                result.total_fis(),
+                result.total_cost_usd,
+            );
             records.push(ObservationRecord {
                 az: az.clone(),
                 index: obs,
@@ -180,7 +185,10 @@ mod tests {
             cadence,
             campaign: CampaignConfig {
                 deployments: 10,
-                poll: PollConfig { requests: 300, ..Default::default() },
+                poll: PollConfig {
+                    requests: 300,
+                    ..Default::default()
+                },
                 max_polls: 10,
                 ..Default::default()
             },
@@ -223,7 +231,10 @@ mod tests {
             .iter()
             .map(|&(_, a)| a)
             .fold(0.0, f64::max);
-        assert!(max_drift > 2.0, "volatile zone showed no drift: {max_drift}%");
+        assert!(
+            max_drift > 2.0,
+            "volatile zone showed no drift: {max_drift}%"
+        );
         // Coarser accuracy needs no more polls than finer accuracy.
         let p85 = result.mean_polls_to(15.0).unwrap();
         if let Some(p95) = result.mean_polls_to(5.0) {

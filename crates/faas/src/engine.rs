@@ -103,7 +103,10 @@ impl std::fmt::Display for DeployError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeployError::UnknownAz(az) => write!(f, "unknown availability zone {az}"),
-            DeployError::UnsupportedMemory { provider, memory_mb } => {
+            DeployError::UnsupportedMemory {
+                provider,
+                memory_mb,
+            } => {
                 write!(f, "{provider} does not offer {memory_mb} MB functions")
             }
             DeployError::UnsupportedArch { provider, arch } => {
@@ -143,6 +146,9 @@ pub struct Deployment {
     pub arch: Arch,
 }
 
+/// Engine events address platforms by dense index (`az_idx` into
+/// [`FaasEngine::platforms`]) rather than by `AzId`, so the hot path
+/// never hashes or clones a zone name.
 enum Event {
     Arrival {
         idx: usize,
@@ -158,11 +164,11 @@ enum Event {
     /// The FI finished its work (including any decline hold) and returns
     /// to the warm pool.
     Release {
-        az: AzId,
+        az_idx: u32,
         instance: InstanceId,
     },
     Expire {
-        az: AzId,
+        az_idx: u32,
         instance: InstanceId,
         epoch: u64,
     },
@@ -170,8 +176,22 @@ enum Event {
         day: u64,
     },
     ScaleCheck {
-        az: AzId,
+        az_idx: u32,
     },
+}
+
+/// A batch request flattened for the dispatch loop: the deployment
+/// record is resolved once per batch (not once per attempt) and the
+/// body is `Copy`, so arrivals and retries allocate nothing.
+#[derive(Clone, Copy)]
+struct CompiledRequest {
+    deployment: DeploymentId,
+    account: u32,
+    az_idx: u32,
+    memory_mb: u32,
+    arch: Arch,
+    provider: Provider,
+    body: RequestBody,
 }
 
 /// The multi-AZ fleet engine.
@@ -180,14 +200,19 @@ pub struct FaasEngine {
     config: FleetConfig,
     now: SimTime,
     queue: EventQueue<Event>,
-    platforms: HashMap<AzId, AzPlatform>,
-    platform_count: u64,
+    /// Platforms in instantiation order; events index into this vector.
+    platforms: Vec<AzPlatform>,
+    /// Zone name of each platform, parallel to `platforms`.
+    az_ids: Vec<AzId>,
+    /// Interning map from zone name to dense platform index.
+    az_index: HashMap<AzId, u32>,
     accounts: Vec<Account>,
     deployments: Vec<Deployment>,
     exec_rng: SimRng,
     tracer: Tracer,
+    events_processed: u64,
     // Per-batch state (valid during run_batch only).
-    batch_requests: Vec<BatchRequest>,
+    batch_requests: Vec<CompiledRequest>,
     batch_outcomes: Vec<Option<InvocationOutcome>>,
     batch_pending: usize,
     batch_first_arrival: Vec<Option<SimTime>>,
@@ -218,12 +243,14 @@ impl FaasEngine {
             config,
             now: SimTime::ZERO,
             queue,
-            platforms: HashMap::new(),
-            platform_count: 0,
+            platforms: Vec::new(),
+            az_ids: Vec::new(),
+            az_index: HashMap::new(),
             accounts: Vec::new(),
             deployments: Vec::new(),
             exec_rng: root.derive("exec"),
             tracer: Tracer::new(TraceLevel::Info, 4096),
+            events_processed: 0,
             batch_requests: Vec::new(),
             batch_outcomes: Vec::new(),
             batch_pending: 0,
@@ -247,6 +274,13 @@ impl FaasEngine {
     /// The engine's trace buffer (lifecycle events for debugging/tests).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Total discrete events processed since construction (arrivals,
+    /// responses, releases, expiries, maintenance). Used by throughput
+    /// benchmarks to report events/second.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Create an account with the provider's default concurrency quota.
@@ -282,10 +316,16 @@ impl FaasEngine {
             .ok_or_else(|| DeployError::UnknownAz(az.clone()))?;
         let provider = spec.provider;
         if acct.provider != provider {
-            return Err(DeployError::ProviderMismatch { account: acct.provider, az: provider });
+            return Err(DeployError::ProviderMismatch {
+                account: acct.provider,
+                az: provider,
+            });
         }
         if !provider.supports_memory_mb(memory_mb) {
-            return Err(DeployError::UnsupportedMemory { provider, memory_mb });
+            return Err(DeployError::UnsupportedMemory {
+                provider,
+                memory_mb,
+            });
         }
         if !provider.arch_options().contains(&arch) {
             return Err(DeployError::UnsupportedArch { provider, arch });
@@ -311,7 +351,7 @@ impl FaasEngine {
     /// Experiment-harness access to a platform (e.g. for ground-truth
     /// mixes when computing APE). The profiler/router must not use this.
     pub fn platform(&self, az: &AzId) -> Option<&AzPlatform> {
-        self.platforms.get(az)
+        self.az_index.get(az).map(|&i| &self.platforms[i as usize])
     }
 
     /// Fault injection: all new FI placement in `az` fails for the given
@@ -323,23 +363,39 @@ impl FaasEngine {
     /// Panics if no platform exists for `az` yet.
     pub fn inject_outage(&mut self, az: &AzId, duration: SimDuration) {
         let until = self.now + duration;
-        self.platforms
-            .get_mut(az)
-            .unwrap_or_else(|| panic!("no platform instantiated for {az}"))
-            .inject_outage(until);
-        self.tracer.warn(self.now, "faas.fault", format!("{az}: outage injected until {until}"));
+        let idx = *self
+            .az_index
+            .get(az)
+            .unwrap_or_else(|| panic!("no platform instantiated for {az}"));
+        self.platforms[idx as usize].inject_outage(until);
+        self.tracer.warn(
+            self.now,
+            "faas.fault",
+            format!("{az}: outage injected until {until}"),
+        );
     }
 
-    fn ensure_platform(&mut self, az: &AzId) {
-        if !self.platforms.contains_key(az) {
-            let spec = self.catalog.az(az).expect("validated by deploy").clone();
-            let base = (self.platform_count + 1) << 40;
-            self.platform_count += 1;
-            let rng = SimRng::seed_from(self.config.seed)
-                .derive("platform")
-                .derive(&az.to_string());
-            self.platforms.insert(az.clone(), AzPlatform::new(spec, base, rng, self.config.warm_reuse_prob));
+    /// Intern `az`, instantiating its platform on first sight, and
+    /// return the dense platform index.
+    fn ensure_platform(&mut self, az: &AzId) -> u32 {
+        if let Some(&idx) = self.az_index.get(az) {
+            return idx;
         }
+        let spec = self.catalog.az(az).expect("validated by deploy").clone();
+        let idx = self.platforms.len() as u32;
+        let base = (idx as u64 + 1) << 40;
+        let rng = SimRng::seed_from(self.config.seed)
+            .derive("platform")
+            .derive(&az.to_string());
+        self.platforms.push(AzPlatform::new(
+            spec,
+            base,
+            rng,
+            self.config.warm_reuse_prob,
+        ));
+        self.az_ids.push(az.clone());
+        self.az_index.insert(az.clone(), idx);
+        idx
     }
 
     /// Advance virtual time to `t`, processing maintenance events
@@ -356,6 +412,7 @@ impl FaasEngine {
             }
             let (at, event) = self.queue.pop().expect("peeked");
             self.now = at;
+            self.events_processed += 1;
             self.handle_maintenance(event);
         }
         self.now = t;
@@ -383,16 +440,40 @@ impl FaasEngine {
         self.batch_attempts = vec![0; n];
         self.batch_retry_billed = vec![SimDuration::ZERO; n];
         self.batch_retry_cost = vec![0.0; n];
+        // Resolve each request's deployment once up front; every attempt
+        // (including gated retries) then works from the flat record.
+        self.batch_requests = requests
+            .iter()
+            .map(|req| {
+                let dep = match self.deployments.get(req.deployment.raw() as usize) {
+                    Some(d) => d,
+                    None => panic!("invocation of unknown deployment {}", req.deployment),
+                };
+                CompiledRequest {
+                    deployment: dep.id,
+                    account: dep.account.raw() as u32,
+                    az_idx: self.az_index[&dep.az],
+                    memory_mb: dep.memory_mb,
+                    arch: dep.arch,
+                    provider: dep.provider,
+                    body: req.body,
+                }
+            })
+            .collect();
+        // Every request produces at least an arrival and a response; pay
+        // the heap growth once instead of amortizing it mid-batch.
+        self.queue.reserve(2 * n);
         for (idx, req) in requests.iter().enumerate() {
-            self.queue.schedule(start + req.offset, Event::Arrival { idx });
+            self.queue
+                .schedule(start + req.offset, Event::Arrival { idx });
         }
-        self.batch_requests = requests;
         while self.batch_pending > 0 {
             let (at, event) = self
                 .queue
                 .pop()
                 .expect("pending outcomes imply pending events");
             self.now = at;
+            self.events_processed += 1;
             self.handle(event);
         }
         self.batch_requests = Vec::new();
@@ -405,53 +486,68 @@ impl FaasEngine {
     fn handle(&mut self, event: Event) {
         match event {
             Event::Arrival { idx } => self.handle_arrival(idx),
-            Event::Response { idx, status, billed, cost } => {
-                self.handle_response(idx, status, billed, cost)
-            }
+            Event::Response {
+                idx,
+                status,
+                billed,
+                cost,
+            } => self.handle_response(idx, status, billed, cost),
             other => self.handle_maintenance(other),
         }
     }
 
     fn handle_maintenance(&mut self, event: Event) {
         match event {
-            Event::Release { az, instance } => {
+            Event::Release { az_idx, instance } => {
                 let keep_alive = {
                     let lo = self.config.keep_alive_min.as_micros();
                     let hi = self.config.keep_alive_max.as_micros();
                     SimDuration::from_micros(self.exec_rng.range_inclusive(lo, hi))
                 };
-                let platform = self.platforms.get_mut(&az).expect("exists");
+                let platform = &mut self.platforms[az_idx as usize];
                 let (deadline, epoch) = platform.release(instance, self.now, keep_alive);
-                self.queue.schedule(deadline, Event::Expire { az, instance, epoch });
+                self.queue.schedule(
+                    deadline,
+                    Event::Expire {
+                        az_idx,
+                        instance,
+                        epoch,
+                    },
+                );
             }
-            Event::Expire { az, instance, epoch } => {
-                if let Some(p) = self.platforms.get_mut(&az) {
-                    p.expire(instance, epoch, self.now);
-                }
+            Event::Expire {
+                az_idx,
+                instance,
+                epoch,
+            } => {
+                self.platforms[az_idx as usize].expire(instance, epoch, self.now);
             }
             Event::DayTick { day } => {
-                for (az, p) in self.platforms.iter_mut() {
+                // Dense iteration in instantiation order — deterministic,
+                // unlike the HashMap walk this replaces.
+                for (idx, p) in self.platforms.iter_mut().enumerate() {
                     let recycled = p.day_tick();
                     self.tracer.info(
                         self.now,
                         "faas.churn",
-                        format!("{az}: day {day} recycled {recycled} hosts"),
+                        format!("{}: day {day} recycled {recycled} hosts", self.az_ids[idx]),
                     );
                 }
-                self.queue
-                    .schedule(SimTime::start_of_day(day + 1), Event::DayTick { day: day + 1 });
+                self.queue.schedule(
+                    SimTime::start_of_day(day + 1),
+                    Event::DayTick { day: day + 1 },
+                );
             }
-            Event::ScaleCheck { az } => {
-                if let Some(p) = self.platforms.get_mut(&az) {
-                    p.scale_check_scheduled = false;
-                    let added = p.scale_step();
-                    if added > 0 {
-                        self.tracer.info(
-                            self.now,
-                            "faas.scale",
-                            format!("{az}: added {added} hosts"),
-                        );
-                    }
+            Event::ScaleCheck { az_idx } => {
+                let p = &mut self.platforms[az_idx as usize];
+                p.scale_check_scheduled = false;
+                let added = p.scale_step();
+                if added > 0 {
+                    self.tracer.info(
+                        self.now,
+                        "faas.scale",
+                        format!("{}: added {added} hosts", self.az_ids[az_idx as usize]),
+                    );
                 }
             }
             Event::Arrival { .. } | Event::Response { .. } => {
@@ -491,18 +587,14 @@ impl FaasEngine {
     }
 
     fn handle_arrival(&mut self, idx: usize) {
-        let req = self.batch_requests[idx].clone();
+        let req = self.batch_requests[idx];
         let arrived = self.now;
         if self.batch_first_arrival[idx].is_none() {
             self.batch_first_arrival[idx] = Some(arrived);
         }
         self.batch_attempts[idx] += 1;
-        let dep = match self.deployments.get(req.deployment.raw() as usize) {
-            Some(d) => d.clone(),
-            None => panic!("invocation of unknown deployment {}", req.deployment),
-        };
         // Concurrency quota.
-        let acct = &mut self.accounts[dep.account.raw() as usize];
+        let acct = &mut self.accounts[req.account as usize];
         if acct.in_flight >= acct.quota {
             self.resolve_final(
                 idx,
@@ -514,16 +606,16 @@ impl FaasEngine {
             return;
         }
         // Placement.
-        let platform = self.platforms.get_mut(&dep.az).expect("deploy created platform");
+        let platform = &mut self.platforms[req.az_idx as usize];
         let (instance_id, cold) =
-            match platform.acquire(dep.id, dep.memory_mb, dep.arch, arrived) {
+            match platform.acquire(req.deployment, req.memory_mb, req.arch, arrived) {
                 Ok(x) => x,
                 Err(CapacityError::Exhausted) => {
                     if !platform.scale_check_scheduled {
                         platform.scale_check_scheduled = true;
                         self.queue.schedule(
                             arrived + self.config.scale_interval,
-                            Event::ScaleCheck { az: dep.az.clone() },
+                            Event::ScaleCheck { az_idx: req.az_idx },
                         );
                     }
                     self.resolve_final(
@@ -536,7 +628,7 @@ impl FaasEngine {
                     return;
                 }
             };
-        self.accounts[dep.account.raw() as usize].in_flight += 1;
+        self.accounts[req.account as usize].in_flight += 1;
 
         // Dispatch latency (not billed).
         let dispatch = if cold {
@@ -548,7 +640,7 @@ impl FaasEngine {
         };
 
         // Execution semantics.
-        let platform = self.platforms.get_mut(&dep.az).expect("exists");
+        let platform = &self.platforms[req.az_idx as usize];
         let hour = arrived.hour_of_day_f64();
         let contention = platform.diurnal().contention(hour);
         let inst = platform.instance(instance_id).expect("just acquired");
@@ -556,32 +648,39 @@ impl FaasEngine {
         // `billed` is the full FI occupancy (including decline holds);
         // `response_after` is when the client hears back, measured from
         // the end of dispatch.
-        let (billed, response_after, declined) = match &req.body {
+        let (billed, response_after, declined) = match req.body {
             RequestBody::Sleep { duration } => {
-                let b = *duration + self.config.sleep_overhead;
+                let b = duration + self.config.sleep_overhead;
                 (b, b, false)
             }
             RequestBody::Workload { spec } => {
-                let decode = self.decode_overhead(&dep, instance_id, spec.payload_hash, spec.payload_bytes);
+                let decode = self.decode_overhead(
+                    req.az_idx,
+                    instance_id,
+                    spec.payload_hash,
+                    spec.payload_bytes,
+                );
                 let exec = self.config.perf.duration(
                     spec.kind,
                     spec.scale,
                     cpu,
-                    dep.memory_mb,
+                    req.memory_mb,
                     contention,
                     &mut self.exec_rng,
                 );
                 let b = decode + exec;
                 (b, b, false)
             }
-            RequestBody::GatedWorkload { spec, banned, hold, .. } => {
-                if banned.contains(&cpu) {
+            RequestBody::GatedWorkload {
+                spec, banned, hold, ..
+            } => {
+                if banned.contains(cpu) {
                     // Respond right after the check; hold the FI busy for
                     // `hold` so the reissue cannot land back here.
-                    (self.config.gate_check + *hold, self.config.gate_check, true)
+                    (self.config.gate_check + hold, self.config.gate_check, true)
                 } else {
                     let decode = self.decode_overhead(
-                        &dep,
+                        req.az_idx,
                         instance_id,
                         spec.payload_hash,
                         spec.payload_bytes,
@@ -590,7 +689,7 @@ impl FaasEngine {
                         spec.kind,
                         spec.scale,
                         cpu,
-                        dep.memory_mb,
+                        req.memory_mb,
                         contention,
                         &mut self.exec_rng,
                     );
@@ -601,22 +700,23 @@ impl FaasEngine {
         };
         let response_at = arrived + dispatch + response_after;
         let release_at = arrived + dispatch + billed;
-        let cost = PriceBook::invocation_cost(dep.provider, dep.arch, dep.memory_mb, billed);
+        let cost = PriceBook::invocation_cost(req.provider, req.arch, req.memory_mb, billed);
 
-        let platform = self.platforms.get(&dep.az).expect("exists");
-        let inst = platform.instance(instance_id).expect("just acquired");
+        let inst = self.platforms[req.az_idx as usize]
+            .instance(instance_id)
+            .expect("just acquired");
         let report = SaafReport {
-            cpu_model: cpu.model_name().to_string(),
+            cpu_model: cpu.model_name().into(),
             cpu_ghz: cpu.clock_ghz(),
-            instance_uuid: inst.uuid.clone(),
+            instance_uuid: std::sync::Arc::clone(&inst.uuid),
             host_id: inst.host_id,
             instance_id,
             new_container: cold,
             billed,
-            memory_mb: dep.memory_mb,
-            arch: dep.arch,
-            provider: dep.provider,
-            az: dep.az.clone(),
+            memory_mb: req.memory_mb,
+            arch: req.arch,
+            provider: req.provider,
+            az: self.az_ids[req.az_idx as usize].clone(),
             finished_at: response_at,
         };
         let status = if declined {
@@ -624,10 +724,22 @@ impl FaasEngine {
         } else {
             InvocationStatus::Success(report)
         };
-        self.queue
-            .schedule(response_at, Event::Response { idx, status, billed, cost });
-        self.queue
-            .schedule(release_at, Event::Release { az: dep.az.clone(), instance: instance_id });
+        self.queue.schedule(
+            response_at,
+            Event::Response {
+                idx,
+                status,
+                billed,
+                cost,
+            },
+        );
+        self.queue.schedule(
+            release_at,
+            Event::Release {
+                az_idx: req.az_idx,
+                instance: instance_id,
+            },
+        );
     }
 
     fn handle_response(
@@ -637,20 +749,22 @@ impl FaasEngine {
         billed: SimDuration,
         cost: f64,
     ) {
-        let dep_id = self.batch_requests[idx].deployment;
-        let account = self.deployments[dep_id.raw() as usize].account;
-        self.accounts[account.raw() as usize].in_flight -= 1;
+        let req = self.batch_requests[idx];
+        self.accounts[req.account as usize].in_flight -= 1;
         // Automatic reissue of declined gated requests.
         if let InvocationStatus::Declined(_) = &status {
-            if let RequestBody::GatedWorkload { max_retries, retry_latency, .. } =
-                &self.batch_requests[idx].body
+            if let RequestBody::GatedWorkload {
+                max_retries,
+                retry_latency,
+                ..
+            } = req.body
             {
                 let retries_so_far = self.batch_attempts[idx] - 1;
-                if retries_so_far < *max_retries {
+                if retries_so_far < max_retries {
                     self.batch_retry_billed[idx] += billed;
                     self.batch_retry_cost[idx] += cost;
                     self.queue
-                        .schedule(self.now + *retry_latency, Event::Arrival { idx });
+                        .schedule(self.now + retry_latency, Event::Arrival { idx });
                     return;
                 }
             }
@@ -663,21 +777,20 @@ impl FaasEngine {
     /// hash so repeat requests skip it — the FaaSET behaviour §3.2.
     fn decode_overhead(
         &mut self,
-        dep: &Deployment,
+        az_idx: u32,
         instance: InstanceId,
         payload_hash: u64,
         payload_bytes: u32,
     ) -> SimDuration {
-        let platform = self.platforms.get_mut(&dep.az).expect("exists");
+        let platform = &mut self.platforms[az_idx as usize];
         let inst = platform.instance_mut(instance).expect("acquired");
-        if inst.payload_cache.contains(&payload_hash) {
+        if inst.payload_cache.contains(payload_hash) {
             return SimDuration::ZERO;
         }
-        inst.payload_cache.push(payload_hash);
+        inst.payload_cache.insert(payload_hash);
         let ms = 2.0 + payload_bytes as f64 / (5.0 * 1024.0 * 1024.0) * 68.0;
         SimDuration::from_millis_f64(ms)
     }
-
 }
 
 #[cfg(test)]
@@ -718,7 +831,9 @@ mod tests {
         ));
         // 100 distinct memory settings, as the sampling campaign uses.
         for i in 0..100 {
-            assert!(e.deploy(aws, &az("us-west-1a"), 2038 + i, Arch::X86_64).is_ok());
+            assert!(e
+                .deploy(aws, &az("us-west-1a"), 2038 + i, Arch::X86_64)
+                .is_ok());
         }
     }
 
@@ -726,12 +841,16 @@ mod tests {
     fn sleep_batch_all_succeed_and_bill() {
         let mut e = engine(2);
         let acct = e.create_account(Provider::Aws);
-        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
         let reqs: Vec<BatchRequest> = (0..50)
             .map(|i| BatchRequest {
                 deployment: dep,
                 offset: SimDuration::from_millis(i),
-                body: RequestBody::Sleep { duration: SimDuration::from_millis(250) },
+                body: RequestBody::Sleep {
+                    duration: SimDuration::from_millis(250),
+                },
             })
             .collect();
         let outcomes = e.run_batch(reqs);
@@ -745,8 +864,10 @@ mod tests {
             assert_eq!(r.cpu_type(), Some(sky_cloud::CpuType::IntelXeon2_5));
         }
         // 50 concurrent sleeps => 50 unique FIs.
-        let mut uuids: Vec<&str> =
-            outcomes.iter().map(|o| o.status.report().unwrap().instance_uuid.as_str()).collect();
+        let mut uuids: Vec<&str> = outcomes
+            .iter()
+            .map(|o| &*o.status.report().unwrap().instance_uuid)
+            .collect();
         uuids.sort();
         uuids.dedup();
         assert_eq!(uuids.len(), 50);
@@ -756,20 +877,29 @@ mod tests {
     fn sequential_requests_reuse_warm_instances() {
         let mut e = engine(3);
         let acct = e.create_account(Provider::Aws);
-        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
         // Spread arrivals 1s apart: each sleeps 250ms, so all reuse one FI.
         let reqs: Vec<BatchRequest> = (0..10)
             .map(|i| BatchRequest {
                 deployment: dep,
                 offset: SimDuration::from_secs(i),
-                body: RequestBody::Sleep { duration: SimDuration::from_millis(250) },
+                body: RequestBody::Sleep {
+                    duration: SimDuration::from_millis(250),
+                },
             })
             .collect();
         let outcomes = e.run_batch(reqs);
-        let unique: std::collections::HashSet<&str> =
-            outcomes.iter().map(|o| o.status.report().unwrap().instance_uuid.as_str()).collect();
+        let unique: std::collections::HashSet<&str> = outcomes
+            .iter()
+            .map(|o| &*o.status.report().unwrap().instance_uuid)
+            .collect();
         assert_eq!(unique.len(), 1, "all sequential requests share one warm FI");
-        let colds = outcomes.iter().filter(|o| o.status.report().unwrap().new_container).count();
+        let colds = outcomes
+            .iter()
+            .filter(|o| o.status.report().unwrap().new_container)
+            .count();
         assert_eq!(colds, 1);
     }
 
@@ -777,16 +907,23 @@ mod tests {
     fn concurrency_quota_throttles() {
         let mut e = engine(4);
         let acct = e.create_account(Provider::Aws);
-        let dep = e.deploy(acct, &az("eu-central-1a"), 1024, Arch::X86_64).unwrap();
+        let dep = e
+            .deploy(acct, &az("eu-central-1a"), 1024, Arch::X86_64)
+            .unwrap();
         let reqs: Vec<BatchRequest> = (0..1100)
             .map(|_| BatchRequest {
                 deployment: dep,
                 offset: SimDuration::ZERO,
-                body: RequestBody::Sleep { duration: SimDuration::from_secs(2) },
+                body: RequestBody::Sleep {
+                    duration: SimDuration::from_secs(2),
+                },
             })
             .collect();
         let outcomes = e.run_batch(reqs);
-        let throttled = outcomes.iter().filter(|o| o.status == InvocationStatus::Throttled).count();
+        let throttled = outcomes
+            .iter()
+            .filter(|o| o.status == InvocationStatus::Throttled)
+            .count();
         assert_eq!(throttled, 100, "quota is 1000 concurrent");
     }
 
@@ -796,7 +933,7 @@ mod tests {
         let a1 = e.create_account(Provider::Aws);
         let a2 = e.create_account(Provider::Aws);
         let zone = az("eu-north-1a"); // small pool
-        // Account 1 saturates the AZ with big-memory sleeps.
+                                      // Account 1 saturates the AZ with big-memory sleeps.
         let mut failures1 = 0usize;
         for wave in 0..12 {
             let dep = e.deploy(a1, &zone, 10_140 + wave, Arch::X86_64).unwrap();
@@ -804,7 +941,9 @@ mod tests {
                 .map(|_| BatchRequest {
                     deployment: dep,
                     offset: SimDuration::ZERO,
-                    body: RequestBody::Sleep { duration: SimDuration::from_millis(500) },
+                    body: RequestBody::Sleep {
+                        duration: SimDuration::from_millis(500),
+                    },
                 })
                 .collect();
             failures1 += e
@@ -813,19 +952,26 @@ mod tests {
                 .filter(|o| o.status == InvocationStatus::NoCapacity)
                 .count();
         }
-        assert!(failures1 > 0, "sustained polling should exhaust the small AZ");
+        assert!(
+            failures1 > 0,
+            "sustained polling should exhaust the small AZ"
+        );
         // Account 2 immediately sees capacity errors too (shared pool).
         let dep2 = e.deploy(a2, &zone, 10_240, Arch::X86_64).unwrap();
         let reqs: Vec<BatchRequest> = (0..800)
             .map(|_| BatchRequest {
                 deployment: dep2,
                 offset: SimDuration::ZERO,
-                body: RequestBody::Sleep { duration: SimDuration::from_millis(500) },
+                body: RequestBody::Sleep {
+                    duration: SimDuration::from_millis(500),
+                },
             })
             .collect();
         let outcomes2 = e.run_batch(reqs);
-        let failures2 =
-            outcomes2.iter().filter(|o| o.status == InvocationStatus::NoCapacity).count();
+        let failures2 = outcomes2
+            .iter()
+            .filter(|o| o.status == InvocationStatus::NoCapacity)
+            .count();
         assert!(
             failures2 > 400,
             "cross-account saturation: independent account mostly fails ({failures2}/800)"
@@ -837,15 +983,17 @@ mod tests {
         let mut e = engine(6);
         let acct = e.create_account(Provider::Aws);
         // us-east-2a is homogeneous 2.5GHz: banning it declines everything.
-        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
         let spec = WorkloadSpec::new(WorkloadKind::Zipper);
         let reqs: Vec<BatchRequest> = (0..20)
             .map(|_| BatchRequest {
                 deployment: dep,
                 offset: SimDuration::ZERO,
                 body: RequestBody::GatedWorkload {
-                    spec: spec.clone(),
-                    banned: vec![sky_cloud::CpuType::IntelXeon2_5],
+                    spec,
+                    banned: sky_cloud::CpuSet::from_slice(&[sky_cloud::CpuType::IntelXeon2_5]),
                     hold: SimDuration::from_millis(150),
                     max_retries: 0,
                     retry_latency: SimDuration::from_millis(60),
@@ -864,9 +1012,11 @@ mod tests {
         let mut e = engine(77);
         let acct = e.create_account(Provider::Aws);
         // us-west-1b: diverse mix with ~40% 3.0GHz hosts.
-        let dep = e.deploy(acct, &az("us-west-1b"), 2048, Arch::X86_64).unwrap();
+        let dep = e
+            .deploy(acct, &az("us-west-1b"), 2048, Arch::X86_64)
+            .unwrap();
         let spec = WorkloadSpec::new(WorkloadKind::Zipper);
-        let banned: Vec<sky_cloud::CpuType> = sky_cloud::CpuType::AWS_X86
+        let banned: sky_cloud::CpuSet = sky_cloud::CpuType::AWS_X86
             .iter()
             .copied()
             .filter(|&c| c != sky_cloud::CpuType::IntelXeon3_0)
@@ -876,8 +1026,8 @@ mod tests {
                 deployment: dep,
                 offset: SimDuration::from_millis(i % 40),
                 body: RequestBody::GatedWorkload {
-                    spec: spec.clone(),
-                    banned: banned.clone(),
+                    spec,
+                    banned,
                     hold: SimDuration::from_millis(150),
                     max_retries: 25,
                     retry_latency: SimDuration::from_millis(60),
@@ -900,7 +1050,10 @@ mod tests {
             "focus-fastest should land nearly all requests on 3.0GHz: {on_fast}/300"
         );
         let retried = outcomes.iter().filter(|o| o.attempts > 1).count();
-        assert!(retried > 100, "with ~40% fast share, many requests retry: {retried}");
+        assert!(
+            retried > 100,
+            "with ~40% fast share, many requests retry: {retried}"
+        );
         let total_retry_cost: f64 = outcomes.iter().map(|o| o.retry_cost_usd).sum();
         assert!(total_retry_cost > 0.0);
         // Retry overhead per retried request is ~152ms at 2GB: tiny vs
@@ -915,13 +1068,15 @@ mod tests {
         let mut e = engine(78);
         let acct = e.create_account(Provider::Aws);
         // Homogeneous 2.5GHz zone: banning 2.5GHz can never succeed.
-        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
         let outcomes = e.run_batch(vec![BatchRequest {
             deployment: dep,
             offset: SimDuration::ZERO,
             body: RequestBody::GatedWorkload {
                 spec: WorkloadSpec::new(WorkloadKind::Sha1Hash),
-                banned: vec![sky_cloud::CpuType::IntelXeon2_5],
+                banned: sky_cloud::CpuSet::from_slice(&[sky_cloud::CpuType::IntelXeon2_5]),
                 hold: SimDuration::from_millis(150),
                 max_retries: 4,
                 retry_latency: SimDuration::from_millis(60),
@@ -942,7 +1097,9 @@ mod tests {
             c
         });
         let acct = e.create_account(Provider::Aws);
-        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
         let spec = WorkloadSpec::new(WorkloadKind::LogisticRegression);
         let outcomes = e.run_batch(vec![BatchRequest {
             deployment: dep,
@@ -965,17 +1122,15 @@ mod tests {
             c
         });
         let acct = e.create_account(Provider::Aws);
-        let dep = e.deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64).unwrap();
-        let spec = WorkloadSpec::new(WorkloadKind::Sha1Hash)
-            .with_payload(5 * 1024 * 1024, 0xfeed);
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
+        let spec = WorkloadSpec::new(WorkloadKind::Sha1Hash).with_payload(5 * 1024 * 1024, 0xfeed);
         let mk = |offset_s: u64| BatchRequest {
             deployment: dep,
             offset: SimDuration::from_secs(offset_s),
-            body: RequestBody::Workload { spec: clone_spec(&spec) },
+            body: RequestBody::Workload { spec },
         };
-        fn clone_spec(s: &WorkloadSpec) -> WorkloadSpec {
-            s.clone()
-        }
         let outcomes = e.run_batch(vec![mk(0), mk(10)]);
         let first = outcomes[0].billed.as_millis_f64();
         let second = outcomes[1].billed.as_millis_f64();
@@ -989,7 +1144,9 @@ mod tests {
     fn day_tick_fires_on_advance() {
         let mut e = engine(10);
         let acct = e.create_account(Provider::Aws);
-        let _ = e.deploy(acct, &az("us-west-1b"), 2048, Arch::X86_64).unwrap();
+        let _ = e
+            .deploy(acct, &az("us-west-1b"), 2048, Arch::X86_64)
+            .unwrap();
         let before = e.platform(&az("us-west-1b")).unwrap().ground_truth_mix();
         e.advance_to(SimTime::start_of_day(10));
         let after = e.platform(&az("us-west-1b")).unwrap().ground_truth_mix();
@@ -1004,7 +1161,9 @@ mod tests {
         let run = |seed: u64| -> Vec<(bool, u64)> {
             let mut e = engine(seed);
             let acct = e.create_account(Provider::Aws);
-            let dep = e.deploy(acct, &az("us-west-1b"), 2048, Arch::X86_64).unwrap();
+            let dep = e
+                .deploy(acct, &az("us-west-1b"), 2048, Arch::X86_64)
+                .unwrap();
             let reqs: Vec<BatchRequest> = (0..100)
                 .map(|i| BatchRequest {
                     deployment: dep,

@@ -41,6 +41,4 @@ pub use engine::{DeployError, Deployment, FaasEngine, FleetConfig};
 pub use ids::{AccountId, DeploymentId, HostId, InstanceId};
 pub use platform::{AzPlatform, CapacityError, Host, Instance};
 pub use report::SaafReport;
-pub use request::{
-    BatchRequest, InvocationOutcome, InvocationStatus, RequestBody, WorkloadSpec,
-};
+pub use request::{BatchRequest, InvocationOutcome, InvocationStatus, RequestBody, WorkloadSpec};

@@ -40,8 +40,10 @@ impl Host {
 pub struct Instance {
     /// Engine-visible identity.
     pub id: InstanceId,
-    /// The uuid SAAF observes (persisted in the FI's `/tmp`).
-    pub uuid: String,
+    /// The uuid SAAF observes (persisted in the FI's `/tmp`). Shared
+    /// (`Arc`) so reports carry a refcount bump instead of a fresh
+    /// `String` per invocation.
+    pub uuid: std::sync::Arc<str>,
     /// Host index within the platform's host vector.
     pub host_index: usize,
     /// Host identity at placement time.
@@ -62,7 +64,52 @@ pub struct Instance {
     pub invocations: u64,
     /// Payload hashes already decoded and cached on this FI's scratch
     /// volume (the dynamic-function cache).
-    pub payload_cache: Vec<u64>,
+    pub payload_cache: PayloadCache,
+}
+
+/// Bounded FI-side payload cache: a fixed-size ring of payload hashes.
+///
+/// An FI's `/tmp` scratch volume is small, so the decoded-payload cache
+/// cannot grow without bound the way the old `Vec<u64>` did on
+/// long-lived instances. The ring keeps the most recent
+/// [`PayloadCache::CAPACITY`] distinct payloads and evicts the oldest
+/// insertion when full (FIFO — a real scratch dir would evict by mtime).
+#[derive(Debug, Clone, Default)]
+pub struct PayloadCache {
+    slots: [u64; PayloadCache::CAPACITY],
+    len: usize,
+    next: usize,
+}
+
+impl PayloadCache {
+    /// Maximum number of distinct payload hashes retained per FI.
+    pub const CAPACITY: usize = 32;
+
+    /// Whether `hash` is cached.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.slots[..self.len].contains(&hash)
+    }
+
+    /// Record `hash` as cached, evicting the oldest entry when full.
+    /// Re-inserting a cached hash is a no-op.
+    pub fn insert(&mut self, hash: u64) {
+        if self.contains(hash) {
+            return;
+        }
+        self.slots[self.next] = hash;
+        self.next = (self.next + 1) % Self::CAPACITY;
+        self.len = (self.len + 1).min(Self::CAPACITY);
+    }
+
+    /// Number of cached payloads.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 /// Why an instance could not be allocated.
@@ -129,7 +176,10 @@ impl AzPlatform {
     /// host/instance ids unique across platforms; `reuse_prob` is the
     /// under-burst warm-reuse probability (see `FleetConfig`).
     pub fn new(spec: AzSpec, id_base: u64, rng: SimRng, reuse_prob: f64) -> Self {
-        assert!((0.0..=1.0).contains(&reuse_prob), "reuse_prob must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&reuse_prob),
+            "reuse_prob must be a probability"
+        );
         let diurnal = DiurnalModel::new(spec.background_base, spec.diurnal_amplitude);
         let churn = ChurnModel::new(spec.churn, &spec.initial_mix);
         let mut platform = AzPlatform {
@@ -323,7 +373,7 @@ impl AzPlatform {
         let id = InstanceId::from_raw(self.id_base + self.next_instance);
         self.next_instance += 1;
         *self.busy_counts.entry(deployment).or_default() += 1;
-        let uuid = self.rng.next_uuid();
+        let uuid: std::sync::Arc<str> = self.rng.next_uuid().into();
         self.instances.insert(
             id,
             Instance {
@@ -338,7 +388,7 @@ impl AzPlatform {
                 keep_alive_until: now, // set on release
                 expire_epoch: 0,
                 invocations: 1,
-                payload_cache: Vec::new(),
+                payload_cache: PayloadCache::default(),
             },
         );
         Ok((id, true))
@@ -359,7 +409,10 @@ impl AzPlatform {
 
     /// Mark a (validated) idle instance busy and count the invocation.
     fn mark_busy(&mut self, id: InstanceId) -> InstanceId {
-        let inst = self.instances.get_mut(&id).expect("validated by pop_valid_warm");
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .expect("validated by pop_valid_warm");
         inst.busy = true;
         inst.invocations += 1;
         *self.busy_counts.entry(inst.deployment).or_default() += 1;
@@ -373,9 +426,7 @@ impl AzPlatform {
     fn place(&mut self, memory_mb: u32, arch: Arch) -> Option<usize> {
         if let Some(last) = self.last_host {
             let h = &self.hosts[last];
-            if h.arch == arch
-                && h.free_mb() >= memory_mb as u64
-                && self.rng.chance(self.stickiness)
+            if h.arch == arch && h.free_mb() >= memory_mb as u64 && self.rng.chance(self.stickiness)
             {
                 return Some(last);
             }
@@ -431,8 +482,16 @@ impl AzPlatform {
     /// # Panics
     ///
     /// Panics if the instance is unknown or not busy (an engine bug).
-    pub fn release(&mut self, id: InstanceId, now: SimTime, keep_alive: SimDuration) -> (SimTime, u64) {
-        let inst = self.instances.get_mut(&id).expect("release of unknown instance");
+    pub fn release(
+        &mut self,
+        id: InstanceId,
+        now: SimTime,
+        keep_alive: SimDuration,
+    ) -> (SimTime, u64) {
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .expect("release of unknown instance");
         assert!(inst.busy, "release of idle instance");
         inst.busy = false;
         inst.keep_alive_until = now + keep_alive;
@@ -440,7 +499,10 @@ impl AzPlatform {
         let deployment = inst.deployment;
         let result = (inst.keep_alive_until, inst.expire_epoch);
         self.warm_idle.entry(deployment).or_default().push(id);
-        let busy = self.busy_counts.get_mut(&deployment).expect("busy count tracked");
+        let busy = self
+            .busy_counts
+            .get_mut(&deployment)
+            .expect("busy count tracked");
         *busy -= 1;
         result
     }
@@ -449,9 +511,7 @@ impl AzPlatform {
     /// past its keep-alive, and the epoch matches (stale events no-op).
     pub fn expire(&mut self, id: InstanceId, epoch: u64, now: SimTime) {
         let destroy = match self.instances.get(&id) {
-            Some(inst) => {
-                !inst.busy && inst.expire_epoch == epoch && now >= inst.keep_alive_until
-            }
+            Some(inst) => !inst.busy && inst.expire_epoch == epoch && now >= inst.keep_alive_until,
             None => false,
         };
         if destroy {
@@ -505,7 +565,10 @@ impl AzPlatform {
                 if let Some(v) = self.by_cpu.get_mut(&(Arch::X86_64, old_cpu)) {
                     v.retain(|&x| x != i);
                 }
-                self.by_cpu.entry((Arch::X86_64, new_cpu)).or_default().push(i);
+                self.by_cpu
+                    .entry((Arch::X86_64, new_cpu))
+                    .or_default()
+                    .push(i);
                 self.hosts[i].cpu = new_cpu;
             }
             self.hosts[i].id = HostId::from_raw(self.id_base + self.next_host);
@@ -563,10 +626,7 @@ mod tests {
     #[test]
     fn fleet_matches_spec_and_mix() {
         let p = platform("us-west-1a");
-        assert_eq!(
-            p.host_count() as u32,
-            p.spec().hosts + p.spec().arm_hosts
-        );
+        assert_eq!(p.host_count() as u32, p.spec().hosts + p.spec().arm_hosts);
         let gt = p.ground_truth_mix();
         // Host-count mix approximates the spec mix (multinomial noise).
         let ape = gt.ape_percent(&p.spec().initial_mix);
@@ -580,8 +640,14 @@ mod tests {
         let t0 = SimTime::ZERO;
         let (a, cold_a) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
         assert!(cold_a);
-        p.release(a, t0 + SimDuration::from_millis(100), SimDuration::from_mins(6));
-        let (b, cold_b) = p.acquire(dep, 2048, Arch::X86_64, t0 + SimDuration::from_millis(200)).unwrap();
+        p.release(
+            a,
+            t0 + SimDuration::from_millis(100),
+            SimDuration::from_mins(6),
+        );
+        let (b, cold_b) = p
+            .acquire(dep, 2048, Arch::X86_64, t0 + SimDuration::from_millis(200))
+            .unwrap();
         assert!(!cold_b, "second request should reuse the warm FI");
         assert_eq!(a, b);
         assert_eq!(p.instance(a).unwrap().invocations, 2);
@@ -604,8 +670,19 @@ mod tests {
         let d1 = DeploymentId::from_raw(1);
         let d2 = DeploymentId::from_raw(2);
         let (a, _) = p.acquire(d1, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
-        p.release(a, SimTime::ZERO + SimDuration::from_millis(10), SimDuration::from_mins(6));
-        let (b, cold) = p.acquire(d2, 2048, Arch::X86_64, SimTime::ZERO + SimDuration::from_millis(20)).unwrap();
+        p.release(
+            a,
+            SimTime::ZERO + SimDuration::from_millis(10),
+            SimDuration::from_mins(6),
+        );
+        let (b, cold) = p
+            .acquire(
+                d2,
+                2048,
+                Arch::X86_64,
+                SimTime::ZERO + SimDuration::from_millis(20),
+            )
+            .unwrap();
         assert!(cold, "different deployment must not reuse the FI");
         assert_ne!(a, b);
     }
@@ -634,7 +711,9 @@ mod tests {
         let (a, _) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
         let (deadline, epoch) = p.release(a, t0, SimDuration::from_mins(6));
         // Reuse before expiry.
-        let (b, _) = p.acquire(dep, 2048, Arch::X86_64, t0 + SimDuration::from_mins(1)).unwrap();
+        let (b, _) = p
+            .acquire(dep, 2048, Arch::X86_64, t0 + SimDuration::from_mins(1))
+            .unwrap();
         assert_eq!(a, b);
         // Stale expire event must not kill the busy instance.
         p.expire(a, epoch, deadline);
@@ -708,5 +787,28 @@ mod tests {
         let midnight = p.remaining_capacity(2048, Arch::X86_64, 3.0);
         let peak = p.remaining_capacity(2048, Arch::X86_64, 15.0);
         assert!(midnight > peak, "{midnight} vs {peak}");
+    }
+
+    #[test]
+    fn payload_cache_is_bounded_and_evicts_fifo() {
+        let mut cache = PayloadCache::default();
+        assert!(cache.is_empty());
+        // Re-insertion of a cached hash is a no-op.
+        cache.insert(7);
+        cache.insert(7);
+        assert_eq!(cache.len(), 1);
+        // Fill past capacity: size stays bounded and the oldest
+        // insertions are evicted first.
+        for h in 0..(2 * PayloadCache::CAPACITY as u64) {
+            cache.insert(1_000 + h);
+        }
+        assert_eq!(cache.len(), PayloadCache::CAPACITY);
+        assert!(!cache.contains(7), "oldest entry evicted");
+        assert!(!cache.contains(1_000), "early entries evicted");
+        let newest = 1_000 + 2 * PayloadCache::CAPACITY as u64 - 1;
+        let oldest_kept = newest - (PayloadCache::CAPACITY as u64 - 1);
+        for h in oldest_kept..=newest {
+            assert!(cache.contains(h), "recent entry {h} retained");
+        }
     }
 }

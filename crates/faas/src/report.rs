@@ -11,17 +11,23 @@ use crate::ids::{HostId, InstanceId};
 use serde::{Deserialize, Serialize};
 use sky_cloud::{Arch, AzId, CpuType, Provider};
 use sky_sim::{SimDuration, SimTime};
+use std::borrow::Cow;
+use std::sync::Arc;
 
 /// Profiling data attached to a successful (or declined) invocation.
+///
+/// Built once per invocation on the engine's hot path, so the string
+/// fields avoid per-report allocation: `cpu_model` borrows the catalog's
+/// `&'static str` model name and `instance_uuid` shares the FI's `Arc`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SaafReport {
     /// `/proc/cpuinfo` model-name string observed inside the FI.
-    pub cpu_model: String,
+    pub cpu_model: Cow<'static, str>,
     /// Nominal clock speed scraped alongside, GHz.
     pub cpu_ghz: f64,
     /// Unique identity of the function instance (persisted in the FI's
     /// `/tmp` across warm invocations, exactly how SAAF counts FIs).
-    pub instance_uuid: String,
+    pub instance_uuid: Arc<str>,
     /// Host identity (boot id); multiple FIs can share a host.
     pub host_id: HostId,
     /// Engine-internal instance id (stable alias of `instance_uuid`).
@@ -58,7 +64,7 @@ mod tests {
 
     fn report(cpu: CpuType) -> SaafReport {
         SaafReport {
-            cpu_model: cpu.model_name().to_string(),
+            cpu_model: cpu.model_name().into(),
             cpu_ghz: cpu.clock_ghz(),
             instance_uuid: "0000-x".into(),
             host_id: HostId::from_raw(1),

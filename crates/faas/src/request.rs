@@ -3,12 +3,12 @@
 use crate::ids::DeploymentId;
 use crate::report::SaafReport;
 use serde::{Deserialize, Serialize};
-use sky_cloud::CpuType;
+use sky_cloud::CpuSet;
 use sky_sim::{SimDuration, SimTime};
 use sky_workloads::WorkloadKind;
 
 /// A workload specification carried in a dynamic-function payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
     /// Which Table-1 workload to run.
     pub kind: WorkloadKind,
@@ -24,7 +24,12 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// A spec with a tiny default payload (source code only).
     pub fn new(kind: WorkloadKind) -> Self {
-        WorkloadSpec { kind, scale: 1, payload_bytes: 4 * 1024, payload_hash: kind as u64 }
+        WorkloadSpec {
+            kind,
+            scale: 1,
+            payload_bytes: 4 * 1024,
+            payload_hash: kind as u64,
+        }
     }
 
     /// Override the problem-size multiplier.
@@ -42,7 +47,10 @@ impl WorkloadSpec {
 }
 
 /// What the invoked function does.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy` by design: the engine compiles each batch request into a flat
+/// per-attempt record, and a `Copy` body keeps retries allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum RequestBody {
     /// Sleep for a fixed interval — the infrastructure-sampling probe.
     /// Billed for the sleep duration plus a small handler overhead.
@@ -65,8 +73,8 @@ pub enum RequestBody {
     GatedWorkload {
         /// The workload to run if the CPU is acceptable.
         spec: WorkloadSpec,
-        /// CPU types to refuse.
-        banned: Vec<CpuType>,
+        /// CPU types to refuse (bitmask — membership is one AND).
+        banned: CpuSet,
         /// Hold duration applied when declining (the paper uses 150 ms).
         hold: SimDuration,
         /// Maximum automatic reissues after declines (0 = report the
@@ -89,7 +97,7 @@ impl RequestBody {
 }
 
 /// One request in a batch handed to the engine.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchRequest {
     /// The deployment to invoke.
     pub deployment: DeploymentId,
@@ -132,7 +140,10 @@ impl InvocationStatus {
 
     /// Whether the platform rejected the request (throttle or capacity).
     pub fn is_error(&self) -> bool {
-        matches!(self, InvocationStatus::Throttled | InvocationStatus::NoCapacity)
+        matches!(
+            self,
+            InvocationStatus::Throttled | InvocationStatus::NoCapacity
+        )
     }
 }
 
@@ -185,17 +196,22 @@ mod tests {
         assert_eq!(s.scale, 3);
         assert_eq!(s.payload_bytes, 1024);
         assert_eq!(s.payload_hash, 99);
-        assert_eq!(WorkloadSpec::new(WorkloadKind::Zipper).with_scale(0).scale, 1);
+        assert_eq!(
+            WorkloadSpec::new(WorkloadKind::Zipper).with_scale(0).scale,
+            1
+        );
     }
 
     #[test]
     fn body_spec_accessor() {
-        let sleep = RequestBody::Sleep { duration: SimDuration::from_millis(250) };
+        let sleep = RequestBody::Sleep {
+            duration: SimDuration::from_millis(250),
+        };
         assert!(sleep.workload_spec().is_none());
         let spec = WorkloadSpec::new(WorkloadKind::GraphBfs);
         let gated = RequestBody::GatedWorkload {
-            spec: spec.clone(),
-            banned: vec![CpuType::AmdEpyc],
+            spec,
+            banned: CpuSet::from_slice(&[sky_cloud::CpuType::AmdEpyc]),
             hold: SimDuration::from_millis(150),
             max_retries: 5,
             retry_latency: SimDuration::from_millis(60),

@@ -11,9 +11,9 @@
 
 use crate::payload::{self, PayloadBundle, PayloadError};
 use serde::{Deserialize, Serialize};
+use sky_cloud::CpuSet;
 use sky_faas::{RequestBody, WorkloadSpec};
 use sky_sim::SimDuration;
-use sky_cloud::CpuType;
 use sky_workloads::{execute, EphemeralFs, WorkloadKind, WorkloadRequest, WorkloadResult};
 
 /// The "program" a dynamic function interprets. Serialized as JSON in the
@@ -66,7 +66,11 @@ impl From<PayloadError> for DynFnError {
 impl DynamicSource {
     /// A source program for a workload kind.
     pub fn for_workload(kind: WorkloadKind, seed: u64) -> Self {
-        DynamicSource { workload: kind.name().to_string(), scale: 1, seed }
+        DynamicSource {
+            workload: kind.name().to_string(),
+            scale: 1,
+            seed,
+        }
     }
 
     /// Override the problem-size multiplier.
@@ -164,7 +168,7 @@ impl Default for GateConfig {
 pub fn build_gated_request(
     source: &DynamicSource,
     extra_files: &[(String, Vec<u8>)],
-    banned: Vec<CpuType>,
+    banned: CpuSet,
     gate: GateConfig,
 ) -> Result<DynFnRequest, DynFnError> {
     let spec = build_spec(source, extra_files)?;
@@ -216,19 +220,23 @@ fn build_spec(
 pub fn interpret(transport: &str, fs: &mut EphemeralFs) -> Result<WorkloadResult, DynFnError> {
     let bundle = payload::decode(transport)?;
     for (name, data) in &bundle.files {
-        fs.write(name, data).map_err(|_| {
-            DynFnError::Payload(PayloadError::TooLarge { bytes: data.len() })
-        })?;
+        fs.write(name, data)
+            .map_err(|_| DynFnError::Payload(PayloadError::TooLarge { bytes: data.len() }))?;
     }
     let source = DynamicSource::from_json(&bundle.source)?;
     let kind = source.kind()?;
-    let req = WorkloadRequest { kind, scale: source.scale, seed: source.seed };
+    let req = WorkloadRequest {
+        kind,
+        scale: source.scale,
+        seed: source.seed,
+    };
     Ok(execute(&req, fs))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sky_cloud::CpuType;
 
     #[test]
     fn source_json_roundtrip() {
@@ -257,7 +265,10 @@ mod tests {
             scale: 1,
             seed: 0,
         };
-        assert!(matches!(unknown.kind(), Err(DynFnError::UnknownWorkload(_))));
+        assert!(matches!(
+            unknown.kind(),
+            Err(DynFnError::UnknownWorkload(_))
+        ));
     }
 
     #[test]
@@ -280,12 +291,18 @@ mod tests {
         let req = build_gated_request(
             &src,
             &[],
-            vec![CpuType::AmdEpyc, CpuType::IntelXeon2_9],
+            CpuSet::from_slice(&[CpuType::AmdEpyc, CpuType::IntelXeon2_9]),
             GateConfig::default(),
         )
         .unwrap();
         match &req.body {
-            RequestBody::GatedWorkload { banned, hold, max_retries, retry_latency, .. } => {
+            RequestBody::GatedWorkload {
+                banned,
+                hold,
+                max_retries,
+                retry_latency,
+                ..
+            } => {
                 assert_eq!(banned.len(), 2);
                 assert_eq!(*hold, SimDuration::from_millis(150));
                 assert_eq!(*max_retries, 10);
@@ -327,6 +344,10 @@ mod tests {
             _ => unreachable!(),
         };
         assert_eq!(hash(&a), hash(&b), "identical payloads share the cache key");
-        assert_ne!(hash(&a), hash(&c), "seed is part of the source, so the key differs");
+        assert_ne!(
+            hash(&a),
+            hash(&c),
+            "seed is part of the source, so the key differs"
+        );
     }
 }

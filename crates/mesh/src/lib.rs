@@ -32,6 +32,9 @@ pub mod dynfn;
 pub mod mesh;
 pub mod payload;
 
-pub use dynfn::{build_gated_request, build_request, interpret, DynFnError, DynFnRequest, DynamicSource, GateConfig};
+pub use dynfn::{
+    build_gated_request, build_request, interpret, DynFnError, DynFnRequest, DynamicSource,
+    GateConfig,
+};
 pub use mesh::{DynFnVariant, MeshKey, SkyMesh};
 pub use payload::{EncodedPayload, PayloadBundle, PayloadError, MAX_PAYLOAD_BYTES};

@@ -13,9 +13,7 @@ use sky_faas::{AccountId, DeployError, DeploymentId, FaasEngine};
 use std::collections::BTreeMap;
 
 /// The dynamic-function code variant deployed at an endpoint.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum DynFnVariant {
     /// The plain dynamic function (source-in-payload execution).
     Plain,
@@ -57,8 +55,7 @@ impl SkyMesh {
     ///
     /// Propagates any [`DeployError`] (none occur with a stock catalog).
     pub fn deploy_global(engine: &mut FaasEngine) -> Result<SkyMesh, DeployError> {
-        let regions: Vec<RegionId> =
-            engine.catalog().regions().map(|r| r.id.clone()).collect();
+        let regions: Vec<RegionId> = engine.catalog().regions().map(|r| r.id.clone()).collect();
         Self::deploy_regions(engine, &regions)
     }
 
@@ -93,7 +90,12 @@ impl SkyMesh {
                 for &arch in provider.arch_options() {
                     let dep = engine.deploy(account, &az, memory_mb, arch)?;
                     deployments.insert(
-                        MeshKey { az: az.clone(), memory_mb, arch, variant: DynFnVariant::Plain },
+                        MeshKey {
+                            az: az.clone(),
+                            memory_mb,
+                            arch,
+                            variant: DynFnVariant::Plain,
+                        },
                         dep,
                     );
                     // CPU-aware variant: x86 only (heterogeneity target).
@@ -112,7 +114,10 @@ impl SkyMesh {
                 }
             }
         }
-        Ok(SkyMesh { deployments, accounts })
+        Ok(SkyMesh {
+            deployments,
+            accounts,
+        })
     }
 
     /// Look up the deployment at a mesh endpoint.
@@ -190,15 +195,17 @@ mod tests {
     #[test]
     fn regional_mesh_shape() {
         let mut e = engine();
-        let mesh =
-            SkyMesh::deploy_regions(&mut e, &[RegionId::new("us-west-1")]).unwrap();
+        let mesh = SkyMesh::deploy_regions(&mut e, &[RegionId::new("us-west-1")]).unwrap();
         // 2 AZs x (9 mem x 2 arch plain + 9 mem cpu-aware) = 2 x 27 = 54.
         assert_eq!(mesh.len(), 54);
         assert_eq!(mesh.azs().len(), 2);
         let az: AzId = "us-west-1b".parse().unwrap();
         assert!(mesh.plain_x86(&az, 2048).is_some());
         assert!(mesh.cpu_aware_x86(&az, 2048).is_some());
-        assert!(mesh.plain_x86(&az, 3333).is_none(), "not a mesh memory point");
+        assert!(
+            mesh.plain_x86(&az, 3333).is_none(),
+            "not a mesh memory point"
+        );
         assert_ne!(
             mesh.plain_x86(&az, 2048),
             mesh.cpu_aware_x86(&az, 2048),
@@ -224,9 +231,11 @@ mod tests {
     #[test]
     fn arm_endpoints_only_on_aws() {
         let mut e = engine();
-        let mesh =
-            SkyMesh::deploy_regions(&mut e, &[RegionId::new("us-east-2"), RegionId::new("eu-de")])
-                .unwrap();
+        let mesh = SkyMesh::deploy_regions(
+            &mut e,
+            &[RegionId::new("us-east-2"), RegionId::new("eu-de")],
+        )
+        .unwrap();
         let arm_endpoints: Vec<&MeshKey> = mesh
             .iter()
             .map(|(k, _)| k)

@@ -37,7 +37,10 @@ impl std::fmt::Display for PayloadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PayloadError::TooLarge { bytes } => {
-                write!(f, "payload of {bytes} bytes exceeds the {MAX_PAYLOAD_BYTES} byte cap")
+                write!(
+                    f,
+                    "payload of {bytes} bytes exceeds the {MAX_PAYLOAD_BYTES} byte cap"
+                )
             }
             PayloadError::Encoding(e) => write!(f, "payload base64 error: {e}"),
             PayloadError::Compression(e) => write!(f, "payload decompression error: {e}"),
@@ -61,7 +64,10 @@ pub struct PayloadBundle {
 impl PayloadBundle {
     /// A bundle containing only source code.
     pub fn source_only(source: impl Into<String>) -> Self {
-        PayloadBundle { source: source.into(), files: Vec::new() }
+        PayloadBundle {
+            source: source.into(),
+            files: Vec::new(),
+        }
     }
 
     /// Add a data file.
@@ -117,8 +123,7 @@ fn read_chunk<'a>(data: &'a [u8], pos: &mut usize) -> Result<&'a [u8], PayloadEr
     if *pos + 4 > data.len() {
         return Err(PayloadError::Container("truncated length prefix"));
     }
-    let len =
-        u32::from_le_bytes(data[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
+    let len = u32::from_le_bytes(data[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
     *pos += 4;
     if *pos + len > data.len() {
         return Err(PayloadError::Container("truncated chunk body"));
@@ -164,8 +169,7 @@ pub fn encode(bundle: &PayloadBundle) -> Result<EncodedPayload, PayloadError> {
 ///
 /// Any layer can fail on corrupt input; see [`PayloadError`].
 pub fn decode(body: &str) -> Result<PayloadBundle, PayloadError> {
-    let compressed =
-        base64::decode(body).map_err(|e| PayloadError::Encoding(e.to_string()))?;
+    let compressed = base64::decode(body).map_err(|e| PayloadError::Encoding(e.to_string()))?;
     let container =
         lzss::decompress(&compressed).map_err(|e| PayloadError::Compression(e.to_string()))?;
     let mut pos = 0usize;
@@ -175,8 +179,7 @@ pub fn decode(body: &str) -> Result<PayloadBundle, PayloadError> {
     if pos + 4 > container.len() {
         return Err(PayloadError::Container("missing file count"));
     }
-    let n_files =
-        u32::from_le_bytes(container[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+    let n_files = u32::from_le_bytes(container[pos..pos + 4].try_into().expect("4 bytes")) as usize;
     pos += 4;
     let mut files = Vec::with_capacity(n_files.min(1024));
     for _ in 0..n_files {
@@ -195,8 +198,7 @@ pub fn decode(body: &str) -> Result<PayloadBundle, PayloadError> {
 /// Verify that a transport body matches its advertised SHA-1 (the
 /// FI-side cache-hit check).
 pub fn verify(body: &str, expected_sha1_hex: &str) -> Result<bool, PayloadError> {
-    let compressed =
-        base64::decode(body).map_err(|e| PayloadError::Encoding(e.to_string()))?;
+    let compressed = base64::decode(body).map_err(|e| PayloadError::Encoding(e.to_string()))?;
     let container =
         lzss::decompress(&compressed).map_err(|e| PayloadError::Compression(e.to_string()))?;
     Ok(sha1(&container).to_hex() == expected_sha1_hex)
@@ -228,7 +230,12 @@ mod tests {
 
     #[test]
     fn repetitive_payload_compresses_in_transport() {
-        let big: Vec<u8> = b"AAAABBBBCCCC".iter().copied().cycle().take(200_000).collect();
+        let big: Vec<u8> = b"AAAABBBBCCCC"
+            .iter()
+            .copied()
+            .cycle()
+            .take(200_000)
+            .collect();
         let bundle = PayloadBundle::source_only("s").with_file("big", big);
         let enc = encode(&bundle).unwrap();
         assert!(
@@ -242,7 +249,10 @@ mod tests {
     fn size_cap_enforced() {
         let bundle =
             PayloadBundle::source_only("s").with_file("huge", vec![0u8; MAX_PAYLOAD_BYTES + 1]);
-        assert!(matches!(encode(&bundle), Err(PayloadError::TooLarge { .. })));
+        assert!(matches!(
+            encode(&bundle),
+            Err(PayloadError::TooLarge { .. })
+        ));
         // Exactly at cap (minus bookkeeping) passes.
         let ok = PayloadBundle::source_only("").with_file("x", vec![0u8; MAX_PAYLOAD_BYTES - 1]);
         assert!(encode(&ok).is_ok());
@@ -290,6 +300,9 @@ mod tests {
         push_chunk(&mut container, &[0xff, 0xfe]);
         container.extend_from_slice(&0u32.to_le_bytes());
         let body = base64::encode(&lzss::compress(&container));
-        assert!(matches!(decode(&body), Err(PayloadError::Container("source is not UTF-8"))));
+        assert!(matches!(
+            decode(&body),
+            Err(PayloadError::Container("source is not UTF-8"))
+        ));
     }
 }

@@ -196,10 +196,16 @@ impl SimRng {
     /// Panics if `weights` is empty, contains a negative or non-finite
     /// value, or sums to zero.
     pub fn weighted_choice(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_choice requires non-empty weights");
+        assert!(
+            !weights.is_empty(),
+            "weighted_choice requires non-empty weights"
+        );
         let mut total = 0.0;
         for &w in weights {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and non-negative"
+            );
             total += w;
         }
         assert!(total > 0.0, "weights must not all be zero");
@@ -374,7 +380,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle should move something");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle should move something"
+        );
     }
 
     #[test]

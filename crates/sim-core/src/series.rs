@@ -19,7 +19,10 @@ pub struct Series {
 impl Series {
     /// An empty series with the given display name.
     pub fn new(name: impl Into<String>) -> Self {
-        Series { name: name.into(), points: Vec::new() }
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append one point.
@@ -51,7 +54,10 @@ impl Series {
     /// Smallest x at which `y <= threshold`, scanning in x order.
     /// Used for "samples needed to reach 95 % accuracy"-type questions.
     pub fn first_x_below(&self, threshold: f64) -> Option<f64> {
-        self.points.iter().find(|&&(_, y)| y <= threshold).map(|&(x, _)| x)
+        self.points
+            .iter()
+            .find(|&&(_, y)| y <= threshold)
+            .map(|&(x, _)| x)
     }
 
     /// Render the series as a two-column text block.
@@ -67,7 +73,10 @@ impl Series {
 
 impl FromIterator<(f64, f64)> for Series {
     fn from_iter<T: IntoIterator<Item = (f64, f64)>>(iter: T) -> Self {
-        Series { name: String::new(), points: iter.into_iter().collect() }
+        Series {
+            name: String::new(),
+            points: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -33,7 +33,14 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     /// Add one sample.
@@ -171,7 +178,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, n: usize) -> Self {
         assert!(n > 0, "histogram needs at least one bucket");
         assert!(lo < hi, "histogram range must be non-empty");
-        Histogram { lo, hi, buckets: vec![0; n], underflow: 0, overflow: 0, count: 0 }
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
     }
 
     /// Record one sample.

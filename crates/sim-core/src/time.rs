@@ -121,7 +121,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
     }
 
@@ -131,7 +134,10 @@ impl SimDuration {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn from_millis_f64(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((ms * MICROS_PER_MILLI as f64).round() as u64)
     }
 
@@ -159,7 +165,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -259,11 +268,20 @@ mod tests {
     #[test]
     fn arithmetic() {
         let t = SimTime::ZERO + SimDuration::from_secs(10);
-        assert_eq!(t.saturating_since(SimTime::ZERO), SimDuration::from_secs(10));
+        assert_eq!(
+            t.saturating_since(SimTime::ZERO),
+            SimDuration::from_secs(10)
+        );
         assert_eq!(SimTime::ZERO.saturating_since(t), SimDuration::ZERO);
-        assert_eq!(t.checked_since(SimTime::ZERO), Some(SimDuration::from_secs(10)));
+        assert_eq!(
+            t.checked_since(SimTime::ZERO),
+            Some(SimDuration::from_secs(10))
+        );
         assert_eq!(SimTime::ZERO.checked_since(t), None);
-        assert_eq!(t - SimDuration::from_secs(4), SimTime::ZERO + SimDuration::from_secs(6));
+        assert_eq!(
+            t - SimDuration::from_secs(4),
+            SimTime::ZERO + SimDuration::from_secs(6)
+        );
     }
 
     #[test]
@@ -275,8 +293,14 @@ mod tests {
 
     #[test]
     fn from_fractional() {
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
-        assert_eq!(SimDuration::from_millis_f64(1.5), SimDuration::from_micros(1500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
+        assert_eq!(
+            SimDuration::from_millis_f64(1.5),
+            SimDuration::from_micros(1500)
+        );
     }
 
     #[test]
@@ -298,8 +322,9 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            [SimDuration::from_secs(1), SimDuration::from_millis(500)].into_iter().sum();
+        let total: SimDuration = [SimDuration::from_secs(1), SimDuration::from_millis(500)]
+            .into_iter()
+            .sum();
         assert_eq!(total, SimDuration::from_millis(1500));
     }
 }

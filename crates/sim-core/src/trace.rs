@@ -64,14 +64,24 @@ impl Tracer {
     /// A tracer recording events at or above `min_level`, keeping at most
     /// `capacity` events (oldest dropped first).
     pub fn new(min_level: TraceLevel, capacity: usize) -> Self {
-        Tracer { min_level, capacity: capacity.max(1), events: VecDeque::new(), dropped: 0 }
+        Tracer {
+            min_level,
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
     }
 
     /// A tracer that records nothing (capacity 1, level above Warn is not
     /// expressible, so we filter by an always-false capacity trick is not
     /// needed — Warn-only with tiny capacity is cheap enough).
     pub fn disabled() -> Self {
-        Tracer { min_level: TraceLevel::Warn, capacity: 1, events: VecDeque::new(), dropped: 0 }
+        Tracer {
+            min_level: TraceLevel::Warn,
+            capacity: 1,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
     }
 
     /// Record an event if it passes the level filter.
@@ -83,7 +93,12 @@ impl Tracer {
             self.events.pop_front();
             self.dropped += 1;
         }
-        self.events.push_back(TraceEvent { at, level, tag, message });
+        self.events.push_back(TraceEvent {
+            at,
+            level,
+            tag,
+            message,
+        });
     }
 
     /// Record at [`TraceLevel::Debug`].

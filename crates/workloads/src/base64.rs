@@ -88,8 +88,16 @@ pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
         }
         let c0 = decode_char(quad[0])?;
         let c1 = decode_char(quad[1])?;
-        let c2 = if quad[2] == b'=' { 0 } else { decode_char(quad[2])? };
-        let c3 = if quad[3] == b'=' { 0 } else { decode_char(quad[3])? };
+        let c2 = if quad[2] == b'=' {
+            0
+        } else {
+            decode_char(quad[2])?
+        };
+        let c3 = if quad[3] == b'=' {
+            0
+        } else {
+            decode_char(quad[3])?
+        };
         let triple = (c0 << 18) | (c1 << 12) | (c2 << 6) | c3;
         out.push((triple >> 16) as u8);
         if quad[2] != b'=' {

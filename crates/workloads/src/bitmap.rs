@@ -23,8 +23,15 @@ impl Bitmap {
     ///
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "bitmap dimensions must be positive");
-        Bitmap { width, height, pixels: vec![0; 3 * width * height] }
+        assert!(
+            width > 0 && height > 0,
+            "bitmap dimensions must be positive"
+        );
+        Bitmap {
+            width,
+            height,
+            pixels: vec![0; 3 * width * height],
+        }
     }
 
     /// Generate a pseudo-random image with smooth structure (random
@@ -98,7 +105,10 @@ impl Bitmap {
     ///
     /// Panics if either target dimension is zero.
     pub fn scale(&self, new_width: usize, new_height: usize) -> Bitmap {
-        assert!(new_width > 0 && new_height > 0, "target dimensions must be positive");
+        assert!(
+            new_width > 0 && new_height > 0,
+            "target dimensions must be positive"
+        );
         let mut out = Bitmap::new(new_width, new_height);
         let sx = self.width as f64 / new_width as f64;
         let sy = self.height as f64 / new_height as f64;

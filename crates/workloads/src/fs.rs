@@ -27,8 +27,14 @@ impl fmt::Display for FsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FsError::NotFound(p) => write!(f, "file not found: {p}"),
-            FsError::VolumeFull { capacity, requested } => {
-                write!(f, "ephemeral volume full: {requested} bytes requested, capacity {capacity}")
+            FsError::VolumeFull {
+                capacity,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "ephemeral volume full: {requested} bytes requested, capacity {capacity}"
+                )
             }
         }
     }
@@ -92,7 +98,10 @@ impl EphemeralFs {
         let existing = self.files.get(path).map(|f| f.len()).unwrap_or(0);
         let after = self.used - existing + data.len();
         if after > self.capacity {
-            return Err(FsError::VolumeFull { capacity: self.capacity, requested: after });
+            return Err(FsError::VolumeFull {
+                capacity: self.capacity,
+                requested: after,
+            });
         }
         self.files.insert(path.to_string(), data.to_vec());
         self.used = after;
@@ -108,9 +117,15 @@ impl EphemeralFs {
     pub fn append(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
         let after = self.used + data.len();
         if after > self.capacity {
-            return Err(FsError::VolumeFull { capacity: self.capacity, requested: after });
+            return Err(FsError::VolumeFull {
+                capacity: self.capacity,
+                requested: after,
+            });
         }
-        self.files.entry(path.to_string()).or_default().extend_from_slice(data);
+        self.files
+            .entry(path.to_string())
+            .or_default()
+            .extend_from_slice(data);
         self.used = after;
         self.bytes_written += data.len() as u64;
         Ok(())
@@ -220,7 +235,13 @@ mod tests {
         let mut fs = EphemeralFs::with_capacity(8);
         fs.write("a", b"1234").unwrap();
         let err = fs.write("b", b"123456").unwrap_err();
-        assert!(matches!(err, FsError::VolumeFull { capacity: 8, requested: 10 }));
+        assert!(matches!(
+            err,
+            FsError::VolumeFull {
+                capacity: 8,
+                requested: 10
+            }
+        ));
         // Volume unchanged after the failed write.
         assert_eq!(fs.used(), 4);
         assert!(!fs.exists("b"));

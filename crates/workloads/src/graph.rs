@@ -29,7 +29,11 @@ impl Graph {
         assert!(n > 0, "graph needs at least one vertex");
         let mut edges = Vec::new();
         let mut adj = vec![Vec::new(); n];
-        let push = |edges: &mut Vec<(u32, u32, u32)>, adj: &mut Vec<Vec<u32>>, a: usize, b: usize, w: u32| {
+        let push = |edges: &mut Vec<(u32, u32, u32)>,
+                    adj: &mut Vec<Vec<u32>>,
+                    a: usize,
+                    b: usize,
+                    w: u32| {
             let (u, v) = if a < b { (a, b) } else { (b, a) };
             edges.push((u as u32, v as u32, w));
             adj[u].push(v as u32);
@@ -194,7 +198,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[lo] = hi as u32;
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;
@@ -226,7 +234,10 @@ mod tests {
     fn generated_graph_is_connected() {
         let g = Graph::generate(500, 4, &mut rng());
         let dist = g.bfs(0);
-        assert!(dist.iter().all(|&d| d != u32::MAX), "all vertices reachable");
+        assert!(
+            dist.iter().all(|&d| d != u32::MAX),
+            "all vertices reachable"
+        );
         assert_eq!(g.n_vertices(), 500);
         assert!(g.n_edges() >= 499);
     }

@@ -37,7 +37,10 @@ impl JsonValue {
         let mut i = 0usize;
         while budget > 0 {
             let key = format!("root_{i}");
-            map.insert(key, Self::gen_node(&mut budget, max_depth.saturating_sub(1), rng));
+            map.insert(
+                key,
+                Self::gen_node(&mut budget, max_depth.saturating_sub(1), rng),
+            );
             i += 1;
         }
         JsonValue::Object(map)
@@ -104,12 +107,8 @@ impl JsonValue {
     /// Maximum nesting depth (a leaf has depth 1).
     pub fn depth(&self) -> usize {
         match self {
-            JsonValue::Array(items) => {
-                1 + items.iter().map(JsonValue::depth).max().unwrap_or(0)
-            }
-            JsonValue::Object(map) => {
-                1 + map.values().map(JsonValue::depth).max().unwrap_or(0)
-            }
+            JsonValue::Array(items) => 1 + items.iter().map(JsonValue::depth).max().unwrap_or(0),
+            JsonValue::Object(map) => 1 + map.values().map(JsonValue::depth).max().unwrap_or(0),
             _ => 1,
         }
     }
@@ -165,9 +164,7 @@ impl JsonValue {
                         '"' => out.push_str("\\\""),
                         '\\' => out.push_str("\\\\"),
                         '\n' => out.push_str("\\n"),
-                        c if (c as u32) < 0x20 => {
-                            out.push_str(&format!("\\u{:04x}", c as u32))
-                        }
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
                         c => out.push(c),
                     }
                 }

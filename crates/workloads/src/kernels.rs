@@ -39,9 +39,7 @@ pub enum WorkloadCategory {
 }
 
 /// One of the paper's twelve benchmark functions (Table 1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum WorkloadKind {
     /// Generates a graph and calculates its minimum spanning tree.
     GraphMst,
@@ -195,7 +193,11 @@ pub struct WorkloadRequest {
 impl WorkloadRequest {
     /// A scale-1 request.
     pub fn new(kind: WorkloadKind, seed: u64) -> Self {
-        WorkloadRequest { kind, scale: 1, seed }
+        WorkloadRequest {
+            kind,
+            scale: 1,
+            seed,
+        }
     }
 
     /// Override the problem-size multiplier.
@@ -219,8 +221,18 @@ pub struct WorkloadResult {
 /// disk workloads).
 fn generate_text(bytes: usize, rng: &mut SimRng) -> Vec<u8> {
     const WORDS: [&str; 12] = [
-        "serverless", "function", "instance", "lambda", "profile", "zone",
-        "region", "cpu", "heterogeneity", "sky", "routing", "sample",
+        "serverless",
+        "function",
+        "instance",
+        "lambda",
+        "profile",
+        "zone",
+        "region",
+        "cpu",
+        "heterogeneity",
+        "sky",
+        "routing",
+        "sample",
     ];
     let mut out = Vec::with_capacity(bytes + 16);
     while out.len() < bytes {
@@ -273,7 +285,10 @@ pub fn execute(req: &WorkloadRequest, fs: &mut EphemeralFs) -> WorkloadResult {
             let dist = g.bfs(0);
             let sum: u64 = dist.iter().map(|&d| d as u64).sum();
             let max = *dist.iter().max().unwrap_or(&0) as u64;
-            WorkloadResult { checksum: sum ^ max.rotate_left(48), work_units: g.n_edges() as u64 }
+            WorkloadResult {
+                checksum: sum ^ max.rotate_left(48),
+                work_units: g.n_edges() as u64,
+            }
         }
         WorkloadKind::PageRank => {
             let g = Graph::generate(300 * s, 6, &mut rng);
@@ -297,15 +312,19 @@ pub fn execute(req: &WorkloadRequest, fs: &mut EphemeralFs) -> WorkloadResult {
                 let path = format!("chunk_{i}.txt");
                 fs.write(&path, &text).expect("scratch volume large enough");
                 // Rotate per round so identical digests do not cancel.
-                checksum = checksum.rotate_left(13)
-                    ^ sha1(fs.read(&path).expect("just written")).as_u64();
+                checksum =
+                    checksum.rotate_left(13) ^ sha1(fs.read(&path).expect("just written")).as_u64();
                 fs.delete(&path).expect("just written");
             }
-            WorkloadResult { checksum, work_units: (text.len() * rounds) as u64 }
+            WorkloadResult {
+                checksum,
+                work_units: (text.len() * rounds) as u64,
+            }
         }
         WorkloadKind::DiskWriteProcess => {
             let text = generate_text(128 * 1024 * s, &mut rng);
-            fs.write("big.txt", &text).expect("scratch volume large enough");
+            fs.write("big.txt", &text)
+                .expect("scratch volume large enough");
             let mut checksum = 0u64;
             let rounds = 5;
             for _ in 0..rounds {
@@ -321,7 +340,10 @@ pub fn execute(req: &WorkloadRequest, fs: &mut EphemeralFs) -> WorkloadResult {
                     ^ (b64.len() as u64);
             }
             fs.delete("big.txt").expect("written above");
-            WorkloadResult { checksum, work_units: (text.len() * rounds) as u64 }
+            WorkloadResult {
+                checksum,
+                work_units: (text.len() * rounds) as u64,
+            }
         }
         WorkloadKind::Zipper => {
             // Generate files and pack them into a simple archive:
@@ -333,7 +355,8 @@ pub fn execute(req: &WorkloadRequest, fs: &mut EphemeralFs) -> WorkloadResult {
                 let content = generate_text(24 * 1024 * s, &mut rng);
                 original_total += content.len() as u64;
                 let name = format!("file_{i}.txt");
-                fs.write(&name, &content).expect("scratch volume large enough");
+                fs.write(&name, &content)
+                    .expect("scratch volume large enough");
                 let compressed = lzss::compress(fs.read(&name).expect("just written"));
                 archive.extend_from_slice(&(name.len() as u16).to_le_bytes());
                 archive.extend_from_slice(name.as_bytes());
@@ -342,20 +365,32 @@ pub fn execute(req: &WorkloadRequest, fs: &mut EphemeralFs) -> WorkloadResult {
                 archive.extend_from_slice(&compressed);
                 fs.delete(&name).expect("just written");
             }
-            fs.write("archive.lz", &archive).expect("scratch volume large enough");
+            fs.write("archive.lz", &archive)
+                .expect("scratch volume large enough");
             let checksum = sha1(&archive).as_u64() ^ original_total;
             fs.delete("archive.lz").expect("just written");
-            WorkloadResult { checksum, work_units: original_total }
+            WorkloadResult {
+                checksum,
+                work_units: original_total,
+            }
         }
         WorkloadKind::Thumbnailer => {
             let dim = 96 * (s as f64).sqrt().ceil() as usize;
             let img = Bitmap::generate(dim, dim, &mut rng);
             let mut checksum = 0u64;
-            for (w, h) in [(dim / 2, dim / 2), (dim / 4, dim / 4), (dim / 8, dim / 8), (32, 24)] {
+            for (w, h) in [
+                (dim / 2, dim / 2),
+                (dim / 4, dim / 4),
+                (dim / 8, dim / 8),
+                (32, 24),
+            ] {
                 let scaled = img.scale(w.max(1), h.max(1));
                 checksum = checksum.rotate_left(8) ^ sha1(scaled.pixels()).as_u64();
             }
-            WorkloadResult { checksum, work_units: (dim * dim * 4) as u64 }
+            WorkloadResult {
+                checksum,
+                work_units: (dim * dim * 4) as u64,
+            }
         }
         WorkloadKind::Sha1Hash => {
             let input = generate_text(4 * 1024, &mut rng);
@@ -378,14 +413,15 @@ pub fn execute(req: &WorkloadRequest, fs: &mut EphemeralFs) -> WorkloadResult {
             let flat = doc.flatten();
             let mut checksum = (flat.len() as u64).rotate_left(32);
             for (path, value) in &flat {
-                checksum ^= sha1(path.as_bytes()).as_u64().rotate_left(7)
-                    ^ (value.len() as u64);
+                checksum ^= sha1(path.as_bytes()).as_u64().rotate_left(7) ^ (value.len() as u64);
             }
-            WorkloadResult { checksum, work_units: doc.node_count() as u64 }
+            WorkloadResult {
+                checksum,
+                work_units: doc.node_count() as u64,
+            }
         }
         WorkloadKind::MathService => {
-            let mut values: Vec<f64> =
-                (0..40_000 * s).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let mut values: Vec<f64> = (0..40_000 * s).map(|_| rng.range_f64(-1.0, 1.0)).collect();
             let c = math_service_pass(&mut values, 12);
             WorkloadResult {
                 checksum: (c * 1e9) as i64 as u64,
@@ -409,7 +445,11 @@ pub fn execute(req: &WorkloadRequest, fs: &mut EphemeralFs) -> WorkloadResult {
             let data = logreg::Dataset::generate(600 * s, 10, &mut rng);
             let model = logreg::train(
                 &data,
-                &TrainConfig { epochs: 12, learning_rate: 0.4, threads: 2 },
+                &TrainConfig {
+                    epochs: 12,
+                    learning_rate: 0.4,
+                    threads: 2,
+                },
             );
             let wsum: f64 = model.weights.iter().map(|w| w.abs()).sum();
             let acc = model.accuracy(&data);
@@ -498,7 +538,11 @@ mod tests {
 
     #[test]
     fn compute_workloads_do_no_disk_io() {
-        for kind in [WorkloadKind::MathService, WorkloadKind::Sha1Hash, WorkloadKind::PageRank] {
+        for kind in [
+            WorkloadKind::MathService,
+            WorkloadKind::Sha1Hash,
+            WorkloadKind::PageRank,
+        ] {
             let mut fs = EphemeralFs::new();
             let _ = execute(&WorkloadRequest::new(kind, 3), &mut fs);
             assert_eq!(fs.bytes_written(), 0, "{kind} unexpectedly wrote to disk");

@@ -28,7 +28,10 @@ impl Dataset {
     ///
     /// Panics if `n_samples == 0` or `n_features == 0`.
     pub fn generate(n_samples: usize, n_features: usize, rng: &mut SimRng) -> Dataset {
-        assert!(n_samples > 0 && n_features > 0, "dataset dimensions must be positive");
+        assert!(
+            n_samples > 0 && n_features > 0,
+            "dataset dimensions must be positive"
+        );
         let truth: Vec<f64> = (0..n_features).map(|_| rng.range_f64(-1.0, 1.0)).collect();
         let mut features = Vec::with_capacity(n_samples * n_features);
         let mut labels = Vec::with_capacity(n_samples);
@@ -42,7 +45,11 @@ impl Dataset {
             features.extend_from_slice(&row);
             labels.push(label);
         }
-        Dataset { features, labels, n_features }
+        Dataset {
+            features,
+            labels,
+            n_features,
+        }
     }
 
     /// Number of samples.
@@ -73,7 +80,11 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 10, learning_rate: 0.1, threads: 2 }
+        TrainConfig {
+            epochs: 10,
+            learning_rate: 0.1,
+            threads: 2,
+        }
     }
 }
 
@@ -175,7 +186,10 @@ pub fn train(data: &Dataset, config: &TrainConfig) -> Model {
         }
         loss_history.push(log_loss(&weights, data));
     }
-    Model { weights, loss_history }
+    Model {
+        weights,
+        loss_history,
+    }
 }
 
 #[cfg(test)]
@@ -189,7 +203,14 @@ mod tests {
     #[test]
     fn loss_decreases_over_epochs() {
         let d = data(1);
-        let m = train(&d, &TrainConfig { epochs: 30, learning_rate: 0.5, threads: 2 });
+        let m = train(
+            &d,
+            &TrainConfig {
+                epochs: 30,
+                learning_rate: 0.5,
+                threads: 2,
+            },
+        );
         let first = m.loss_history[0];
         let last = *m.loss_history.last().unwrap();
         assert!(last < first, "loss should fall: {first} -> {last}");
@@ -198,7 +219,14 @@ mod tests {
     #[test]
     fn accuracy_beats_chance_substantially() {
         let d = data(2);
-        let m = train(&d, &TrainConfig { epochs: 50, learning_rate: 0.5, threads: 2 });
+        let m = train(
+            &d,
+            &TrainConfig {
+                epochs: 50,
+                learning_rate: 0.5,
+                threads: 2,
+            },
+        );
         let acc = m.accuracy(&d);
         // 10% label noise bounds attainable accuracy near 0.9.
         assert!(acc > 0.80, "accuracy {acc}");
@@ -207,9 +235,21 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_result() {
         let d = data(3);
-        let cfg1 = TrainConfig { epochs: 10, learning_rate: 0.3, threads: 1 };
-        let cfg2 = TrainConfig { epochs: 10, learning_rate: 0.3, threads: 2 };
-        let cfg4 = TrainConfig { epochs: 10, learning_rate: 0.3, threads: 4 };
+        let cfg1 = TrainConfig {
+            epochs: 10,
+            learning_rate: 0.3,
+            threads: 1,
+        };
+        let cfg2 = TrainConfig {
+            epochs: 10,
+            learning_rate: 0.3,
+            threads: 2,
+        };
+        let cfg4 = TrainConfig {
+            epochs: 10,
+            learning_rate: 0.3,
+            threads: 4,
+        };
         let m1 = train(&d, &cfg1);
         let m2 = train(&d, &cfg2);
         let m4 = train(&d, &cfg4);
@@ -237,7 +277,14 @@ mod tests {
     #[test]
     fn more_threads_than_samples_is_safe() {
         let d = Dataset::generate(3, 2, &mut SimRng::seed_from(6));
-        let m = train(&d, &TrainConfig { epochs: 2, learning_rate: 0.1, threads: 8 });
+        let m = train(
+            &d,
+            &TrainConfig {
+                epochs: 2,
+                learning_rate: 0.1,
+                threads: 8,
+            },
+        );
         assert_eq!(m.weights.len(), 2);
     }
 
@@ -245,6 +292,13 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let d = data(7);
-        let _ = train(&d, &TrainConfig { epochs: 1, learning_rate: 0.1, threads: 0 });
+        let _ = train(
+            &d,
+            &TrainConfig {
+                epochs: 1,
+                learning_rate: 0.1,
+                threads: 0,
+            },
+        );
     }
 }

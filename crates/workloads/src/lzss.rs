@@ -49,7 +49,10 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        BitWriter { bytes: Vec::new(), bit_pos: 0 }
+        BitWriter {
+            bytes: Vec::new(),
+            bit_pos: 0,
+        }
     }
 
     fn push_bit(&mut self, bit: bool) {
@@ -78,7 +81,11 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0, bit_pos: 0 }
+        BitReader {
+            bytes,
+            pos: 0,
+            bit_pos: 0,
+        }
     }
 
     fn read_bit(&mut self) -> Option<bool> {
@@ -169,8 +176,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzssError> {
     if input.len() < 4 {
         return Err(LzssError::BadHeader);
     }
-    let original_len =
-        u32::from_le_bytes(input[..4].try_into().expect("4 bytes checked")) as usize;
+    let original_len = u32::from_le_bytes(input[..4].try_into().expect("4 bytes checked")) as usize;
     let mut r = BitReader::new(&input[4..]);
     let mut out = Vec::with_capacity(original_len);
     while out.len() < original_len {
@@ -242,7 +248,9 @@ mod tests {
         let mut x: u64 = 0x12345;
         let data: Vec<u8> = (0..10_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) as u8
             })
             .collect();

@@ -21,7 +21,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, tolerance: 1e-9, max_iterations: 100 }
+        PageRankConfig {
+            damping: 0.85,
+            tolerance: 1e-9,
+            max_iterations: 100,
+        }
     }
 }
 
@@ -59,8 +63,7 @@ pub fn page_rank(graph: &Graph, config: &PageRankConfig) -> PageRankResult {
                 dangling_mass += scores[v];
             }
         }
-        let base = (1.0 - config.damping) / n as f64
-            + config.damping * dangling_mass / n as f64;
+        let base = (1.0 - config.damping) / n as f64 + config.damping * dangling_mass / n as f64;
         next.iter_mut().for_each(|x| *x = base);
         for v in 0..n {
             if out_degree[v] > 0 {
@@ -78,7 +81,11 @@ pub fn page_rank(graph: &Graph, config: &PageRankConfig) -> PageRankResult {
         std::mem::swap(&mut scores, &mut next);
         iterations += 1;
     }
-    PageRankResult { scores, iterations, delta }
+    PageRankResult {
+        scores,
+        iterations,
+        delta,
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +129,13 @@ mod tests {
     #[test]
     fn uniform_when_damping_zero() {
         let g = graph(50, 4, 4);
-        let r = page_rank(&g, &PageRankConfig { damping: 0.0, ..Default::default() });
+        let r = page_rank(
+            &g,
+            &PageRankConfig {
+                damping: 0.0,
+                ..Default::default()
+            },
+        );
         for &s in &r.scores {
             assert!((s - 1.0 / 50.0).abs() < 1e-12);
         }
@@ -140,6 +153,12 @@ mod tests {
     #[should_panic(expected = "damping")]
     fn bad_damping_rejected() {
         let g = graph(10, 2, 6);
-        let _ = page_rank(&g, &PageRankConfig { damping: 1.0, ..Default::default() });
+        let _ = page_rank(
+            &g,
+            &PageRankConfig {
+                damping: 1.0,
+                ..Default::default()
+            },
+        );
     }
 }

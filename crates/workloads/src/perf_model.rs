@@ -201,7 +201,10 @@ mod tests {
             PerfModel::cpu_factor(WorkloadKind::LogisticRegression, CpuType::AmdEpyc),
             1.50
         );
-        assert_eq!(PerfModel::cpu_factor(WorkloadKind::MathService, CpuType::AmdEpyc), 1.45);
+        assert_eq!(
+            PerfModel::cpu_factor(WorkloadKind::MathService, CpuType::AmdEpyc),
+            1.45
+        );
         // Disk-writer exception: EPYC slightly faster than baseline.
         assert!(PerfModel::cpu_factor(WorkloadKind::DiskWriter, CpuType::AmdEpyc) < 1.0);
         // sha1 barely sensitive.
@@ -216,7 +219,10 @@ mod tests {
         let at_512m = PerfModel::memory_scaling(WorkloadKind::MatrixMultiply, 512);
         let at_10g = PerfModel::memory_scaling(WorkloadKind::MatrixMultiply, 10_240);
         assert_eq!(at_2g, 1.0, "reference memory is the unit");
-        assert!(at_512m > 3.0, "512MB should be several times slower: {at_512m}");
+        assert!(
+            at_512m > 3.0,
+            "512MB should be several times slower: {at_512m}"
+        );
         assert!(at_10g < 1.0, "10GB lifts the 2-vCPU constraint: {at_10g}");
     }
 
@@ -295,9 +301,22 @@ mod tests {
     fn contention_inflates_runtime() {
         let m = PerfModel::deterministic();
         let mut rng = SimRng::seed_from(4);
-        let calm = m.duration(WorkloadKind::PageRank, 1, CpuType::IntelXeon2_5, 2048, 1.0, &mut rng);
-        let busy =
-            m.duration(WorkloadKind::PageRank, 1, CpuType::IntelXeon2_5, 2048, 1.05, &mut rng);
+        let calm = m.duration(
+            WorkloadKind::PageRank,
+            1,
+            CpuType::IntelXeon2_5,
+            2048,
+            1.0,
+            &mut rng,
+        );
+        let busy = m.duration(
+            WorkloadKind::PageRank,
+            1,
+            CpuType::IntelXeon2_5,
+            2048,
+            1.05,
+            &mut rng,
+        );
         assert!(busy > calm);
     }
 }

@@ -59,7 +59,13 @@ impl Sha1 {
     /// A fresh hasher.
     pub fn new() -> Self {
         Sha1 {
-            h: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            h: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             buffer: [0u8; 64],
             buffer_len: 0,
             length_bits: 0,
@@ -181,12 +187,18 @@ mod tests {
     // FIPS 180-1 / RFC 3174 test vectors.
     #[test]
     fn empty_string() {
-        assert_eq!(sha1(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            sha1(b"").to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn abc() {
-        assert_eq!(sha1(b"abc").to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            sha1(b"abc").to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
@@ -204,7 +216,10 @@ mod tests {
         for _ in 0..1000 {
             h.update(&chunk);
         }
-        assert_eq!(h.finalize().to_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            h.finalize().to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]

@@ -18,16 +18,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deployment = engine.deploy(account, &az, 2048, Arch::X86_64)?;
 
     let mut profiler = WorkloadProfiler::new();
-    for kind in [WorkloadKind::Zipper, WorkloadKind::LogisticRegression, WorkloadKind::DiskWriter] {
+    for kind in [
+        WorkloadKind::Zipper,
+        WorkloadKind::LogisticRegression,
+        WorkloadKind::DiskWriter,
+    ] {
         println!("profiling {kind} with 400 invocations in {az}...");
         let run = profiler.profile(&mut engine, deployment, kind, 400, 150, 9);
-        println!("  completed {} / errors {} / ${:.3}", run.completed, run.errors, run.cost_usd);
+        println!(
+            "  completed {} / errors {} / ${:.3}",
+            run.completed, run.errors, run.cost_usd
+        );
         engine.advance_by(SimDuration::from_mins(12));
     }
 
     let table = profiler.table();
     println!("\nobserved runtime normalized to the 2.5GHz baseline (>1 is slower):");
-    for kind in [WorkloadKind::Zipper, WorkloadKind::LogisticRegression, WorkloadKind::DiskWriter] {
+    for kind in [
+        WorkloadKind::Zipper,
+        WorkloadKind::LogisticRegression,
+        WorkloadKind::DiskWriter,
+    ] {
         print!("  {:20}", kind.name());
         for (cpu, factor) in table.normalized(kind, CpuType::IntelXeon2_5) {
             print!("  {}={:.2}", cpu.short_label(), factor);

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut engine,
         account,
         &az,
-        CampaignConfig { deployments: 6, ..Default::default() },
+        CampaignConfig {
+            deployments: 6,
+            ..Default::default()
+        },
     )?;
     for _ in 0..5 {
         let stats = campaign.poll_once(&mut engine);
@@ -38,7 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    purely through SAAF reports.
     println!("\nestimated CPU distribution of {az}:");
     for (cpu, share) in campaign.characterization().to_mix().iter() {
-        println!("  {:8} {:5.1}%  ({})", cpu.short_label(), share * 100.0, cpu.model_name());
+        println!(
+            "  {:8} {:5.1}%  ({})",
+            cpu.short_label(),
+            share * 100.0,
+            cpu.model_name()
+        );
     }
     println!(
         "\n{} unique function instances, {} reports, total spend ${:.4}",

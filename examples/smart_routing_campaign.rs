@@ -20,8 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let account = engine.create_account(Provider::Aws);
     let kind = WorkloadKind::GraphBfs;
     let baseline_az: sky_core::cloud::AzId = "us-west-1b".parse()?;
-    let candidates: Vec<sky_core::cloud::AzId> =
-        vec!["us-west-1a".parse()?, "us-west-1b".parse()?, "sa-east-1a".parse()?];
+    let candidates: Vec<sky_core::cloud::AzId> = vec![
+        "us-west-1a".parse()?,
+        "us-west-1b".parse()?,
+        "sa-east-1a".parse()?,
+    ];
 
     // Deployments in every candidate zone (in production this is the sky
     // mesh; here three explicit endpoints keep the example focused).
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &mut engine,
                 account,
                 az,
-                CampaignConfig { deployments: 4, ..Default::default() },
+                CampaignConfig {
+                    deployments: 4,
+                    ..Default::default()
+                },
             )?;
             let at = engine.now();
             campaign.run_polls(&mut engine, 4);
@@ -65,7 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &mut engine,
             kind,
             400,
-            &RoutingPolicy::Baseline { az: baseline_az.clone() },
+            &RoutingPolicy::Baseline {
+                az: baseline_az.clone(),
+            },
             resolve,
         );
         engine.advance_by(SimDuration::from_mins(15));
@@ -73,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &mut engine,
             kind,
             400,
-            &RoutingPolicy::Hybrid { candidates: candidates.clone(), mode: RetryMode::RetrySlow },
+            &RoutingPolicy::Hybrid {
+                candidates: candidates.clone(),
+                mode: RetryMode::RetrySlow,
+            },
             resolve,
         );
         let per = |r: &sky_core::BurstReport| r.total_cost_usd() / r.completed.max(1) as f64;
@@ -86,6 +97,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hybrid.retried,
         );
     }
-    println!("\ntotal characterization spend: ${:.2}", store.total_cost_usd());
+    println!(
+        "\ntotal characterization spend: ${:.2}",
+        store.total_cost_usd()
+    );
     Ok(())
 }

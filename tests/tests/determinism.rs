@@ -17,7 +17,10 @@ fn campaign_fingerprint(seed: u64) -> Vec<(u64, usize, String)> {
     let az = "us-west-1b".parse().unwrap();
     let config = CampaignConfig {
         deployments: 6,
-        poll: PollConfig { requests: 400, ..Default::default() },
+        poll: PollConfig {
+            requests: 400,
+            ..Default::default()
+        },
         max_polls: 6,
         ..Default::default()
     };
@@ -52,7 +55,10 @@ fn burst_fingerprint(seed: u64) -> (f64, u64, usize) {
         &mut engine,
         WorkloadKind::GraphBfs,
         200,
-        &RoutingPolicy::Retry { az, mode: RetryMode::RetrySlow },
+        &RoutingPolicy::Retry {
+            az,
+            mode: RetryMode::RetrySlow,
+        },
         |_| Some(dep),
     );
     (report.total_cost_usd(), report.attempts, report.completed)
@@ -69,7 +75,11 @@ fn catalog_serialization_is_stable() {
     let b = serde_json::to_string(&Catalog::paper_world(5)).unwrap();
     assert_eq!(a, b);
     let back: Catalog = serde_json::from_str(&a).unwrap();
-    assert_eq!(serde_json::to_string(&back).unwrap(), a, "roundtrip is a fixpoint");
+    assert_eq!(
+        serde_json::to_string(&back).unwrap(),
+        a,
+        "roundtrip is a fixpoint"
+    );
 }
 
 #[test]

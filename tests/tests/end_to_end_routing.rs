@@ -28,13 +28,26 @@ impl Rig {
 fn full_pipeline_focus_fastest_saves_on_diverse_zone() {
     let mut rig = Rig::new(101);
     let az: sky_cloud::AzId = "us-west-1b".parse().unwrap();
-    let dep = rig.engine.deploy(rig.account, &az, 2048, Arch::X86_64).unwrap();
+    let dep = rig
+        .engine
+        .deploy(rig.account, &az, 2048, Arch::X86_64)
+        .unwrap();
 
     // 1. Profile the workload (learn the CPU hierarchy from reports).
     let mut profiler = WorkloadProfiler::new();
-    profiler.profile(&mut rig.engine, dep, WorkloadKind::MatrixMultiply, 500, 150, 1);
+    profiler.profile(
+        &mut rig.engine,
+        dep,
+        WorkloadKind::MatrixMultiply,
+        500,
+        150,
+        1,
+    );
     let table = profiler.into_table();
-    assert_eq!(table.fastest(WorkloadKind::MatrixMultiply), Some(CpuType::IntelXeon3_0));
+    assert_eq!(
+        table.fastest(WorkloadKind::MatrixMultiply),
+        Some(CpuType::IntelXeon3_0)
+    );
     rig.engine.advance_by(SimDuration::from_mins(15));
 
     // 2. Route with and without the retry policy.
@@ -51,7 +64,10 @@ fn full_pipeline_focus_fastest_saves_on_diverse_zone() {
         &mut rig.engine,
         WorkloadKind::MatrixMultiply,
         400,
-        &RoutingPolicy::Retry { az: az.clone(), mode: RetryMode::FocusFastest },
+        &RoutingPolicy::Retry {
+            az: az.clone(),
+            mode: RetryMode::FocusFastest,
+        },
         |_| Some(dep),
     );
     let per = |r: &sky_core::BurstReport| r.total_cost_usd() / r.completed.max(1) as f64;
@@ -61,7 +77,10 @@ fn full_pipeline_focus_fastest_saves_on_diverse_zone() {
         "focus-fastest must save on a diverse zone: {:.1}%",
         savings * 100.0
     );
-    assert!(focus.retried_fraction() > 0.3, "paper: a large share of invocations retry");
+    assert!(
+        focus.retried_fraction() > 0.3,
+        "paper: a large share of invocations retry"
+    );
     // Completed work ends exclusively on the fastest CPU.
     let non_fast: u64 = focus
         .cpu_counts
@@ -77,12 +96,25 @@ fn sampled_characterizations_steer_regional_routing() {
     let mut rig = Rig::new(102);
     let slow_zone: sky_cloud::AzId = "us-west-1b".parse().unwrap();
     let fast_zone: sky_cloud::AzId = "sa-east-1a".parse().unwrap();
-    let dep_slow = rig.engine.deploy(rig.account, &slow_zone, 2048, Arch::X86_64).unwrap();
-    let dep_fast = rig.engine.deploy(rig.account, &fast_zone, 2048, Arch::X86_64).unwrap();
+    let dep_slow = rig
+        .engine
+        .deploy(rig.account, &slow_zone, 2048, Arch::X86_64)
+        .unwrap();
+    let dep_fast = rig
+        .engine
+        .deploy(rig.account, &fast_zone, 2048, Arch::X86_64)
+        .unwrap();
 
     // Profile on the slow zone (covers all four CPUs).
     let mut profiler = WorkloadProfiler::new();
-    profiler.profile(&mut rig.engine, dep_slow, WorkloadKind::PageRank, 400, 150, 2);
+    profiler.profile(
+        &mut rig.engine,
+        dep_slow,
+        WorkloadKind::PageRank,
+        400,
+        150,
+        2,
+    );
     let table = profiler.into_table();
     rig.engine.advance_by(SimDuration::from_mins(15));
 
@@ -93,7 +125,10 @@ fn sampled_characterizations_steer_regional_routing() {
             &mut rig.engine,
             rig.account,
             az,
-            CampaignConfig { deployments: 4, ..Default::default() },
+            CampaignConfig {
+                deployments: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         let at = rig.engine.now();
@@ -120,16 +155,32 @@ fn sampled_characterizations_steer_regional_routing() {
         &mut rig.engine,
         WorkloadKind::PageRank,
         300,
-        &RoutingPolicy::Baseline { az: slow_zone.clone() },
-        |az| if az == &slow_zone { Some(dep_slow) } else { Some(dep_fast) },
+        &RoutingPolicy::Baseline {
+            az: slow_zone.clone(),
+        },
+        |az| {
+            if az == &slow_zone {
+                Some(dep_slow)
+            } else {
+                Some(dep_fast)
+            }
+        },
     );
     rig.engine.advance_by(SimDuration::from_mins(15));
     let regional = router.run_burst(
         &mut rig.engine,
         WorkloadKind::PageRank,
         300,
-        &RoutingPolicy::Regional { candidates: vec![slow_zone.clone(), fast_zone.clone()] },
-        |az| if az == &slow_zone { Some(dep_slow) } else { Some(dep_fast) },
+        &RoutingPolicy::Regional {
+            candidates: vec![slow_zone.clone(), fast_zone.clone()],
+        },
+        |az| {
+            if az == &slow_zone {
+                Some(dep_slow)
+            } else {
+                Some(dep_fast)
+            }
+        },
     );
     assert_eq!(regional.az, fast_zone);
     let per = |r: &sky_core::BurstReport| r.total_cost_usd() / r.completed.max(1) as f64;
@@ -143,7 +194,10 @@ fn sampled_characterizations_steer_regional_routing() {
 fn retry_overhead_stays_within_paper_scale() {
     let mut rig = Rig::new(103);
     let az: sky_cloud::AzId = "us-west-1b".parse().unwrap();
-    let dep = rig.engine.deploy(rig.account, &az, 2048, Arch::X86_64).unwrap();
+    let dep = rig
+        .engine
+        .deploy(rig.account, &az, 2048, Arch::X86_64)
+        .unwrap();
     let mut profiler = WorkloadProfiler::new();
     profiler.profile(&mut rig.engine, dep, WorkloadKind::Zipper, 400, 150, 3);
     let table = profiler.into_table();
@@ -153,7 +207,10 @@ fn retry_overhead_stays_within_paper_scale() {
         &mut rig.engine,
         WorkloadKind::Zipper,
         1_000,
-        &RoutingPolicy::Retry { az, mode: RetryMode::FocusFastest },
+        &RoutingPolicy::Retry {
+            az,
+            mode: RetryMode::FocusFastest,
+        },
         |_| Some(dep),
     );
     // Paper §4.6: ~5 retries on average to land 1,000 invocations on the
@@ -168,14 +225,21 @@ fn retry_overhead_stays_within_paper_scale() {
         "retry overhead for a 1,000-burst should be cents: ${:.3}",
         focus.retry_cost_usd
     );
-    assert!(focus.retry_cost_usd > 0.005, "but not free: ${:.4}", focus.retry_cost_usd);
+    assert!(
+        focus.retry_cost_usd > 0.005,
+        "but not free: ${:.4}",
+        focus.retry_cost_usd
+    );
 }
 
 #[test]
 fn ungated_policies_never_retry() {
     let mut rig = Rig::new(104);
     let az: sky_cloud::AzId = "eu-central-1a".parse().unwrap();
-    let dep = rig.engine.deploy(rig.account, &az, 2048, Arch::X86_64).unwrap();
+    let dep = rig
+        .engine
+        .deploy(rig.account, &az, 2048, Arch::X86_64)
+        .unwrap();
     let router = SmartRouter::default();
     let report = router.run_burst(
         &mut rig.engine,

@@ -22,7 +22,10 @@ fn small_zone_saturates_before_large_zone() {
         // Full-size polls: eu-central-1a's pool is large enough that
         // smaller polls lose ground to FI keep-alive expiry.
         let config = CampaignConfig {
-            poll: PollConfig { requests: 1_000, ..Default::default() },
+            poll: PollConfig {
+                requests: 1_000,
+                ..Default::default()
+            },
             max_polls: 120,
             ..Default::default()
         };
@@ -43,7 +46,10 @@ fn cross_account_saturation_is_visible_immediately() {
     let (mut engine, account_a) = world(32);
     let az = "eu-north-1a".parse().unwrap();
     let config = CampaignConfig {
-        poll: PollConfig { requests: 600, ..Default::default() },
+        poll: PollConfig {
+            requests: 600,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut campaign_a =
@@ -100,7 +106,11 @@ fn homogeneous_zone_characterizes_with_one_poll() {
     assert_eq!(stats.mix_after.n_types(), 1);
     assert_eq!(stats.mix_after.dominant(), Some(CpuType::IntelXeon2_5));
     let truth = engine.platform(&az).unwrap().ground_truth_mix();
-    assert_eq!(stats.mix_after.ape_percent(&truth), 0.0, "paper: us-east-2a pegged at 0%");
+    assert_eq!(
+        stats.mix_after.ape_percent(&truth),
+        0.0,
+        "paper: us-east-2a pegged at 0%"
+    );
 }
 
 #[test]
@@ -111,7 +121,11 @@ fn sampling_cost_stays_within_paper_budgets() {
         SamplingCampaign::new(&mut engine, account, &az, CampaignConfig::default()).unwrap();
     let result = campaign.run_until_saturation(&mut engine);
     for poll in &result.polls {
-        assert!(poll.cost_usd < 0.02, "paper: <$0.02/poll, got ${:.4}", poll.cost_usd);
+        assert!(
+            poll.cost_usd < 0.02,
+            "paper: <$0.02/poll, got ${:.4}",
+            poll.cost_usd
+        );
     }
     assert!(
         result.total_cost_usd < 0.35,
@@ -140,24 +154,37 @@ fn every_provider_can_be_sampled() {
         let config = CampaignConfig {
             deployments: 2,
             memory_base_mb: memory,
-            poll: PollConfig { requests: 80, ..Default::default() },
+            poll: PollConfig {
+                requests: 80,
+                ..Default::default()
+            },
             ..Default::default()
         };
         // IBM/DO offer fixed memory menus; both deployments share one
         // setting only on AWS can they differ — use base twice there.
         let config = match provider {
             Provider::Aws => config,
-            _ => CampaignConfig { memory_base_mb: memory, ..config },
+            _ => CampaignConfig {
+                memory_base_mb: memory,
+                ..config
+            },
         };
         let mut campaign = match SamplingCampaign::new(&mut engine, account, &az, config) {
             Ok(c) => c,
             Err(e) => panic!("{provider:?} campaign failed to deploy: {e}"),
         };
         let stats = campaign.poll_once(&mut engine);
-        assert!(stats.unique_fis > 0, "{provider:?} produced no observations");
+        assert!(
+            stats.unique_fis > 0,
+            "{provider:?} produced no observations"
+        );
         let mix = &stats.mix_after;
         for cpu in mix.cpus() {
-            assert_eq!(cpu.provider(), provider, "cross-provider CPU leaked into {az}");
+            assert_eq!(
+                cpu.provider(),
+                provider,
+                "cross-provider CPU leaked into {az}"
+            );
         }
     }
 }

@@ -27,7 +27,9 @@ fn outage_fails_new_placements_but_not_warm_instances() {
     let warm = engine.run_batch(vec![BatchRequest {
         deployment: dep,
         offset: SimDuration::ZERO,
-        body: RequestBody::Sleep { duration: SimDuration::from_millis(100) },
+        body: RequestBody::Sleep {
+            duration: SimDuration::from_millis(100),
+        },
     }]);
     assert!(warm[0].status.is_success());
 
@@ -37,7 +39,9 @@ fn outage_fails_new_placements_but_not_warm_instances() {
     let through = engine.run_batch(vec![BatchRequest {
         deployment: dep,
         offset: SimDuration::from_secs(5),
-        body: RequestBody::Sleep { duration: SimDuration::from_millis(100) },
+        body: RequestBody::Sleep {
+            duration: SimDuration::from_millis(100),
+        },
     }]);
     assert!(
         through[0].status.is_success(),
@@ -48,13 +52,20 @@ fn outage_fails_new_placements_but_not_warm_instances() {
         .map(|_| BatchRequest {
             deployment: dep,
             offset: SimDuration::from_secs(6),
-            body: RequestBody::Sleep { duration: SimDuration::from_millis(100) },
+            body: RequestBody::Sleep {
+                duration: SimDuration::from_millis(100),
+            },
         })
         .collect();
     let outcomes = engine.run_batch(burst);
-    let failures =
-        outcomes.iter().filter(|o| o.status == InvocationStatus::NoCapacity).count();
-    assert!(failures >= 45, "outage should fail new placements: {failures}/50");
+    let failures = outcomes
+        .iter()
+        .filter(|o| o.status == InvocationStatus::NoCapacity)
+        .count();
+    assert!(
+        failures >= 45,
+        "outage should fail new placements: {failures}/50"
+    );
 
     // After the outage window, placement recovers.
     engine.advance_by(SimDuration::from_mins(31));
@@ -63,11 +74,16 @@ fn outage_fails_new_placements_but_not_warm_instances() {
             .map(|_| BatchRequest {
                 deployment: dep,
                 offset: SimDuration::ZERO,
-                body: RequestBody::Sleep { duration: SimDuration::from_millis(100) },
+                body: RequestBody::Sleep {
+                    duration: SimDuration::from_millis(100),
+                },
             })
             .collect(),
     );
-    assert!(after.iter().all(|o| o.status.is_success()), "zone recovers after outage");
+    assert!(
+        after.iter().all(|o| o.status.is_success()),
+        "zone recovers after outage"
+    );
 }
 
 #[test]
@@ -80,7 +96,10 @@ fn sampling_surfaces_outage_as_failure_rate() {
         &az,
         CampaignConfig {
             deployments: 4,
-            poll: PollConfig { requests: 300, ..Default::default() },
+            poll: PollConfig {
+                requests: 300,
+                ..Default::default()
+            },
             ..Default::default()
         },
     )
@@ -101,34 +120,49 @@ fn router_routes_around_an_outaged_zone() {
     let (mut engine, account) = world(203);
     let primary: sky_cloud::AzId = "sa-east-1a".parse().unwrap(); // fast zone
     let fallback: sky_cloud::AzId = "us-west-1a".parse().unwrap();
-    let dep_primary = engine.deploy(account, &primary, 2048, Arch::X86_64).unwrap();
-    let dep_fallback = engine.deploy(account, &fallback, 2048, Arch::X86_64).unwrap();
+    let dep_primary = engine
+        .deploy(account, &primary, 2048, Arch::X86_64)
+        .unwrap();
+    let dep_fallback = engine
+        .deploy(account, &fallback, 2048, Arch::X86_64)
+        .unwrap();
 
     let mut profiler = WorkloadProfiler::new();
-    profiler.profile(&mut engine, dep_fallback, WorkloadKind::GraphMst, 300, 150, 7);
+    profiler.profile(
+        &mut engine,
+        dep_fallback,
+        WorkloadKind::GraphMst,
+        300,
+        150,
+        7,
+    );
     let table = profiler.into_table();
     engine.advance_by(SimDuration::from_mins(15));
 
     // Sample both zones while healthy: the fast zone wins.
-    let sample = |engine: &mut FaasEngine, store: &mut CharacterizationStore, az: &sky_cloud::AzId| {
-        let mut campaign = SamplingCampaign::new(
-            engine,
-            account,
-            az,
-            CampaignConfig { deployments: 3, ..Default::default() },
-        )
-        .unwrap();
-        let at = engine.now();
-        campaign.run_polls(engine, 3);
-        store.record_with_health(
-            az,
-            at,
-            campaign.characterization().to_mix(),
-            campaign.characterization().unique_fis(),
-            campaign.total_cost_usd(),
-            campaign.overall_failure_rate(),
-        );
-    };
+    let sample =
+        |engine: &mut FaasEngine, store: &mut CharacterizationStore, az: &sky_cloud::AzId| {
+            let mut campaign = SamplingCampaign::new(
+                engine,
+                account,
+                az,
+                CampaignConfig {
+                    deployments: 3,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let at = engine.now();
+            campaign.run_polls(engine, 3);
+            store.record_with_health(
+                az,
+                at,
+                campaign.characterization().to_mix(),
+                campaign.characterization().unique_fis(),
+                campaign.total_cost_usd(),
+                campaign.overall_failure_rate(),
+            );
+        };
     let mut store = CharacterizationStore::new();
     sample(&mut engine, &mut store, &primary);
     sample(&mut engine, &mut store, &fallback);
@@ -149,7 +183,10 @@ fn router_routes_around_an_outaged_zone() {
     assert!(!latest.healthy(), "probe saw the outage");
     let router = SmartRouter::new(store, table, RouterConfig::default());
     let chosen = router.choose_az(WorkloadKind::GraphMst, &candidates, engine.now());
-    assert_eq!(chosen, fallback, "router must route around the outaged zone");
+    assert_eq!(
+        chosen, fallback,
+        "router must route around the outaged zone"
+    );
 
     // And a burst through the regional policy actually completes there.
     let report = router.run_burst(

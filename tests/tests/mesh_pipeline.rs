@@ -33,7 +33,10 @@ fn mesh_runs_any_workload_in_any_zone_without_redeployment() {
             offset: SimDuration::ZERO,
             body: request.body,
         }]);
-        assert!(outcomes[0].status.is_success(), "{kind} failed in {az_name}");
+        assert!(
+            outcomes[0].status.is_success(),
+            "{kind} failed in {az_name}"
+        );
         let report = outcomes[0].status.report().unwrap();
         assert_eq!(report.az, az);
         engine.advance_by(SimDuration::from_mins(1));
@@ -45,7 +48,11 @@ fn mesh_runs_any_workload_in_any_zone_without_redeployment() {
 fn fi_side_interpretation_matches_direct_execution() {
     // What the dynamic function computes from the shipped payload equals
     // running the kernel directly: the payload pipeline is lossless.
-    for kind in [WorkloadKind::Zipper, WorkloadKind::JsonFlattener, WorkloadKind::Sha1Hash] {
+    for kind in [
+        WorkloadKind::Zipper,
+        WorkloadKind::JsonFlattener,
+        WorkloadKind::Sha1Hash,
+    ] {
         let source = DynamicSource::for_workload(kind, 321).with_scale(1);
         let request = build_request(&source, &[]).unwrap();
         let mut fi_fs = EphemeralFs::new();
@@ -65,7 +72,9 @@ fn payload_cache_eliminates_decode_cost_on_warm_fi() {
     let mut engine = FaasEngine::new(Catalog::paper_world(56), config);
     let account = engine.create_account(Provider::Aws);
     let az = "us-east-2a".parse().unwrap();
-    let dep = engine.deploy(account, &az, 2048, sky_cloud::Arch::X86_64).unwrap();
+    let dep = engine
+        .deploy(account, &az, 2048, sky_cloud::Arch::X86_64)
+        .unwrap();
 
     // A large *incompressible* payload: decode cost is tens of
     // milliseconds on first use (compressible data would shrink in
@@ -73,20 +82,21 @@ fn payload_cache_eliminates_decode_cost_on_warm_fi() {
     let mut x: u64 = 0x9e3779b97f4a7c15;
     let big_file: Vec<u8> = (0..3 * 1024 * 1024)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as u8
         })
         .collect();
     let source = DynamicSource::for_workload(WorkloadKind::Sha1Hash, 5);
-    let request =
-        build_request(&source, &[("data.bin".to_string(), big_file)]).unwrap();
+    let request = build_request(&source, &[("data.bin".to_string(), big_file)]).unwrap();
 
     // Sequential requests reuse the same FI; the second skips the decode.
     let outcomes = engine.run_batch(vec![
         BatchRequest {
             deployment: dep,
             offset: SimDuration::ZERO,
-            body: request.body.clone(),
+            body: request.body,
         },
         BatchRequest {
             deployment: dep,
@@ -114,7 +124,9 @@ fn global_mesh_covers_every_cataloged_zone() {
     let mesh_azs = mesh.azs();
     assert_eq!(mesh_azs.len(), catalog_azs.len());
     // Spot endpoints on each provider.
-    assert!(mesh.plain_x86(&"il-central-1a".parse().unwrap(), 10_240).is_some());
+    assert!(mesh
+        .plain_x86(&"il-central-1a".parse().unwrap(), 10_240)
+        .is_some());
     assert!(mesh
         .deployment(&sky_mesh::MeshKey {
             az: "eu-gb-a".parse().unwrap(),
@@ -123,5 +135,8 @@ fn global_mesh_covers_every_cataloged_zone() {
             variant: sky_mesh::DynFnVariant::Plain,
         })
         .is_some());
-    assert!(mesh.provider_len(Provider::Aws, &engine) > 1_600, "paper: >1,600 on AWS");
+    assert!(
+        mesh.provider_len(Provider::Aws, &engine) > 1_600,
+        "paper: >1,600 on AWS"
+    );
 }

@@ -1,130 +1,185 @@
-//! Property-based tests over the workspace's core data structures and
-//! invariants: codecs round-trip arbitrary inputs, distribution metrics
-//! behave like metrics, statistics merge associatively, billing rounds
-//! monotonically, and the event queue is totally ordered.
+//! Randomized property tests over the workspace's core data structures
+//! and invariants: codecs round-trip arbitrary inputs, distribution
+//! metrics behave like metrics, statistics merge associatively, billing
+//! rounds monotonically, and the event queue is totally ordered.
+//!
+//! Cases are generated with the workspace's own deterministic [`SimRng`]
+//! (seeded, reproducible) instead of an external property-testing
+//! framework — every failure is replayable from the fixed seed.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use sky_cloud::{CpuMix, CpuType, PriceBook, Provider};
 use sky_mesh::payload::{decode, encode, PayloadBundle};
-use sky_sim::{EventQueue, OnlineStats, SimDuration, SimTime};
+use sky_sim::{EventQueue, OnlineStats, SimDuration, SimRng, SimTime};
 use sky_workloads::{base64, lzss};
 
-fn arb_cpu() -> impl Strategy<Value = CpuType> {
-    prop::sample::select(CpuType::ALL.to_vec())
+const SEED: u64 = 0x5eed_cafe;
+
+fn random_bytes(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+    let len = rng.next_below(max_len + 1) as usize;
+    (0..len).map(|_| rng.next_below(256) as u8).collect()
 }
 
-fn arb_mix() -> impl Strategy<Value = CpuMix> {
-    vec((arb_cpu(), 0.0f64..100.0), 1..6).prop_filter_map("needs positive mass", |shares| {
-        if shares.iter().any(|&(_, w)| w > 0.0) {
-            Some(CpuMix::from_shares(&shares))
-        } else {
-            None
-        }
-    })
+fn random_mix(rng: &mut SimRng) -> CpuMix {
+    let n = rng.range_inclusive(1, 5) as usize;
+    let shares: Vec<(CpuType, f64)> = (0..n)
+        .map(|_| {
+            let cpu = CpuType::ALL[rng.next_below(CpuType::ALL.len() as u64) as usize];
+            (cpu, rng.range_f64(0.01, 100.0))
+        })
+        .collect();
+    CpuMix::from_shares(&shares)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lzss_roundtrips_arbitrary_bytes(data in vec(any::<u8>(), 0..8_000)) {
+#[test]
+fn lzss_roundtrips_arbitrary_bytes() {
+    let mut rng = SimRng::seed_from(SEED).derive("lzss");
+    for _ in 0..64 {
+        let data = random_bytes(&mut rng, 8_000);
         let compressed = lzss::compress(&data);
-        prop_assert_eq!(lzss::decompress(&compressed).unwrap(), data);
+        assert_eq!(lzss::decompress(&compressed).unwrap(), data);
     }
+}
 
-    #[test]
-    fn base64_roundtrips_arbitrary_bytes(data in vec(any::<u8>(), 0..4_000)) {
-        prop_assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data);
+#[test]
+fn base64_roundtrips_arbitrary_bytes() {
+    let mut rng = SimRng::seed_from(SEED).derive("base64");
+    for _ in 0..64 {
+        let data = random_bytes(&mut rng, 4_000);
+        assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data);
     }
+}
 
-    #[test]
-    fn payload_roundtrips_arbitrary_bundles(
-        source in "[ -~]{0,200}",
-        files in vec(("[a-z0-9_.]{1,20}", vec(any::<u8>(), 0..2_000)), 0..5),
-    ) {
-        let mut bundle = PayloadBundle::source_only(source);
-        for (name, data) in files {
-            bundle = bundle.with_file(name, data);
+fn random_ascii(rng: &mut SimRng, max_len: u64) -> String {
+    let len = rng.next_below(max_len + 1) as usize;
+    (0..len)
+        .map(|_| char::from(rng.range_inclusive(0x20, 0x7e) as u8))
+        .collect()
+}
+
+#[test]
+fn payload_roundtrips_arbitrary_bundles() {
+    let mut rng = SimRng::seed_from(SEED).derive("payload");
+    for _ in 0..64 {
+        let mut bundle = PayloadBundle::source_only(random_ascii(&mut rng, 200));
+        for i in 0..rng.next_below(5) {
+            bundle = bundle.with_file(format!("file_{i}.dat"), random_bytes(&mut rng, 2_000));
         }
         let encoded = encode(&bundle).unwrap();
-        prop_assert_eq!(decode(&encoded.body).unwrap(), bundle);
+        assert_eq!(decode(&encoded.body).unwrap(), bundle);
     }
+}
 
-    #[test]
-    fn payload_hash_is_deterministic(source in "[ -~]{0,100}") {
+#[test]
+fn payload_hash_is_deterministic() {
+    let mut rng = SimRng::seed_from(SEED).derive("payload-hash");
+    for _ in 0..64 {
+        let source = random_ascii(&mut rng, 100);
         let a = encode(&PayloadBundle::source_only(source.clone())).unwrap();
         let b = encode(&PayloadBundle::source_only(source)).unwrap();
-        prop_assert_eq!(a.hash64, b.hash64);
-        prop_assert_eq!(a.sha1_hex, b.sha1_hex);
+        assert_eq!(a.hash64, b.hash64);
+        assert_eq!(a.sha1_hex, b.sha1_hex);
     }
+}
 
-    #[test]
-    fn mix_is_always_normalized(mix in arb_mix()) {
+#[test]
+fn mix_is_always_normalized() {
+    let mut rng = SimRng::seed_from(SEED).derive("mix-norm");
+    for _ in 0..64 {
+        let mix = random_mix(&mut rng);
         let total: f64 = mix.iter().map(|(_, w)| w).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
         for (_, w) in mix.iter() {
-            prop_assert!(w > 0.0);
+            assert!(w > 0.0);
         }
     }
+}
 
-    #[test]
-    fn total_variation_is_a_metric(a in arb_mix(), b in arb_mix(), c in arb_mix()) {
+#[test]
+fn total_variation_is_a_metric() {
+    let mut rng = SimRng::seed_from(SEED).derive("mix-metric");
+    for _ in 0..64 {
+        let a = random_mix(&mut rng);
+        let b = random_mix(&mut rng);
+        let c = random_mix(&mut rng);
         // Identity, symmetry, range, triangle inequality.
-        prop_assert!(a.total_variation(&a) < 1e-12);
-        prop_assert!((a.total_variation(&b) - b.total_variation(&a)).abs() < 1e-12);
+        assert!(a.total_variation(&a) < 1e-12);
+        assert!((a.total_variation(&b) - b.total_variation(&a)).abs() < 1e-12);
         let d_ab = a.total_variation(&b);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&d_ab));
-        prop_assert!(d_ab <= a.total_variation(&c) + c.total_variation(&b) + 1e-9);
+        assert!((0.0..=1.0 + 1e-12).contains(&d_ab));
+        assert!(d_ab <= a.total_variation(&c) + c.total_variation(&b) + 1e-9);
     }
+}
 
-    #[test]
-    fn mix_restriction_never_increases_support(mix in arb_mix(), keep in vec(arb_cpu(), 0..5)) {
+#[test]
+fn mix_restriction_never_increases_support() {
+    let mut rng = SimRng::seed_from(SEED).derive("mix-restrict");
+    for _ in 0..64 {
+        let mix = random_mix(&mut rng);
+        let keep: Vec<CpuType> = (0..rng.next_below(5))
+            .map(|_| CpuType::ALL[rng.next_below(CpuType::ALL.len() as u64) as usize])
+            .collect();
         let restricted = mix.restricted_to(&keep);
-        prop_assert!(restricted.n_types() <= mix.n_types());
+        assert!(restricted.n_types() <= mix.n_types());
         for cpu in restricted.cpus() {
-            prop_assert!(keep.contains(&cpu));
-            prop_assert!(mix.share(cpu) > 0.0);
+            assert!(keep.contains(&cpu));
+            assert!(mix.share(cpu) > 0.0);
         }
     }
+}
 
-    #[test]
-    fn online_stats_merge_matches_sequential(
-        xs in vec(-1e6f64..1e6, 0..200),
-        split in 0usize..200,
-    ) {
-        let split = split.min(xs.len());
+#[test]
+fn online_stats_merge_matches_sequential() {
+    let mut rng = SimRng::seed_from(SEED).derive("stats-merge");
+    for _ in 0..64 {
+        let n = rng.next_below(200) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
+        let split = rng.next_below(n as u64 + 1) as usize;
         let full: OnlineStats = xs.iter().copied().collect();
         let mut left: OnlineStats = xs[..split].iter().copied().collect();
         let right: OnlineStats = xs[split..].iter().copied().collect();
         left.merge(&right);
-        prop_assert_eq!(left.count(), full.count());
-        prop_assert!((left.mean() - full.mean()).abs() <= 1e-6 * (1.0 + full.mean().abs()));
-        prop_assert!(
+        assert_eq!(left.count(), full.count());
+        assert!((left.mean() - full.mean()).abs() <= 1e-6 * (1.0 + full.mean().abs()));
+        assert!(
             (left.population_variance() - full.population_variance()).abs()
                 <= 1e-4 * (1.0 + full.population_variance())
         );
     }
+}
 
-    #[test]
-    fn billed_duration_is_monotone_and_bounded(us_a in 0u64..10_000_000, us_b in 0u64..10_000_000) {
-        let (lo, hi) = if us_a <= us_b { (us_a, us_b) } else { (us_b, us_a) };
+#[test]
+fn billed_duration_is_monotone_and_bounded() {
+    let mut rng = SimRng::seed_from(SEED).derive("billing");
+    for _ in 0..256 {
+        let us_a = rng.next_below(10_000_000);
+        let us_b = rng.next_below(10_000_000);
+        let (lo, hi) = if us_a <= us_b {
+            (us_a, us_b)
+        } else {
+            (us_b, us_a)
+        };
         let d_lo = SimDuration::from_micros(lo);
         let d_hi = SimDuration::from_micros(hi);
-        prop_assert!(d_lo.billed_millis() <= d_hi.billed_millis());
+        assert!(d_lo.billed_millis() <= d_hi.billed_millis());
         // Rounding is up, by less than one full millisecond.
-        prop_assert!(d_lo.billed_millis() * 1_000 >= lo);
-        prop_assert!(d_lo.billed_millis() * 1_000 < lo + 1_000);
+        assert!(d_lo.billed_millis() * 1_000 >= lo);
+        assert!(d_lo.billed_millis() * 1_000 < lo + 1_000);
     }
+}
 
-    #[test]
-    fn invocation_cost_is_monotone_in_duration_and_memory(
-        ms_a in 1u64..100_000,
-        ms_b in 1u64..100_000,
-        mem_small in 128u32..5_000,
-        extra in 0u32..5_000,
-    ) {
-        let (lo, hi) = if ms_a <= ms_b { (ms_a, ms_b) } else { (ms_b, ms_a) };
+#[test]
+fn invocation_cost_is_monotone_in_duration_and_memory() {
+    let mut rng = SimRng::seed_from(SEED).derive("cost");
+    for _ in 0..256 {
+        let ms_a = rng.range_inclusive(1, 100_000);
+        let ms_b = rng.range_inclusive(1, 100_000);
+        let mem_small = rng.range_inclusive(128, 5_000) as u32;
+        let extra = rng.next_below(5_000) as u32;
+        let (lo, hi) = if ms_a <= ms_b {
+            (ms_a, ms_b)
+        } else {
+            (ms_b, ms_a)
+        };
         let cost = |ms: u64, mem: u32| {
             PriceBook::invocation_cost(
                 Provider::Aws,
@@ -133,12 +188,17 @@ proptest! {
                 SimDuration::from_millis(ms),
             )
         };
-        prop_assert!(cost(lo, mem_small) <= cost(hi, mem_small));
-        prop_assert!(cost(lo, mem_small) <= cost(lo, mem_small + extra));
+        assert!(cost(lo, mem_small) <= cost(hi, mem_small));
+        assert!(cost(lo, mem_small) <= cost(lo, mem_small + extra));
     }
+}
 
-    #[test]
-    fn event_queue_pops_sorted(times in vec(0u64..1_000_000, 0..300)) {
+#[test]
+fn event_queue_pops_sorted() {
+    let mut rng = SimRng::seed_from(SEED).derive("event-queue");
+    for _ in 0..64 {
+        let n = rng.next_below(300) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.next_below(1_000_000)).collect();
         let mut queue = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             queue.schedule(SimTime::from_micros(t), i);
@@ -146,19 +206,27 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut popped = 0usize;
         while let Some((t, _)) = queue.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             popped += 1;
         }
-        prop_assert_eq!(popped, times.len());
+        assert_eq!(popped, times.len());
     }
+}
 
-    #[test]
-    fn sha1_is_injective_on_small_perturbations(data in vec(any::<u8>(), 1..500), flip in 0usize..500) {
-        use sky_workloads::sha1::sha1;
+#[test]
+fn sha1_is_injective_on_small_perturbations() {
+    use sky_workloads::sha1::sha1;
+    let mut rng = SimRng::seed_from(SEED).derive("sha1");
+    for _ in 0..64 {
+        let len = rng.range_inclusive(1, 500);
+        let data = random_bytes(&mut rng, len);
+        if data.is_empty() {
+            continue;
+        }
         let mut mutated = data.clone();
-        let idx = flip % mutated.len();
+        let idx = rng.next_below(mutated.len() as u64) as usize;
         mutated[idx] ^= 0x01;
-        prop_assert_ne!(sha1(&data), sha1(&mutated));
+        assert_ne!(sha1(&data), sha1(&mutated));
     }
 }

@@ -1,0 +1,181 @@
+//! Vendored offline stand-in for `criterion`: the subset of the API the
+//! workspace benches use (`benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `iter`, `iter_with_setup`), measuring wall-clock time
+//! with `std::time::Instant`.
+//!
+//! Benchmarks only run when the binary is invoked with `--bench` (which
+//! `cargo bench` passes). Under `cargo test` the harness exits
+//! immediately, keeping the tier-1 suite fast.
+
+use std::time::{Duration, Instant};
+
+/// Measurement driver. `cargo bench` binaries get one via
+/// `criterion_main!`.
+#[derive(Default)]
+pub struct Criterion {
+    enabled: bool,
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        // `cargo bench` invokes bench binaries with `--bench`; `cargo
+        // test` invokes them with `--test` (or nothing). Only measure in
+        // the former case.
+        let enabled = std::env::args().any(|a| a == "--bench");
+        Criterion { enabled }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let enabled = self.enabled;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            enabled,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let enabled = self.enabled;
+        let mut group = BenchmarkGroup {
+            _criterion: self,
+            name: String::new(),
+            enabled,
+            throughput: None,
+            sample_size: 10,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Units for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    enabled: bool,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if !self.enabled {
+            return self;
+        }
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        // One warm-up pass, then `sample_size` measured passes.
+        f(&mut bencher);
+        bencher.total = Duration::ZERO;
+        bencher.iters = 0;
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let per_iter = if bencher.iters > 0 {
+            bencher.total.as_nanos() as f64 / bencher.iters as f64
+        } else {
+            0.0
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / (per_iter * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / (per_iter * 1e-9))
+            }
+            _ => String::new(),
+        };
+        println!("bench {full:<50} {per_iter:>14.1} ns/iter{rate}");
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time a routine over a fixed batch of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        const BATCH: u64 = 10;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += BATCH;
+    }
+
+    /// Time a routine whose input is rebuilt (untimed) before each call.
+    pub fn iter_with_setup<S, O, FS, F>(&mut self, mut setup: FS, mut routine: F)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        const BATCH: u64 = 10;
+        for _ in 0..BATCH {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+        }
+        self.iters += BATCH;
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,561 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the real `syn` and
+//! `quote` crates are unreachable in this offline build). The item is
+//! parsed into a small container model, code is generated as a string and
+//! re-parsed into a token stream.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! - named structs, tuple structs (newtype transparency for one field)
+//! - enums with unit, tuple and struct variants (externally tagged JSON)
+//! - field attributes `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(skip)]`
+//! - container attributes `#[serde(from = "T", into = "T")]`
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+// ---------------------------------------------------------------------------
+// Container model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    from: Option<String>,
+    into: Option<String>,
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `Some(None)` = `#[serde(default)]`, `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+    skip: bool,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Body {
+    Unit,
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_ident(&self) -> Option<String> {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            Some(i.to_string())
+        } else {
+            None
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consume leading `#[...]` attributes, folding any `#[serde(...)]`
+    /// contents into `fa`/`ca` (doc comments and everything else are
+    /// skipped).
+    fn eat_attrs(&mut self, fa: &mut FieldAttrs, ca: &mut ContainerAttrs) {
+        loop {
+            let is_hash = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_hash {
+                return;
+            }
+            self.pos += 1;
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive: expected [...] after #, got {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if inner.peek_ident().as_deref() == Some("serde") {
+                inner.pos += 1;
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    parse_serde_args(args.stream(), fa, ca);
+                }
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)` etc.
+    fn eat_visibility(&mut self) {
+        if self.peek_ident().as_deref() == Some("pub") {
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip a type (or any token run) until a top-level comma, tracking
+    /// angle-bracket depth so `BTreeMap<K, V>` commas don't terminate.
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                let c = p.as_char();
+                if c == ',' && angle == 0 {
+                    return;
+                }
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' {
+                    angle -= 1;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, fa: &mut FieldAttrs, ca: &mut ContainerAttrs) {
+    let mut c = Cursor::new(stream);
+    while !c.at_end() {
+        let key = c.expect_ident("serde attribute name");
+        let value = if c.eat_punct('=') {
+            match c.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                other => panic!("serde_derive: expected string literal, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("default", v) => fa.default = Some(v),
+            ("skip", None) => fa.skip = true,
+            ("from", Some(t)) => ca.from = Some(t),
+            ("into", Some(t)) => ca.into = Some(t),
+            (other, _) => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+        c.eat_punct(',');
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let mut fa = FieldAttrs::default();
+        let mut ca = ContainerAttrs::default();
+        c.eat_attrs(&mut fa, &mut ca);
+        if c.at_end() {
+            break;
+        }
+        c.eat_visibility();
+        let name = c.expect_ident("field name");
+        if !c.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        c.skip_until_top_level_comma();
+        c.eat_punct(',');
+        fields.push(Field { name, attrs: fa });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    if c.at_end() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    while let Some(tok) = c.next() {
+        if let TokenTree::Punct(p) = tok {
+            let ch = p.as_char();
+            if ch == '<' {
+                angle += 1;
+            } else if ch == '>' {
+                angle -= 1;
+            } else if ch == ',' && angle == 0 && !c.at_end() {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        let mut fa = FieldAttrs::default();
+        let mut ca = ContainerAttrs::default();
+        c.eat_attrs(&mut fa, &mut ca);
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                c.pos += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`).
+        if c.eat_punct('=') {
+            c.skip_until_top_level_comma();
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut c = Cursor::new(input);
+    let mut fa = FieldAttrs::default();
+    let mut attrs = ContainerAttrs::default();
+    c.eat_attrs(&mut fa, &mut attrs);
+    c.eat_visibility();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("container name");
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic containers are not supported by the vendored derive");
+    }
+    let body = match (kind.as_str(), c.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Struct(parse_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Body::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_variants(g.stream()))
+        }
+        (k, other) => panic!("serde_derive: unsupported item `{k}` body {other:?}"),
+    };
+    Container { name, attrs, body }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let container = parse_container(input);
+    let code = match mode {
+        Mode::Ser => gen_serialize(&container),
+        Mode::De => gen_deserialize(&container),
+    };
+    code.parse()
+        .expect("serde_derive: generated code failed to parse")
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(into) = &c.attrs.into {
+        format!(
+            "let __conv: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             serde::Serialize::to_value(&__conv)"
+        )
+    } else {
+        match &c.body {
+            Body::Unit => "serde::Value::Null".to_string(),
+            Body::Struct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.attrs.skip)
+                    .map(|f| {
+                        format!(
+                            "(\"{0}\".to_string(), serde::Serialize::to_value(&self.{0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!("serde::Value::Map(vec![{}])", entries.join(",\n"))
+            }
+            Body::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+            Body::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => arms.push_str(&format!(
+                            "{name}::{vname} => serde::Value::String(\"{vname}\".to_string()),\n"
+                        )),
+                        VariantShape::Tuple(1) => arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => serde::Value::Map(vec![(\
+                             \"{vname}\".to_string(), serde::Serialize::to_value(__f0))]),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vname}({}) => serde::Value::Map(vec![(\
+                                 \"{vname}\".to_string(), serde::Value::Array(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            ));
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.attrs.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vname} {{ {} }} => \
+                                 serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                                 serde::Value::Map(vec![{}]))]),\n",
+                                binds.join(", "),
+                                entries.join(",\n")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// The expression deserializing one named field from object entries `__m`
+/// of container `cname`.
+fn field_expr(f: &Field, cname: &str) -> String {
+    let fname = &f.name;
+    if f.attrs.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    let fallback = match &f.attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        None => format!(
+            "return ::std::result::Result::Err(\
+             serde::Error::missing_field(\"{fname}\", \"{cname}\"))"
+        ),
+    };
+    format!(
+        "match serde::__find(__m, \"{fname}\") {{\n\
+         Some(__fv) => serde::Deserialize::from_value(__fv)?,\n\
+         None => {fallback},\n}}"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(from) = &c.attrs.from {
+        format!(
+            "let __s: {from} = serde::Deserialize::from_value(__v)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(__s))"
+        )
+    } else {
+        match &c.body {
+            Body::Unit => format!("let _ = __v;\n::std::result::Result::Ok({name})"),
+            Body::Struct(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!("{}: {},\n", f.name, field_expr(f, name)));
+                }
+                format!(
+                    "let __m = match __v {{\n\
+                     serde::Value::Map(__m) => __m.as_slice(),\n\
+                     _ => return ::std::result::Result::Err(serde::Error::expected(\
+                     \"object for {name}\", __v)),\n}};\n\
+                     ::std::result::Result::Ok({name} {{\n{inits}}})"
+                )
+            }
+            Body::TupleStruct(1) => {
+                format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))")
+            }
+            Body::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| serde::Error::expected(\
+                     \"array for {name}\", __v))?;\n\
+                     if __a.len() != {n} {{\n\
+                     return ::std::result::Result::Err(serde::Error::custom(\
+                     \"wrong tuple length for {name}\"));\n}}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Body::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut tagged_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             serde::Deserialize::from_value(__inner)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let __a = __inner.as_array().ok_or_else(|| \
+                                 serde::Error::expected(\"array\", __inner))?;\n\
+                                 if __a.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(serde::Error::custom(\
+                                 \"wrong tuple length for {name}::{vname}\"));\n}}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n}},\n",
+                                items.join(", ")
+                            ));
+                        }
+                        VariantShape::Struct(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                inits.push_str(&format!(
+                                    "{}: {},\n",
+                                    f.name,
+                                    field_expr(f, &format!("{name}::{vname}"))
+                                ));
+                            }
+                            tagged_arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let __m = match __inner {{\n\
+                                 serde::Value::Map(__m) => __m.as_slice(),\n\
+                                 _ => return ::std::result::Result::Err(serde::Error::expected(\
+                                 \"object for {name}::{vname}\", __inner)),\n}};\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}},\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::std::result::Result::Err(\
+                     serde::Error::unknown_variant(__other, \"{name}\")),\n}},\n\
+                     serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__entries[0];\n\
+                     match __tag.as_str() {{\n{tagged_arms}\
+                     __other => ::std::result::Result::Err(\
+                     serde::Error::unknown_variant(__other, \"{name}\")),\n}}\n}},\n\
+                     _ => ::std::result::Result::Err(serde::Error::expected(\
+                     \"variant of {name}\", __v)),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
