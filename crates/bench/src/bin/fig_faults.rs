@@ -1,0 +1,20 @@
+//! **fig_faults** — baseline vs. resilient routing under each injected
+//! fault class (outage, partial outage, throttling storm, latency
+//! spike, cold-start storm, gray degradation).
+//!
+//! Each fault class is one sweep cell (two fresh seeded worlds: naive
+//! client and resilient client) so the table is byte-identical for any
+//! `--jobs` setting. The resilient client must strictly dominate the
+//! baseline on goodput in every row — the verdict line at the bottom is
+//! asserted by the golden harness and the integration tests.
+
+use sky_bench::faults::{fig_faults_rows, render_fig_faults};
+use sky_bench::sweep::Jobs;
+use sky_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let jobs = Jobs::from_env();
+    let rows = fig_faults_rows(scale, jobs);
+    print!("{}", render_fig_faults(&rows));
+}

@@ -8,6 +8,7 @@
 //! Binaries honour the `SKY_SCALE` environment variable (`full`, the
 //! default, or `quick` for a fast smoke run at reduced sample counts).
 
+pub mod faults;
 pub mod sweep;
 
 use sky_core::cloud::{AzId, Catalog, Provider};

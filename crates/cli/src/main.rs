@@ -10,6 +10,7 @@
 //! skyward route        <workload> --baseline <az> [--candidates a,b,c]
 //!                      [--policy baseline|regional|retry-slow|focus|hybrid]
 //!                      [--burst N] [--seed N]
+//! skyward faults       [--jobs N] [--scale quick|full]
 //! ```
 //!
 //! Everything runs against the seeded simulator; the same seed always
@@ -68,6 +69,10 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             cmd_profile(&args, seed)
         }
         Some("route") => cmd_route(&args, seed),
+        Some("faults") => {
+            expect_arity(&args, 1)?;
+            cmd_faults(&args)
+        }
         Some(other) => Err(format!("unknown command {other:?}")),
     }
 }
@@ -97,6 +102,9 @@ fn print_help() {
          \x20 route        <workload> --baseline <az> [--candidates a,b,c]\n\
          \x20              [--policy baseline|regional|retry-slow|focus|hybrid]\n\
          \x20              [--burst N]                compare a policy against the baseline\n\
+         \x20 faults       [--jobs N] [--scale quick|full]\n\
+         \x20                                         baseline vs resilient client under\n\
+         \x20                                         each injected fault class\n\
          \n\
          global flags: --seed N (default 42), --json on characterize,\n\
          \x20             --jobs N (worker threads for multi-zone characterize;\n\
@@ -316,6 +324,22 @@ fn cmd_profile(args: &Args, seed: u64) -> Result<(), String> {
     }
     println!("{}", out.render());
     println!("profiling spend ${:.3}", run.cost_usd);
+    Ok(())
+}
+
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    let scale = match args.flag("scale") {
+        None => sky_bench::Scale::from_env(),
+        Some("quick") => sky_bench::Scale::Quick,
+        Some("full") => sky_bench::Scale::Full,
+        Some(other) => return Err(format!("unknown scale {other:?} (quick|full)")),
+    };
+    let jobs = match args.flag("jobs") {
+        Some(_) => Jobs::new(args.flag_u64("jobs", 1).map_err(|e| e.to_string())? as usize),
+        None => Jobs::from_env(),
+    };
+    let rows = sky_bench::faults::fig_faults_rows(scale, jobs);
+    print!("{}", sky_bench::faults::render_fig_faults(&rows));
     Ok(())
 }
 

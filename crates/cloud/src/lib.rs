@@ -31,6 +31,7 @@ pub mod catalog;
 pub mod churn;
 pub mod cpu;
 pub mod diurnal;
+pub mod faults;
 pub mod latency;
 pub mod pricing;
 pub mod provider;
@@ -41,6 +42,7 @@ pub use catalog::{AzSpec, Catalog, ChurnClass, RegionSpec};
 pub use churn::ChurnModel;
 pub use cpu::{Arch, CpuMix, CpuSet, CpuType};
 pub use diurnal::DiurnalModel;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
 pub use latency::{GeoPoint, LatencyModel};
 pub use pricing::PriceBook;
 pub use provider::Provider;

@@ -54,6 +54,7 @@
 pub mod characterization;
 pub mod cost;
 pub mod profiler;
+pub mod resilience;
 pub mod router;
 pub mod sampling;
 pub mod scheduler;
@@ -63,6 +64,10 @@ pub mod temporal;
 pub use characterization::Characterization;
 pub use cost::CostLedger;
 pub use profiler::{ProfileRun, RuntimeTable, WorkloadProfiler};
+pub use resilience::{
+    percentile, BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig,
+    ResilientClient, ResilientReport,
+};
 pub use router::{
     savings_fraction, BurstReport, RetryMode, RouterConfig, RoutingPolicy, SmartRouter,
 };

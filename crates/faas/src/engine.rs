@@ -12,7 +12,7 @@ use crate::ids::{AccountId, DeploymentId, InstanceId};
 use crate::platform::{AzPlatform, CapacityError};
 use crate::report::SaafReport;
 use crate::request::{BatchRequest, InvocationOutcome, InvocationStatus, RequestBody};
-use sky_cloud::{Arch, AzId, Catalog, PriceBook, Provider};
+use sky_cloud::{Arch, AzId, Catalog, FaultKind, FaultPlan, PriceBook, Provider};
 use sky_sim::{EventQueue, SimDuration, SimRng, SimTime, TraceLevel, Tracer};
 use sky_workloads::PerfModel;
 use std::collections::HashMap;
@@ -177,6 +177,14 @@ enum Event {
     },
     ScaleCheck {
         az_idx: u32,
+    },
+    /// A scheduled [`FaultPlan`] event fires: arm the fault on its
+    /// platform until `until`. Each plan entry is scheduled exactly once,
+    /// so a fault can neither double-fire nor fire outside its window.
+    Fault {
+        az_idx: u32,
+        kind: FaultKind,
+        until: SimTime,
     },
 }
 
@@ -375,6 +383,44 @@ impl FaasEngine {
         );
     }
 
+    /// Arm a fault schedule: each plan event is enqueued once at its
+    /// start time and arms its platform until `start + duration` when it
+    /// fires. Platforms for targeted zones are instantiated on demand, so
+    /// a plan may be armed before any deployment exists in a zone.
+    ///
+    /// Fault windows never perturb unrelated randomness: fault coin flips
+    /// draw from a dedicated per-platform stream, so a run whose windows
+    /// are never reached is byte-identical to a run with no plan at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event targets a zone missing from the catalog or
+    /// starts before the current virtual time.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            assert!(
+                self.catalog.az(&ev.az).is_some(),
+                "fault plan targets unknown zone {}",
+                ev.az
+            );
+            assert!(
+                ev.start >= self.now,
+                "fault at {} is in the past (now {})",
+                ev.start,
+                self.now
+            );
+            let az_idx = self.ensure_platform(&ev.az);
+            self.queue.schedule(
+                ev.start,
+                Event::Fault {
+                    az_idx,
+                    kind: ev.kind,
+                    until: ev.end(),
+                },
+            );
+        }
+    }
+
     /// Intern `az`, instantiating its platform on first sight, and
     /// return the dense platform index.
     fn ensure_platform(&mut self, az: &AzId) -> u32 {
@@ -499,7 +545,12 @@ impl FaasEngine {
     fn handle_maintenance(&mut self, event: Event) {
         match event {
             Event::Release { az_idx, instance } => {
-                let keep_alive = {
+                // A cold-start storm suppresses keep-alive: the FI is torn
+                // down right after its invocation, so the next request
+                // pays a (storm-inflated) cold start.
+                let keep_alive = if self.platforms[az_idx as usize].cold_storm_active(self.now) {
+                    SimDuration::ZERO
+                } else {
                     let lo = self.config.keep_alive_min.as_micros();
                     let hi = self.config.keep_alive_max.as_micros();
                     SimDuration::from_micros(self.exec_rng.range_inclusive(lo, hi))
@@ -549,6 +600,22 @@ impl FaasEngine {
                         format!("{}: added {added} hosts", self.az_ids[az_idx as usize]),
                     );
                 }
+            }
+            Event::Fault {
+                az_idx,
+                kind,
+                until,
+            } => {
+                let purged = self.platforms[az_idx as usize].apply_fault(&kind, until);
+                self.tracer.warn(
+                    self.now,
+                    "faas.fault",
+                    format!(
+                        "{}: {} armed until {until} (purged {purged} warm FIs)",
+                        self.az_ids[az_idx as usize],
+                        kind.label(),
+                    ),
+                );
             }
             Event::Arrival { .. } | Event::Response { .. } => {
                 unreachable!("batch events are not maintenance")
@@ -605,8 +672,20 @@ impl FaasEngine {
             );
             return;
         }
-        // Placement.
+        // Throttling storm: 429-style shed before any placement work, so
+        // a shed arrival consumes no capacity and holds no quota.
         let platform = &mut self.platforms[req.az_idx as usize];
+        if platform.throttle_rejects(arrived) {
+            self.resolve_final(
+                idx,
+                arrived,
+                InvocationStatus::Throttled,
+                SimDuration::ZERO,
+                0.0,
+            );
+            return;
+        }
+        // Placement.
         let (instance_id, cold) =
             match platform.acquire(req.deployment, req.memory_mb, req.arch, arrived) {
                 Ok(x) => x,
@@ -630,19 +709,23 @@ impl FaasEngine {
             };
         self.accounts[req.account as usize].in_flight += 1;
 
-        // Dispatch latency (not billed).
+        // Dispatch latency (not billed). Cold-start storms inflate init;
+        // latency spikes add a flat (unbilled) delay to every dispatch.
+        let platform = &self.platforms[req.az_idx as usize];
         let dispatch = if cold {
             let lo = self.config.cold_start_min.as_micros();
             let hi = self.config.cold_start_max.as_micros();
             SimDuration::from_micros(self.exec_rng.range_inclusive(lo, hi))
+                .mul_f64(platform.cold_start_factor(arrived))
         } else {
             self.config.warm_dispatch
-        };
+        } + platform.extra_dispatch_latency(arrived);
 
-        // Execution semantics.
-        let platform = &self.platforms[req.az_idx as usize];
+        // Execution semantics. Gray degradation silently stretches
+        // *workload* execution (sleeps are timer-bound and unaffected).
         let hour = arrived.hour_of_day_f64();
         let contention = platform.diurnal().contention(hour);
+        let gray = platform.gray_slowdown(arrived);
         let inst = platform.instance(instance_id).expect("just acquired");
         let cpu = inst.cpu;
         // `billed` is the full FI occupancy (including decline holds);
@@ -660,14 +743,18 @@ impl FaasEngine {
                     spec.payload_hash,
                     spec.payload_bytes,
                 );
-                let exec = self.config.perf.duration(
-                    spec.kind,
-                    spec.scale,
-                    cpu,
-                    req.memory_mb,
-                    contention,
-                    &mut self.exec_rng,
-                );
+                let exec = self
+                    .config
+                    .perf
+                    .duration(
+                        spec.kind,
+                        spec.scale,
+                        cpu,
+                        req.memory_mb,
+                        contention,
+                        &mut self.exec_rng,
+                    )
+                    .mul_f64(gray);
                 let b = decode + exec;
                 (b, b, false)
             }
@@ -685,14 +772,18 @@ impl FaasEngine {
                         spec.payload_hash,
                         spec.payload_bytes,
                     );
-                    let exec = self.config.perf.duration(
-                        spec.kind,
-                        spec.scale,
-                        cpu,
-                        req.memory_mb,
-                        contention,
-                        &mut self.exec_rng,
-                    );
+                    let exec = self
+                        .config
+                        .perf
+                        .duration(
+                            spec.kind,
+                            spec.scale,
+                            cpu,
+                            req.memory_mb,
+                            contention,
+                            &mut self.exec_rng,
+                        )
+                        .mul_f64(gray);
                     let b = self.config.gate_check + decode + exec;
                     (b, b, false)
                 }

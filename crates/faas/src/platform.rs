@@ -8,7 +8,7 @@
 //! sampling campaign's sleep interval must outrun, Figure 3).
 
 use crate::ids::{DeploymentId, HostId, InstanceId};
-use sky_cloud::{Arch, AzSpec, ChurnModel, CpuMix, CpuType, DiurnalModel};
+use sky_cloud::{Arch, AzSpec, ChurnModel, CpuMix, CpuType, DiurnalModel, FaultKind};
 use sky_sim::{SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
 
@@ -168,6 +168,26 @@ pub struct AzPlatform {
     /// Fault injection: while set and in the future, every placement
     /// fails (a zone-level outage).
     outage_until: Option<SimTime>,
+    /// Partial outage: until the given instant, each new placement
+    /// independently fails with the given probability.
+    partial_outage: Option<(SimTime, f64)>,
+    /// Throttling storm: until the given instant, each arrival is
+    /// rejected 429-style with the given probability.
+    throttle_storm: Option<(SimTime, f64)>,
+    /// Latency spike: until the given instant, every dispatch takes the
+    /// given extra (unbilled) latency.
+    latency_spike: Option<(SimTime, SimDuration)>,
+    /// Gray degradation: until the given instant, workload execution is
+    /// silently slowed by the given factor.
+    gray_degradation: Option<(SimTime, f64)>,
+    /// Cold-start storm: until the given instant, keep-alive is
+    /// suppressed and cold-start init is inflated by the given factor.
+    cold_storm: Option<(SimTime, f64)>,
+    /// Dedicated stream for fault coin flips (partial-outage and
+    /// throttle draws). Separate from `rng` so arming a fault never
+    /// perturbs placement randomness — a no-fault run stays
+    /// byte-identical to a run whose fault windows are never reached.
+    fault_rng: SimRng,
     rng: SimRng,
 }
 
@@ -205,6 +225,12 @@ impl AzPlatform {
             stickiness: 0.95,
             last_host: None,
             outage_until: None,
+            partial_outage: None,
+            throttle_storm: None,
+            latency_spike: None,
+            gray_degradation: None,
+            cold_storm: None,
+            fault_rng: rng.derive("faults"),
             rng,
             spec,
         };
@@ -335,6 +361,23 @@ impl AzPlatform {
                 return Err(CapacityError::Exhausted);
             }
             self.outage_until = None;
+        }
+        // Partial outage: each placement independently fails with the
+        // configured severity (warm fallback as above). The coin comes
+        // from the dedicated fault stream, drawn only while the window
+        // is active.
+        if let Some((until, severity)) = self.partial_outage {
+            if now < until {
+                if self.fault_rng.chance(severity) {
+                    if let Some(id) = self.pop_valid_warm(deployment) {
+                        return Ok((self.mark_busy(id), false));
+                    }
+                    self.capacity_failures_pending += 1;
+                    return Err(CapacityError::Exhausted);
+                }
+            } else {
+                self.partial_outage = None;
+            }
         }
         // Admission check against background-load-adjusted capacity,
         // then weighted placement across CPU types.
@@ -591,6 +634,100 @@ impl AzPlatform {
     /// Whether an injected outage is active at `now`.
     pub fn outage_active(&self, now: SimTime) -> bool {
         self.outage_until.map(|u| now < u).unwrap_or(false)
+    }
+
+    /// Arm one fault against this platform until `until`. Cold-start
+    /// storms purge the warm pool immediately; the returned count is the
+    /// number of instances destroyed (zero for every other kind).
+    pub fn apply_fault(&mut self, kind: &FaultKind, until: SimTime) -> u32 {
+        match *kind {
+            FaultKind::Outage => {
+                self.outage_until = Some(until);
+                0
+            }
+            FaultKind::PartialOutage { severity } => {
+                self.partial_outage = Some((until, severity));
+                0
+            }
+            FaultKind::ThrottleStorm { reject_prob } => {
+                self.throttle_storm = Some((until, reject_prob));
+                0
+            }
+            FaultKind::LatencySpike { extra } => {
+                self.latency_spike = Some((until, extra));
+                0
+            }
+            FaultKind::ColdStartStorm { init_factor } => {
+                self.cold_storm = Some((until, init_factor));
+                self.purge_warm()
+            }
+            FaultKind::GrayDegradation { slowdown } => {
+                self.gray_degradation = Some((until, slowdown));
+                0
+            }
+        }
+    }
+
+    /// Whether an active throttling storm sheds this arrival. Draws from
+    /// the fault stream only while the storm window is active, so
+    /// unfaulted runs consume no fault randomness.
+    pub fn throttle_rejects(&mut self, now: SimTime) -> bool {
+        match self.throttle_storm {
+            Some((until, p)) if now < until => self.fault_rng.chance(p),
+            Some(_) => {
+                self.throttle_storm = None;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Extra dispatch latency imposed by an active latency spike.
+    pub fn extra_dispatch_latency(&self, now: SimTime) -> SimDuration {
+        match self.latency_spike {
+            Some((until, extra)) if now < until => extra,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Execution slowdown factor of an active gray degradation (1.0 when
+    /// healthy).
+    pub fn gray_slowdown(&self, now: SimTime) -> f64 {
+        match self.gray_degradation {
+            Some((until, factor)) if now < until => factor,
+            _ => 1.0,
+        }
+    }
+
+    /// Cold-start inflation factor of an active cold-start storm (1.0
+    /// when healthy).
+    pub fn cold_start_factor(&self, now: SimTime) -> f64 {
+        match self.cold_storm {
+            Some((until, factor)) if now < until => factor,
+            _ => 1.0,
+        }
+    }
+
+    /// Whether a cold-start storm is suppressing keep-alive at `now`.
+    pub fn cold_storm_active(&self, now: SimTime) -> bool {
+        matches!(self.cold_storm, Some((until, _)) if now < until)
+    }
+
+    /// Destroy every idle warm instance (the cold-start-storm purge, or
+    /// a simulated keep-alive flush). Busy instances are untouched.
+    /// Returns how many instances were destroyed.
+    pub fn purge_warm(&mut self) -> u32 {
+        let idle: Vec<InstanceId> = self
+            .instances
+            .values()
+            .filter(|i| !i.busy)
+            .map(|i| i.id)
+            .collect();
+        let purged = idle.len() as u32;
+        for id in idle {
+            self.destroy(id);
+        }
+        purged
     }
 
     /// Reactive scale-up step (called from the engine's scale-check

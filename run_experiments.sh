@@ -2,7 +2,7 @@
 # Regenerate every table and figure at full scale into results/.
 set -u
 cd "$(dirname "$0")"
-BINS="table1_workloads fig2_global_characterization fig3_sleep_sweep fig4_saturation fig5_progressive_sampling fig6_polls_to_accuracy fig7_temporal_drift fig8_hourly_variation fig9_cpu_performance fig10_retry_methods fig11_region_hopping ex5_summary cost_summary ablation_ban_sets ablation_staleness ablation_passive latency_tradeoff arm_vs_x86 availability carbon_aware adaptive_sampling"
+BINS="table1_workloads fig2_global_characterization fig3_sleep_sweep fig4_saturation fig5_progressive_sampling fig6_polls_to_accuracy fig7_temporal_drift fig8_hourly_variation fig9_cpu_performance fig10_retry_methods fig11_region_hopping ex5_summary cost_summary ablation_ban_sets ablation_staleness ablation_passive latency_tradeoff arm_vs_x86 availability carbon_aware adaptive_sampling fig_faults"
 for bin in $BINS; do
   echo "=== $bin ==="
   start=$SECONDS

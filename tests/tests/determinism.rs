@@ -102,3 +102,22 @@ fn kernels_are_platform_independent_fixtures() {
         );
     }
 }
+
+#[test]
+fn fault_sweep_is_jobs_invariant() {
+    // The determinism matrix: the fig_faults experiment — every cell
+    // running under an active FaultPlan — must render byte-identically
+    // whether the sweep runner uses 1, 2 or 8 worker threads.
+    use sky_bench::faults::{fig_faults_rows, render_fig_faults};
+    use sky_bench::sweep::Jobs;
+    use sky_bench::Scale;
+
+    let reference = render_fig_faults(&fig_faults_rows(Scale::Quick, Jobs::serial()));
+    for jobs in [1, 2, 8] {
+        let rendered = render_fig_faults(&fig_faults_rows(Scale::Quick, Jobs::new(jobs)));
+        assert_eq!(
+            rendered, reference,
+            "--jobs {jobs} changed the fig_faults bytes"
+        );
+    }
+}

@@ -205,3 +205,153 @@ fn router_routes_around_an_outaged_zone() {
     assert_eq!(report.az, fallback);
     assert!(report.completed >= 99);
 }
+
+// ---------------------------------------------------------------------
+// Scheduled fault classes (FaultPlan) and the resilient client.
+// ---------------------------------------------------------------------
+
+use sky_cloud::{FaultKind, FaultPlan};
+use sky_faas::WorkloadSpec;
+
+#[test]
+fn throttle_storm_sheds_arrivals_then_recovers() {
+    let (mut engine, account) = world(204);
+    let az: sky_cloud::AzId = "us-east-2a".parse().unwrap();
+    let dep = engine.deploy(account, &az, 2048, Arch::X86_64).unwrap();
+    let plan = FaultPlan::new()
+        .with_event(
+            az.clone(),
+            engine.now() + SimDuration::from_secs(1),
+            SimDuration::from_mins(10),
+            FaultKind::ThrottleStorm { reject_prob: 0.7 },
+        )
+        .unwrap();
+    engine.set_fault_plan(&plan);
+    engine.advance_by(SimDuration::from_secs(2));
+
+    let burst = |engine: &mut FaasEngine| {
+        engine.run_batch(
+            (0..200)
+                .map(|_| BatchRequest {
+                    deployment: dep,
+                    offset: SimDuration::ZERO,
+                    body: RequestBody::Sleep {
+                        duration: SimDuration::from_millis(50),
+                    },
+                })
+                .collect(),
+        )
+    };
+    let during = burst(&mut engine);
+    let throttled = during
+        .iter()
+        .filter(|o| o.status == InvocationStatus::Throttled)
+        .count();
+    assert!(
+        (100..=180).contains(&throttled),
+        "~70% of arrivals shed during the storm: {throttled}/200"
+    );
+    // Shed arrivals are rejected at the front door: nothing billed.
+    assert!(during
+        .iter()
+        .filter(|o| o.status == InvocationStatus::Throttled)
+        .all(|o| o.cost_usd == 0.0));
+
+    engine.advance_by(SimDuration::from_mins(11));
+    let after = burst(&mut engine);
+    assert!(
+        after.iter().all(|o| o.status.is_success()),
+        "zone serves everything once the storm passes"
+    );
+}
+
+#[test]
+fn gray_degradation_slows_workloads_without_failing_them() {
+    let run = |slowdown: Option<f64>| {
+        let (mut engine, account) = world(205);
+        let az: sky_cloud::AzId = "us-east-2a".parse().unwrap();
+        let dep = engine.deploy(account, &az, 2048, Arch::X86_64).unwrap();
+        if let Some(slowdown) = slowdown {
+            let plan = FaultPlan::new()
+                .with_event(
+                    az,
+                    engine.now() + SimDuration::from_secs(1),
+                    SimDuration::from_hours(1),
+                    FaultKind::GrayDegradation { slowdown },
+                )
+                .unwrap();
+            engine.set_fault_plan(&plan);
+        }
+        engine.advance_by(SimDuration::from_secs(2));
+        let outcomes = engine.run_batch(
+            (0..40)
+                .map(|_| BatchRequest {
+                    deployment: dep,
+                    offset: SimDuration::ZERO,
+                    body: RequestBody::Workload {
+                        spec: WorkloadSpec::new(WorkloadKind::Sha1Hash),
+                    },
+                })
+                .collect(),
+        );
+        assert!(
+            outcomes.iter().all(|o| o.status.is_success()),
+            "gray degradation is silent: every request still succeeds"
+        );
+        let mean_secs = outcomes
+            .iter()
+            .map(|o| o.finished.saturating_since(o.arrived).as_secs_f64())
+            .sum::<f64>()
+            / outcomes.len() as f64;
+        mean_secs
+    };
+    let healthy = run(None);
+    let degraded = run(Some(2.0));
+    assert!(
+        degraded > healthy * 1.6 && degraded < healthy * 2.6,
+        "2x gray slowdown should roughly double latency: {healthy:.2}s -> {degraded:.2}s"
+    );
+}
+
+#[test]
+fn resilient_client_holds_goodput_floor_under_new_fault_classes() {
+    use sky_bench::faults::{run_fault_cell, FaultClass};
+    use sky_bench::Scale;
+    for class in [FaultClass::ThrottleStorm, FaultClass::GrayDegradation] {
+        let row = run_fault_cell(class, Scale::Quick);
+        assert!(
+            row.resilient.goodput >= 0.9,
+            "{}: resilient goodput {:.2} under floor",
+            class.label(),
+            row.resilient.goodput
+        );
+        assert!(
+            row.resilient.goodput > row.baseline.goodput,
+            "{}: resilient must beat baseline",
+            class.label()
+        );
+    }
+}
+
+#[test]
+#[ignore = "full-scale chaos sweep (~minutes); CI runs it via --include-ignored"]
+fn full_scale_resilient_domination() {
+    use sky_bench::faults::fig_faults_rows;
+    use sky_bench::sweep::Jobs;
+    use sky_bench::Scale;
+    for row in fig_faults_rows(Scale::Full, Jobs::from_env()) {
+        assert!(
+            row.resilient.goodput > row.baseline.goodput,
+            "{}: resilient {:.3} vs baseline {:.3}",
+            row.class.label(),
+            row.resilient.goodput,
+            row.baseline.goodput
+        );
+        assert!(
+            row.resilient.goodput >= 0.9,
+            "{}: full-scale goodput floor: {:.3}",
+            row.class.label(),
+            row.resilient.goodput
+        );
+    }
+}

@@ -230,3 +230,132 @@ fn sha1_is_injective_on_small_perturbations() {
         assert_ne!(sha1(&data), sha1(&mutated));
     }
 }
+
+// ---------------------------------------------------------------------
+// Fault-layer and resilience properties (chaos subsystem).
+// ---------------------------------------------------------------------
+
+use sky_cloud::{AzId, FaultPlan};
+use sky_core::{BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker};
+
+#[test]
+fn rng_derived_streams_are_independent() {
+    // Reference: the "b" stream drawn with no activity on "a".
+    let parent = SimRng::seed_from(SEED);
+    let mut a = parent.derive("stream-a");
+    let mut b = parent.derive("stream-b");
+    let seq_a: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+    let seq_b: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+    assert_ne!(seq_a, seq_b, "distinct labels must yield distinct streams");
+
+    // Interleaving arbitrary draws on "a" must not perturb "b" — this is
+    // the property the engine's dedicated fault stream relies on to keep
+    // no-fault runs byte-identical.
+    let parent = SimRng::seed_from(SEED);
+    let mut a = parent.derive("stream-a");
+    let mut b = parent.derive("stream-b");
+    let mut noise = parent.derive("noise");
+    for &expected in &seq_b {
+        for _ in 0..noise.next_below(7) {
+            a.next_u64();
+        }
+        assert_eq!(b.next_u64(), expected);
+    }
+
+    // Indexed derivation is also pairwise independent.
+    let x: Vec<u64> = {
+        let mut r = parent.derive_idx("worker", 0);
+        (0..8).map(|_| r.next_u64()).collect()
+    };
+    let y: Vec<u64> = {
+        let mut r = parent.derive_idx("worker", 1);
+        (0..8).map(|_| r.next_u64()).collect()
+    };
+    assert_ne!(x, y);
+}
+
+#[test]
+fn fault_plan_fires_each_event_exactly_once_within_its_window() {
+    use sky_cloud::{Catalog, Provider};
+    use sky_faas::{FaasEngine, FleetConfig};
+
+    let mut rng = SimRng::seed_from(SEED).derive("fault-plan");
+    let zones: Vec<AzId> = ["us-east-2a", "us-east-2b", "us-west-1a"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    for round in 0..4u64 {
+        let mut engine = FaasEngine::new(Catalog::paper_world(round), FleetConfig::new(round));
+        engine.create_account(Provider::Aws);
+        let start = engine.now() + SimDuration::from_mins(1);
+        let plan = FaultPlan::random_storm(&mut rng, &zones, start, SimDuration::from_mins(30), 8);
+        engine.set_fault_plan(&plan);
+        engine.advance_to(plan.last_end().unwrap() + SimDuration::from_mins(1));
+
+        let fired: Vec<_> = engine.tracer().with_tag("faas.fault").collect();
+        assert_eq!(engine.tracer().dropped(), 0, "trace ring overflowed");
+        assert_eq!(
+            fired.len(),
+            plan.events().len(),
+            "every scheduled fault fires exactly once"
+        );
+        let mut fire_times: Vec<_> = fired.iter().map(|e| e.at).collect();
+        fire_times.sort();
+        let mut starts: Vec<_> = plan.events().iter().map(|e| e.start).collect();
+        starts.sort();
+        assert_eq!(fire_times, starts, "faults arm exactly at their start");
+        for ev in plan.events() {
+            assert!(ev.active_at(ev.start), "window includes its own start");
+            assert!(!ev.active_at(ev.end()), "window is half-open");
+        }
+    }
+}
+
+#[test]
+fn breaker_always_half_opens_after_cooldown() {
+    let mut rng = SimRng::seed_from(SEED).derive("breaker");
+    for _ in 0..50 {
+        let config = BreakerConfig {
+            failure_threshold: rng.range_inclusive(1, 6) as u32,
+            cooldown: SimDuration::from_secs(rng.range_inclusive(1, 120)),
+        };
+        let mut breaker = CircuitBreaker::new(config);
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            match rng.next_below(3) {
+                0 => breaker.on_success(),
+                1 => breaker.on_failure(now),
+                _ => now += SimDuration::from_millis(rng.range_inclusive(10, 60_000)),
+            }
+            if breaker.state(now) == BreakerState::Open {
+                let probe_at = now + config.cooldown;
+                assert_eq!(
+                    breaker.state(probe_at),
+                    BreakerState::HalfOpen,
+                    "an open breaker must half-open once the cooldown elapses"
+                );
+                assert!(breaker.allows(probe_at), "half-open admits a probe");
+            }
+        }
+    }
+}
+
+#[test]
+fn backoff_delays_are_monotone_and_bounded_for_random_policies() {
+    let mut rng = SimRng::seed_from(SEED).derive("backoff");
+    for _ in 0..50 {
+        let jitter = rng.range_f64(0.0, 0.9);
+        let factor = rng.range_f64(1.0 + jitter, 4.0);
+        let base = SimDuration::from_millis(rng.range_inclusive(1, 1_000));
+        let max = base + SimDuration::from_millis(rng.range_inclusive(0, 60_000));
+        let policy = BackoffPolicy::new(base, factor, max, jitter);
+        let mut prev = SimDuration::ZERO;
+        for attempt in 0..12 {
+            let d = policy.delay(attempt, &mut rng);
+            assert!(d >= prev, "delay must be non-decreasing in attempt");
+            assert!(d <= max, "delay must respect the cap");
+            assert!(d >= base.min(max), "first delays never undershoot base");
+            prev = d;
+        }
+    }
+}
