@@ -18,7 +18,7 @@ use crate::sweep::{self, Jobs};
 use crate::{Scale, World, WORLD_SEED};
 use sky_core::cloud::{Arch, AzId, FaultKind, FaultPlan};
 use sky_core::sim::series::Table;
-use sky_core::sim::SimDuration;
+use sky_core::sim::{MetricsSnapshot, SimDuration};
 use sky_core::workloads::WorkloadKind;
 use sky_core::{BackoffPolicy, BreakerConfig, ResilienceConfig, ResilientClient, ResilientReport};
 
@@ -142,8 +142,10 @@ pub struct FaultFigRow {
 }
 
 /// Run one `(class, policy)` arm in a fresh seeded world and return the
-/// report. Deterministic from `WORLD_SEED`.
-fn run_arm(class: FaultClass, resilient: bool, scale: Scale) -> ResilientReport {
+/// report plus the arm's metric snapshot (engine + client registries,
+/// tagged with `class`/`policy` labels). Deterministic from
+/// [`WORLD_SEED`].
+fn run_arm(class: FaultClass, resilient: bool, scale: Scale) -> (ResilientReport, MetricsSnapshot) {
     let mut world = World::new(WORLD_SEED);
     let primary = primary_az();
     let fallback = fallback_az();
@@ -174,7 +176,7 @@ fn run_arm(class: FaultClass, resilient: bool, scale: Scale) -> ResilientReport 
         (baseline_config(), vec![primary.clone()])
     };
     let mut client = ResilientClient::with_defaults(config);
-    client.run_burst(&mut world.engine, FAULT_WORKLOAD, n, &candidates, |az| {
+    let report = client.run_burst(&mut world.engine, FAULT_WORKLOAD, n, &candidates, |az| {
         if *az == primary {
             Some(dep_primary)
         } else if *az == fallback {
@@ -182,16 +184,34 @@ fn run_arm(class: FaultClass, resilient: bool, scale: Scale) -> ResilientReport 
         } else {
             None
         }
-    })
+    });
+    let mut metrics = world.engine.metrics_snapshot();
+    metrics.merge(&client.metrics_snapshot());
+    let metrics = metrics
+        .with_label("class", class.label())
+        .with_label("policy", if resilient { "resilient" } else { "baseline" });
+    (report, metrics)
+}
+
+/// Run one fault class (both policies) and keep the merged metric
+/// snapshot of both arms.
+pub fn run_fault_cell_full(class: FaultClass, scale: Scale) -> (FaultFigRow, MetricsSnapshot) {
+    let (baseline, mut metrics) = run_arm(class, false, scale);
+    let (resilient, resilient_metrics) = run_arm(class, true, scale);
+    metrics.merge(&resilient_metrics);
+    (
+        FaultFigRow {
+            class,
+            baseline,
+            resilient,
+        },
+        metrics,
+    )
 }
 
 /// Run one fault class (both policies).
 pub fn run_fault_cell(class: FaultClass, scale: Scale) -> FaultFigRow {
-    FaultFigRow {
-        class,
-        baseline: run_arm(class, false, scale),
-        resilient: run_arm(class, true, scale),
-    }
+    run_fault_cell_full(class, scale).0
 }
 
 /// All figure rows, fanned out over the sweep runner. Output is in
@@ -200,6 +220,23 @@ pub fn fig_faults_rows(scale: Scale, jobs: Jobs) -> Vec<FaultFigRow> {
     sweep::run(FaultClass::ALL.to_vec(), jobs, |_, &class| {
         run_fault_cell(class, scale)
     })
+}
+
+/// All figure rows plus the experiment-wide metric snapshot, fanned out
+/// over the sweep runner. Cells are pure, and per-cell snapshots are
+/// merged in `FaultClass::ALL` order, so both outputs are byte-identical
+/// for any `jobs` setting.
+pub fn fig_faults_with_metrics(scale: Scale, jobs: Jobs) -> (Vec<FaultFigRow>, MetricsSnapshot) {
+    let cells = sweep::run(FaultClass::ALL.to_vec(), jobs, |_, &class| {
+        run_fault_cell_full(class, scale)
+    });
+    let mut rows = Vec::with_capacity(cells.len());
+    let mut metrics = MetricsSnapshot::new();
+    for (row, cell_metrics) in cells {
+        rows.push(row);
+        metrics.merge(&cell_metrics);
+    }
+    (rows, metrics)
 }
 
 /// Render the figure: one table row per fault class, then the

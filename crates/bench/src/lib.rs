@@ -9,6 +9,7 @@
 //! default, or `quick` for a fast smoke run at reduced sample counts).
 
 pub mod faults;
+pub mod report;
 pub mod sweep;
 
 use sky_core::cloud::{AzId, Catalog, Provider};
@@ -57,6 +58,9 @@ pub struct World {
     pub engine: FaasEngine,
     /// An AWS account for deployments.
     pub aws: AccountId,
+    /// Router metrics accumulated by experiment helpers that build (and
+    /// drop) short-lived [`SmartRouter`]s, e.g. [`run_daily_routing`].
+    pub router_metrics: sky_core::sim::MetricsSnapshot,
 }
 
 impl World {
@@ -64,7 +68,19 @@ impl World {
     pub fn new(seed: u64) -> World {
         let mut engine = FaasEngine::new(Catalog::paper_world(seed), FleetConfig::new(seed));
         let aws = engine.create_account(Provider::Aws);
-        World { engine, aws }
+        World {
+            engine,
+            aws,
+            router_metrics: sky_core::sim::MetricsSnapshot::new(),
+        }
+    }
+
+    /// The full metric snapshot for this world: engine registry (FaaS +
+    /// span metrics) merged with the router metrics accumulated so far.
+    pub fn metrics_snapshot(&self) -> sky_core::sim::MetricsSnapshot {
+        let mut snap = self.engine.metrics_snapshot();
+        snap.merge(&self.router_metrics);
+        snap
     }
 
     /// Parse an AZ name.
@@ -237,6 +253,7 @@ pub fn run_daily_routing(
         let optimized = router.run_burst(engine, config.kind, config.burst, &config.policy, |az| {
             deployments.get(az).copied()
         });
+        world.router_metrics.merge(&router.metrics_snapshot());
         outcomes.push(DailyOutcome {
             day,
             az: optimized.az.clone(),

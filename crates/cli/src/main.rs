@@ -11,6 +11,7 @@
 //!                      [--policy baseline|regional|retry-slow|focus|hybrid]
 //!                      [--burst N] [--seed N]
 //! skyward faults       [--jobs N] [--scale quick|full]
+//! skyward report       [--jobs N] [--scale quick|full] [--format table|prom|json]
 //! ```
 //!
 //! Everything runs against the seeded simulator; the same seed always
@@ -73,6 +74,10 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             expect_arity(&args, 1)?;
             cmd_faults(&args)
         }
+        Some("report") => {
+            expect_arity(&args, 1)?;
+            cmd_report(&args)
+        }
         Some(other) => Err(format!("unknown command {other:?}")),
     }
 }
@@ -105,6 +110,10 @@ fn print_help() {
          \x20 faults       [--jobs N] [--scale quick|full]\n\
          \x20                                         baseline vs resilient client under\n\
          \x20                                         each injected fault class\n\
+         \x20 report       [--jobs N] [--scale quick|full] [--format table|prom|json]\n\
+         \x20                                         deterministic metrics rollup of the\n\
+         \x20                                         standard experiments (per-AZ and\n\
+         \x20                                         per-policy breakdowns)\n\
          \n\
          global flags: --seed N (default 42), --json on characterize,\n\
          \x20             --jobs N (worker threads for multi-zone characterize;\n\
@@ -340,6 +349,28 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     };
     let rows = sky_bench::faults::fig_faults_rows(scale, jobs);
     print!("{}", sky_bench::faults::render_fig_faults(&rows));
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let scale = match args.flag("scale") {
+        None => sky_bench::Scale::from_env(),
+        Some("quick") => sky_bench::Scale::Quick,
+        Some("full") => sky_bench::Scale::Full,
+        Some(other) => return Err(format!("unknown scale {other:?} (quick|full)")),
+    };
+    let jobs = match args.flag("jobs") {
+        Some(_) => Jobs::new(args.flag_u64("jobs", 1).map_err(|e| e.to_string())? as usize),
+        None => Jobs::from_env(),
+    };
+    let format = args.flag("format").unwrap_or("table");
+    let snapshot = sky_bench::report::report_snapshot(scale, jobs);
+    match format {
+        "table" => print!("{}", sky_bench::report::render_report(&snapshot)),
+        "prom" => print!("{}", snapshot.to_prometheus_text()),
+        "json" => print!("{}", snapshot.to_json()),
+        other => return Err(format!("unknown format {other:?} (table|prom|json)")),
+    }
     Ok(())
 }
 

@@ -18,7 +18,7 @@ use crate::store::CharacterizationStore;
 use serde::{Deserialize, Serialize};
 use sky_cloud::AzId;
 use sky_faas::{BatchRequest, DeploymentId, FaasEngine, RequestBody, WorkloadSpec};
-use sky_sim::{SimDuration, SimRng, SimTime};
+use sky_sim::{MetricsRegistry, MetricsSnapshot, SimDuration, SimRng, SimTime};
 use sky_workloads::WorkloadKind;
 use std::collections::BTreeMap;
 
@@ -263,6 +263,7 @@ pub struct ResilientClient {
     /// Resilience tunables.
     pub config: ResilienceConfig,
     breakers: BTreeMap<AzId, CircuitBreaker>,
+    metrics: MetricsRegistry,
 }
 
 /// One in-flight slot of a resilient round: which logical request it
@@ -280,7 +281,17 @@ impl ResilientClient {
             router,
             config,
             breakers: BTreeMap::new(),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Export the client's resilience metrics (placements, retries,
+    /// hedges, timeouts, breaker transitions) merged with the embedded
+    /// router's placement metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.merge(&self.router.metrics_snapshot());
+        snap
     }
 
     /// A client with empty knowledge (placement falls back to candidate
@@ -393,6 +404,9 @@ impl ResilientClient {
                 engine.advance_by(delay);
             }
             let az = self.choose_az(kind, candidates, engine);
+            let az_name = az.to_string();
+            self.metrics
+                .incr("resilience", "placements", &[("az", az_name.as_str())], 1);
             let deployment = resolve(&az)
                 .unwrap_or_else(|| panic!("no deployment resolvable in chosen zone {az}"));
             let mut slots: Vec<Slot> = Vec::with_capacity(retry_round.len() + hedge_queue.len());
@@ -429,18 +443,48 @@ impl ResilientClient {
                 report.attempts += o.attempts as u64;
                 *report.attempts_by_az.entry(az.clone()).or_default() += o.attempts as u64;
                 report.total_cost_usd += o.cost_usd + o.retry_cost_usd;
+                self.metrics.incr(
+                    "resilience",
+                    "attempts",
+                    &[("az", az_name.as_str())],
+                    o.attempts as u64,
+                );
                 if slot.hedge {
                     report.hedges += 1;
+                    self.metrics
+                        .incr("resilience", "hedges", &[("az", az_name.as_str())], 1);
                 } else {
                     attempts_used[i] += 1;
+                    if attempts_used[i] > 1 {
+                        self.metrics
+                            .incr("resilience", "retries", &[("az", az_name.as_str())], 1);
+                    }
                     if first_issue[i].is_none() {
                         first_issue[i] = Some(o.arrived);
                     }
                 }
                 let attempt_latency = o.finished.saturating_since(o.arrived);
                 let ok = o.status.is_success() && attempt_latency <= timeout;
+                if o.status.is_success() && attempt_latency > timeout {
+                    self.metrics
+                        .incr("resilience", "timeouts", &[("az", az_name.as_str())], 1);
+                }
                 if ok {
+                    let before = breaker.state(o.finished);
                     breaker.on_success();
+                    if before != BreakerState::Closed {
+                        let from = match before {
+                            BreakerState::Open => "open",
+                            BreakerState::HalfOpen => "half-open",
+                            BreakerState::Closed => unreachable!(),
+                        };
+                        self.metrics.incr(
+                            "resilience",
+                            "breaker_transitions",
+                            &[("az", az_name.as_str()), ("from", from), ("to", "closed")],
+                            1,
+                        );
+                    }
                     if slot.hedge {
                         // Keep the fastest attempt's latency.
                         let best = latency[i].map_or(attempt_latency, |l| l.min(attempt_latency));
@@ -453,7 +497,23 @@ impl ResilientClient {
                         round_latencies.push(attempt_latency.as_millis_f64());
                     }
                 } else if !slot.hedge {
+                    let before = breaker.state(o.finished);
                     breaker.on_failure(o.finished);
+                    if before != BreakerState::Open
+                        && breaker.state(o.finished) == BreakerState::Open
+                    {
+                        let from = match before {
+                            BreakerState::Closed => "closed",
+                            BreakerState::HalfOpen => "half-open",
+                            BreakerState::Open => unreachable!(),
+                        };
+                        self.metrics.incr(
+                            "resilience",
+                            "breaker_transitions",
+                            &[("az", az_name.as_str()), ("from", from), ("to", "open")],
+                            1,
+                        );
+                    }
                 }
             }
             report.breaker_trips += breaker.trips() - trips_before;

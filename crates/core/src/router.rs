@@ -113,6 +113,20 @@ pub enum RoutingPolicy {
     },
 }
 
+impl RoutingPolicy {
+    /// Stable label for metrics and report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::Baseline { .. } => "baseline",
+            RoutingPolicy::Regional { .. } => "regional",
+            RoutingPolicy::Retry { .. } => "retry",
+            RoutingPolicy::RegionHop { .. } => "region-hop",
+            RoutingPolicy::Hybrid { .. } => "hybrid",
+            RoutingPolicy::CarbonAware { .. } => "carbon-aware",
+        }
+    }
+}
+
 /// Router tunables.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RouterConfig {
@@ -222,6 +236,11 @@ pub struct SmartRouter {
     pub table: RuntimeTable,
     /// Tunables.
     pub config: RouterConfig,
+    /// Placement-decision metrics. Interior mutability keeps the
+    /// `&self` choose/run API; the router is never shared across
+    /// threads (each sweep cell owns its own), so `RefCell` cannot
+    /// observe contention and determinism is unaffected.
+    metrics: std::cell::RefCell<sky_sim::MetricsRegistry>,
 }
 
 impl SmartRouter {
@@ -231,7 +250,13 @@ impl SmartRouter {
             store,
             table,
             config,
+            metrics: std::cell::RefCell::new(sky_sim::MetricsRegistry::new()),
         }
+    }
+
+    /// Export the router's placement metrics as a mergeable snapshot.
+    pub fn metrics_snapshot(&self) -> sky_sim::MetricsSnapshot {
+        self.metrics.borrow().snapshot()
     }
 
     /// Expected runtime (ms) of a workload in a zone under the zone's
@@ -431,6 +456,21 @@ impl SmartRouter {
             })
             .collect();
         let outcomes = engine.run_batch(requests);
+        {
+            let az_name = az.to_string();
+            let labels = [("az", az_name.as_str()), ("policy", policy.label())];
+            let mut metrics = self.metrics.borrow_mut();
+            metrics.incr("router", "placements", &labels, 1);
+            metrics.incr("router", "requests", &labels, outcomes.len() as u64);
+            let completed = outcomes.iter().filter(|o| o.status.is_success()).count();
+            metrics.incr("router", "completed", &labels, completed as u64);
+            metrics.incr(
+                "router",
+                "errors",
+                &labels,
+                (outcomes.len() - completed) as u64,
+            );
+        }
         self.summarize(az, rtt, &outcomes)
     }
 

@@ -13,6 +13,7 @@ use crate::platform::{AzPlatform, CapacityError};
 use crate::report::SaafReport;
 use crate::request::{BatchRequest, InvocationOutcome, InvocationStatus, RequestBody};
 use sky_cloud::{Arch, AzId, Catalog, FaultKind, FaultPlan, PriceBook, Provider};
+use sky_sim::metrics::{MetricHandle, MetricsRegistry, MetricsSnapshot, SpanPhase, SpanTracker};
 use sky_sim::{EventQueue, SimDuration, SimRng, SimTime, TraceLevel, Tracer};
 use sky_workloads::PerfModel;
 use std::collections::HashMap;
@@ -188,6 +189,79 @@ enum Event {
     },
 }
 
+/// Per-AZ metric handles, resolved once when the platform is
+/// instantiated so every hot-path update is a dense-index integer add —
+/// the "cheap label interning" contract of `sky_sim::metrics`.
+#[derive(Debug, Clone, Copy)]
+struct AzMetricHandles {
+    /// `faas/requests{az, status}` terminal outcome counters.
+    success: MetricHandle,
+    declined: MetricHandle,
+    throttled: MetricHandle,
+    no_capacity: MetricHandle,
+    /// Placement attempts (every arrival, retries included).
+    attempts: MetricHandle,
+    cold_starts: MetricHandle,
+    warm_starts: MetricHandle,
+    /// Automatic gated-workload reissues.
+    gated_retries: MetricHandle,
+    /// FIs torn down because their keep-alive lapsed.
+    keepalive_evictions: MetricHandle,
+    /// Hosts recycled by daily churn / added by reactive scaling.
+    hosts_recycled: MetricHandle,
+    hosts_added: MetricHandle,
+    /// Billed occupancy integral: `memory_mb × billed µs` (integer
+    /// GB-seconds substrate — divide by 1024·10⁶ to read GB-s).
+    billed_mb_us: MetricHandle,
+    /// Invocation spend in integer nano-dollars (each f64 cost rounded
+    /// once at record time, so shard merges are order-free).
+    cost_nanousd: MetricHandle,
+    /// Per-attempt dispatch latency distributions.
+    dispatch_cold_us: MetricHandle,
+    dispatch_warm_us: MetricHandle,
+    /// Final-attempt span phase distributions plus end-to-end.
+    span_route_us: MetricHandle,
+    span_cold_us: MetricHandle,
+    span_warm_us: MetricHandle,
+    span_exec_us: MetricHandle,
+    span_e2e_us: MetricHandle,
+}
+
+impl AzMetricHandles {
+    fn register(metrics: &mut MetricsRegistry, az: &str) -> Self {
+        let l = |status: &'static str| [("az", az), ("status", status)];
+        AzMetricHandles {
+            success: metrics.counter("faas", "requests", &l("success")),
+            declined: metrics.counter("faas", "requests", &l("declined")),
+            throttled: metrics.counter("faas", "requests", &l("throttled")),
+            no_capacity: metrics.counter("faas", "requests", &l("no-capacity")),
+            attempts: metrics.counter("faas", "attempts", &[("az", az)]),
+            cold_starts: metrics.counter("faas", "cold_starts", &[("az", az)]),
+            warm_starts: metrics.counter("faas", "warm_starts", &[("az", az)]),
+            gated_retries: metrics.counter("faas", "gated_retries", &[("az", az)]),
+            keepalive_evictions: metrics.counter("faas", "keepalive_evictions", &[("az", az)]),
+            hosts_recycled: metrics.counter("faas", "hosts_recycled", &[("az", az)]),
+            hosts_added: metrics.counter("faas", "hosts_added", &[("az", az)]),
+            billed_mb_us: metrics.counter("faas", "billed_mb_us", &[("az", az)]),
+            cost_nanousd: metrics.counter("faas", "cost_nanousd", &[("az", az)]),
+            dispatch_cold_us: metrics.histogram("faas", "dispatch_cold_us", &[("az", az)]),
+            dispatch_warm_us: metrics.histogram("faas", "dispatch_warm_us", &[("az", az)]),
+            span_route_us: metrics.histogram("span", "route_us", &[("az", az)]),
+            span_cold_us: metrics.histogram("span", "cold_start_us", &[("az", az)]),
+            span_warm_us: metrics.histogram("span", "warm_start_us", &[("az", az)]),
+            span_exec_us: metrics.histogram("span", "execute_us", &[("az", az)]),
+            span_e2e_us: metrics.histogram("span", "e2e_us", &[("az", az)]),
+        }
+    }
+}
+
+/// Round a dollar amount to integer nano-dollars — the only place an
+/// f64 cost meets the metrics layer, so shard sums are order-free.
+#[inline]
+fn nano_usd(cost: f64) -> u64 {
+    (cost * 1e9).round() as u64
+}
+
 /// A batch request flattened for the dispatch loop: the deployment
 /// record is resolved once per batch (not once per attempt) and the
 /// body is `Copy`, so arrivals and retries allocate nothing.
@@ -219,6 +293,10 @@ pub struct FaasEngine {
     exec_rng: SimRng,
     tracer: Tracer,
     events_processed: u64,
+    metrics: MetricsRegistry,
+    spans: SpanTracker,
+    /// Per-AZ metric handles, parallel to `platforms`.
+    az_metrics: Vec<AzMetricHandles>,
     // Per-batch state (valid during run_batch only).
     batch_requests: Vec<CompiledRequest>,
     batch_outcomes: Vec<Option<InvocationOutcome>>,
@@ -227,6 +305,11 @@ pub struct FaasEngine {
     batch_attempts: Vec<u32>,
     batch_retry_billed: Vec<SimDuration>,
     batch_retry_cost: Vec<f64>,
+    /// Final-attempt span components, overwritten per attempt: dispatch
+    /// latency, client-visible execute time, and cold/warm.
+    batch_span_dispatch: Vec<SimDuration>,
+    batch_span_exec: Vec<SimDuration>,
+    batch_span_cold: Vec<bool>,
 }
 
 impl std::fmt::Debug for FaasEngine {
@@ -259,6 +342,9 @@ impl FaasEngine {
             exec_rng: root.derive("exec"),
             tracer: Tracer::new(TraceLevel::Info, 4096),
             events_processed: 0,
+            metrics: MetricsRegistry::new(),
+            spans: SpanTracker::new(),
+            az_metrics: Vec::new(),
             batch_requests: Vec::new(),
             batch_outcomes: Vec::new(),
             batch_pending: 0,
@@ -266,6 +352,9 @@ impl FaasEngine {
             batch_attempts: Vec::new(),
             batch_retry_billed: Vec::new(),
             batch_retry_cost: Vec::new(),
+            batch_span_dispatch: Vec::new(),
+            batch_span_exec: Vec::new(),
+            batch_span_cold: Vec::new(),
         }
     }
 
@@ -289,6 +378,36 @@ impl FaasEngine {
     /// benchmarks to report events/second.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// The engine's live metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable registry access (for harness-level annotations).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Span lifecycle accounting (opened/closed totals, open count).
+    pub fn spans(&self) -> &SpanTracker {
+        &self.spans
+    }
+
+    /// Export the engine's metrics as a normalized, mergeable snapshot,
+    /// including a synthetic `faas/events_processed` counter.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let mut extra = MetricsRegistry::new();
+        let events = extra.counter("faas", "events_processed", &[]);
+        extra.add(events, self.events_processed);
+        let spans_opened = extra.counter("span", "opened", &[]);
+        extra.add(spans_opened, self.spans.opened_total());
+        let spans_closed = extra.counter("span", "closed", &[]);
+        extra.add(spans_closed, self.spans.closed_total());
+        snap.merge(&extra.snapshot());
+        snap
     }
 
     /// Create an account with the provider's default concurrency quota.
@@ -439,6 +558,10 @@ impl FaasEngine {
             rng,
             self.config.warm_reuse_prob,
         ));
+        self.az_metrics.push(AzMetricHandles::register(
+            &mut self.metrics,
+            &az.to_string(),
+        ));
         self.az_ids.push(az.clone());
         self.az_index.insert(az.clone(), idx);
         idx
@@ -486,6 +609,9 @@ impl FaasEngine {
         self.batch_attempts = vec![0; n];
         self.batch_retry_billed = vec![SimDuration::ZERO; n];
         self.batch_retry_cost = vec![0.0; n];
+        self.batch_span_dispatch = vec![SimDuration::ZERO; n];
+        self.batch_span_exec = vec![SimDuration::ZERO; n];
+        self.batch_span_cold = vec![false; n];
         // Resolve each request's deployment once up front; every attempt
         // (including gated retries) then works from the flat record.
         self.batch_requests = requests
@@ -523,6 +649,12 @@ impl FaasEngine {
             self.handle(event);
         }
         self.batch_requests = Vec::new();
+        // Teardown contract: every submitted request closed its span.
+        assert_eq!(
+            self.spans.open_count(),
+            0,
+            "span(s) survived batch teardown"
+        );
         self.batch_outcomes
             .drain(..)
             .map(|o| o.expect("all outcomes resolved"))
@@ -571,13 +703,18 @@ impl FaasEngine {
                 instance,
                 epoch,
             } => {
-                self.platforms[az_idx as usize].expire(instance, epoch, self.now);
+                if self.platforms[az_idx as usize].expire(instance, epoch, self.now) {
+                    self.metrics
+                        .add(self.az_metrics[az_idx as usize].keepalive_evictions, 1);
+                }
             }
             Event::DayTick { day } => {
                 // Dense iteration in instantiation order — deterministic,
                 // unlike the HashMap walk this replaces.
                 for (idx, p) in self.platforms.iter_mut().enumerate() {
                     let recycled = p.day_tick();
+                    self.metrics
+                        .add(self.az_metrics[idx].hosts_recycled, recycled as u64);
                     self.tracer.info(
                         self.now,
                         "faas.churn",
@@ -594,6 +731,8 @@ impl FaasEngine {
                 p.scale_check_scheduled = false;
                 let added = p.scale_step();
                 if added > 0 {
+                    self.metrics
+                        .add(self.az_metrics[az_idx as usize].hosts_added, added as u64);
                     self.tracer.info(
                         self.now,
                         "faas.scale",
@@ -607,6 +746,20 @@ impl FaasEngine {
                 until,
             } => {
                 let purged = self.platforms[az_idx as usize].apply_fault(&kind, until);
+                // Cold path: fault arming is rare, so the string-keyed
+                // slow lane is fine here and keeps per-kind labels off
+                // the per-AZ handle table.
+                let az = self.az_ids[az_idx as usize].to_string();
+                let window = until.saturating_since(self.now);
+                let labels = [("az", az.as_str()), ("kind", kind.label())];
+                self.metrics.incr("faas", "faults_armed", &labels, 1);
+                self.metrics
+                    .incr("faas", "fault_window_us", &labels, window.as_micros());
+                self.metrics
+                    .incr("faas", "fault_purged_fis", &labels, purged as u64);
+                let until_gauge = self.metrics.gauge("faas", "fault_until_us", &labels);
+                self.metrics
+                    .set_gauge(until_gauge, self.now, until.as_micros() as f64);
                 self.tracer.warn(
                     self.now,
                     "faas.fault",
@@ -629,7 +782,9 @@ impl FaasEngine {
         self.batch_pending -= 1;
     }
 
-    /// Terminal outcome assembly: folds in the retry accumulators.
+    /// Terminal outcome assembly: folds in the retry accumulators,
+    /// closes the request's span (phase durations must sum exactly to
+    /// the end-to-end latency) and meters the terminal counters.
     fn resolve_final(
         &mut self,
         idx: usize,
@@ -639,6 +794,58 @@ impl FaasEngine {
         cost: f64,
     ) {
         let arrived = self.batch_first_arrival[idx].unwrap_or(finished);
+        let az_idx = self.batch_requests[idx].az_idx as usize;
+        let handles = self.az_metrics[az_idx];
+
+        // Span accounting: e2e partitions exactly into route (queueing,
+        // gated-retry waits) + final-attempt dispatch + execute.
+        let dispatch = self.batch_span_dispatch[idx];
+        let exec = self.batch_span_exec[idx];
+        let cold = self.batch_span_cold[idx];
+        let e2e = finished.saturating_since(arrived);
+        let route =
+            SimDuration::from_micros(e2e.as_micros() - dispatch.as_micros() - exec.as_micros());
+        let start_phase = if cold {
+            SpanPhase::ColdStart
+        } else {
+            SpanPhase::WarmStart
+        };
+        self.spans.close(
+            idx as u64,
+            finished,
+            &[
+                (SpanPhase::Route, route),
+                (start_phase, dispatch),
+                (SpanPhase::Execute, exec),
+            ],
+        );
+        self.metrics.observe_duration(handles.span_route_us, route);
+        let start_hist = if cold {
+            handles.span_cold_us
+        } else {
+            handles.span_warm_us
+        };
+        self.metrics.observe_duration(start_hist, dispatch);
+        self.metrics.observe_duration(handles.span_exec_us, exec);
+        self.metrics.observe_duration(handles.span_e2e_us, e2e);
+
+        let status_counter = match &status {
+            InvocationStatus::Success(_) => handles.success,
+            InvocationStatus::Declined(_) => handles.declined,
+            InvocationStatus::Throttled => handles.throttled,
+            InvocationStatus::NoCapacity => handles.no_capacity,
+        };
+        self.metrics.add(status_counter, 1);
+        let total_billed = billed + self.batch_retry_billed[idx];
+        self.metrics.add(
+            handles.billed_mb_us,
+            total_billed.as_micros() * self.batch_requests[idx].memory_mb as u64,
+        );
+        self.metrics.add(
+            handles.cost_nanousd,
+            nano_usd(cost) + nano_usd(self.batch_retry_cost[idx]),
+        );
+
         let outcome = InvocationOutcome {
             index: idx,
             arrived,
@@ -653,16 +860,29 @@ impl FaasEngine {
         self.resolve(idx, outcome);
     }
 
+    /// Zero the span components for an attempt that was shed before any
+    /// dispatch work (throttle, no-capacity): its end-to-end time is
+    /// pure routing.
+    fn shed_span_state(&mut self, idx: usize) {
+        self.batch_span_dispatch[idx] = SimDuration::ZERO;
+        self.batch_span_exec[idx] = SimDuration::ZERO;
+        self.batch_span_cold[idx] = false;
+    }
+
     fn handle_arrival(&mut self, idx: usize) {
         let req = self.batch_requests[idx];
         let arrived = self.now;
         if self.batch_first_arrival[idx].is_none() {
             self.batch_first_arrival[idx] = Some(arrived);
+            self.spans.open(idx as u64, arrived);
         }
         self.batch_attempts[idx] += 1;
+        self.metrics
+            .add(self.az_metrics[req.az_idx as usize].attempts, 1);
         // Concurrency quota.
         let acct = &mut self.accounts[req.account as usize];
         if acct.in_flight >= acct.quota {
+            self.shed_span_state(idx);
             self.resolve_final(
                 idx,
                 arrived,
@@ -676,6 +896,7 @@ impl FaasEngine {
         // a shed arrival consumes no capacity and holds no quota.
         let platform = &mut self.platforms[req.az_idx as usize];
         if platform.throttle_rejects(arrived) {
+            self.shed_span_state(idx);
             self.resolve_final(
                 idx,
                 arrived,
@@ -697,6 +918,7 @@ impl FaasEngine {
                             Event::ScaleCheck { az_idx: req.az_idx },
                         );
                     }
+                    self.shed_span_state(idx);
                     self.resolve_final(
                         idx,
                         arrived,
@@ -720,6 +942,16 @@ impl FaasEngine {
         } else {
             self.config.warm_dispatch
         } + platform.extra_dispatch_latency(arrived);
+        {
+            let handles = self.az_metrics[req.az_idx as usize];
+            let (starts, hist) = if cold {
+                (handles.cold_starts, handles.dispatch_cold_us)
+            } else {
+                (handles.warm_starts, handles.dispatch_warm_us)
+            };
+            self.metrics.add(starts, 1);
+            self.metrics.observe_duration(hist, dispatch);
+        }
 
         // Execution semantics. Gray degradation silently stretches
         // *workload* execution (sleeps are timer-bound and unaffected).
@@ -789,6 +1021,12 @@ impl FaasEngine {
                 }
             }
         };
+        // The attempt that resolves the request defines its span's
+        // start/execute components; earlier attempts' time lands in the
+        // route phase (finished − first arrival − dispatch − execute).
+        self.batch_span_dispatch[idx] = dispatch;
+        self.batch_span_exec[idx] = response_after;
+        self.batch_span_cold[idx] = cold;
         let response_at = arrived + dispatch + response_after;
         let release_at = arrived + dispatch + billed;
         let cost = PriceBook::invocation_cost(req.provider, req.arch, req.memory_mb, billed);
@@ -854,6 +1092,8 @@ impl FaasEngine {
                 if retries_so_far < max_retries {
                     self.batch_retry_billed[idx] += billed;
                     self.batch_retry_cost[idx] += cost;
+                    self.metrics
+                        .add(self.az_metrics[req.az_idx as usize].gated_retries, 1);
                     self.queue
                         .schedule(self.now + retry_latency, Event::Arrival { idx });
                     return;

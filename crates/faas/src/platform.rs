@@ -552,7 +552,9 @@ impl AzPlatform {
 
     /// Handle an expire event: destroy the instance if it is still idle,
     /// past its keep-alive, and the epoch matches (stale events no-op).
-    pub fn expire(&mut self, id: InstanceId, epoch: u64, now: SimTime) {
+    /// Returns whether the FI was actually evicted, so the engine can
+    /// meter keep-alive evictions separately from purges and recycling.
+    pub fn expire(&mut self, id: InstanceId, epoch: u64, now: SimTime) -> bool {
         let destroy = match self.instances.get(&id) {
             Some(inst) => !inst.busy && inst.expire_epoch == epoch && now >= inst.keep_alive_until,
             None => false,
@@ -560,6 +562,7 @@ impl AzPlatform {
         if destroy {
             self.destroy(id);
         }
+        destroy
     }
 
     fn destroy(&mut self, id: InstanceId) {

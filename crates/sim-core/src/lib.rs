@@ -17,6 +17,9 @@
 //!   exponentially-weighted averages used by the measurement harnesses.
 //! * [`series`] — labelled (x, y) series and plain-text table rendering used
 //!   by the figure/table regeneration binaries.
+//! * [`metrics`] — the deterministic observability layer: a typed registry of
+//!   counters/gauges/log-bucketed histograms, per-request span accounting,
+//!   and mergeable snapshots with Prometheus-text and JSON exporters.
 //!
 //! The engine is intentionally free of wall-clock access: given the same
 //! seed and inputs, every experiment in the workspace reproduces
@@ -36,6 +39,7 @@
 //! ```
 
 pub mod events;
+pub mod metrics;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -43,6 +47,10 @@ pub mod time;
 pub mod trace;
 
 pub use events::EventQueue;
+pub use metrics::{
+    LogHistogram, MetricHandle, MetricValue, MetricsRegistry, MetricsSnapshot, SpanPhase,
+    SpanTracker,
+};
 pub use rng::SimRng;
 pub use series::{Series, Table};
 pub use stats::{Histogram, OnlineStats};

@@ -62,11 +62,13 @@ pub struct Tracer {
 
 impl Tracer {
     /// A tracer recording events at or above `min_level`, keeping at most
-    /// `capacity` events (oldest dropped first).
+    /// `capacity` events (oldest dropped first). A capacity of 0 retains
+    /// nothing: every event passing the level filter is counted as
+    /// dropped rather than silently promoted to a capacity of 1.
     pub fn new(min_level: TraceLevel, capacity: usize) -> Self {
         Tracer {
             min_level,
-            capacity: capacity.max(1),
+            capacity,
             events: VecDeque::new(),
             dropped: 0,
         }
@@ -84,12 +86,18 @@ impl Tracer {
         }
     }
 
-    /// Record an event if it passes the level filter.
+    /// Record an event if it passes the level filter. Level-filtered
+    /// events are *not* dropped events: `dropped()` counts only events
+    /// that would have been retained but for the capacity bound.
     pub fn record(&mut self, at: SimTime, level: TraceLevel, tag: &'static str, message: String) {
         if level < self.min_level {
             return;
         }
-        if self.events.len() == self.capacity {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.events.len() >= self.capacity {
             self.events.pop_front();
             self.dropped += 1;
         }
@@ -171,6 +179,44 @@ mod tests {
         assert_eq!(t.with_tag("a").count(), 2);
         assert_eq!(t.with_tag("b").count(), 1);
         assert_eq!(t.with_tag("c").count(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing_and_counts_drops() {
+        let mut t = Tracer::new(TraceLevel::Debug, 0);
+        for i in 0..7 {
+            t.debug(SimTime::from_micros(i), "x", format!("m{i}"));
+        }
+        assert_eq!(t.events().count(), 0, "capacity 0 must retain nothing");
+        assert_eq!(t.dropped(), 7, "every passing event counts as dropped");
+    }
+
+    #[test]
+    fn level_filtered_events_are_not_counted_as_dropped() {
+        let mut t = Tracer::new(TraceLevel::Warn, 0);
+        t.debug(SimTime::ZERO, "x", "filtered".into());
+        t.info(SimTime::ZERO, "x", "filtered".into());
+        assert_eq!(t.dropped(), 0, "filtered events never reach the ring");
+        t.warn(SimTime::ZERO, "x", "dropped".into());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn drop_accounting_is_exact_across_eviction_and_clear() {
+        let mut t = Tracer::new(TraceLevel::Debug, 4);
+        for i in 0..10 {
+            t.debug(SimTime::from_micros(i), "x", format!("m{i}"));
+        }
+        assert_eq!(t.events().count(), 4);
+        assert_eq!(t.dropped(), 6, "retained + dropped must equal recorded");
+        t.clear();
+        assert_eq!(t.dropped(), 6, "clear() is not a drop");
+        for i in 0..4 {
+            t.debug(SimTime::from_micros(i), "x", format!("n{i}"));
+        }
+        assert_eq!(t.dropped(), 6, "refilling to capacity drops nothing");
+        t.debug(SimTime::ZERO, "x", "one over".into());
+        assert_eq!(t.dropped(), 7);
     }
 
     #[test]

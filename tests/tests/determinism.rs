@@ -121,3 +121,85 @@ fn fault_sweep_is_jobs_invariant() {
         );
     }
 }
+
+#[test]
+fn fault_metric_snapshots_are_jobs_invariant() {
+    // Metric snapshots of the fig_faults experiment (every cell running
+    // under an active FaultPlan) must export byte-identical Prometheus
+    // text and JSON at any worker count: per-cell snapshots merge in
+    // item order and merging is order-normalized.
+    use sky_bench::report::fig_faults_metrics;
+    use sky_bench::sweep::Jobs;
+    use sky_bench::Scale;
+
+    let reference = fig_faults_metrics(Scale::Quick, Jobs::serial());
+    let (ref_prom, ref_json) = (reference.to_prometheus_text(), reference.to_json());
+    assert!(!reference.entries.is_empty(), "snapshot must not be empty");
+    for jobs in [1, 2, 8] {
+        let snap = fig_faults_metrics(Scale::Quick, Jobs::new(jobs));
+        assert_eq!(
+            snap.to_prometheus_text(),
+            ref_prom,
+            "--jobs {jobs} changed the fig_faults Prometheus bytes"
+        );
+        assert_eq!(
+            snap.to_json(),
+            ref_json,
+            "--jobs {jobs} changed the fig_faults JSON bytes"
+        );
+    }
+}
+
+#[test]
+fn daily_routing_metric_snapshot_is_reproducible() {
+    // The multi-day routing experiment (no FaultPlan) must produce the
+    // same metric bytes on every run from the same seed.
+    use sky_bench::report::daily_routing_metrics;
+    use sky_bench::Scale;
+
+    let a = daily_routing_metrics(Scale::Quick);
+    let b = daily_routing_metrics(Scale::Quick);
+    assert!(!a.entries.is_empty(), "snapshot must not be empty");
+    assert_eq!(a.to_prometheus_text(), b.to_prometheus_text());
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn unreached_fault_plan_is_metrics_neutral() {
+    // An armed-but-never-reached FaultPlan must not perturb a single
+    // metric byte: fault coin flips live on dedicated RNG streams and
+    // fault metrics only record when a window actually arms.
+    use sky_cloud::{AzId, FaultKind, FaultPlan};
+    use sky_core::{ResilienceConfig, ResilientClient};
+
+    fn run(with_plan: bool) -> String {
+        let mut engine = FaasEngine::new(Catalog::paper_world(7), FleetConfig::new(7));
+        let account = engine.create_account(Provider::Aws);
+        let az: AzId = "us-east-2a".parse().unwrap();
+        let dep = engine.deploy(account, &az, 2048, Arch::X86_64).unwrap();
+        if with_plan {
+            let plan = FaultPlan::new()
+                .with_event(
+                    az.clone(),
+                    engine.now() + SimDuration::from_days(30),
+                    SimDuration::from_hours(1),
+                    FaultKind::Outage,
+                )
+                .unwrap();
+            engine.set_fault_plan(&plan);
+        }
+        let mut client = ResilientClient::with_defaults(ResilienceConfig::default());
+        client.run_burst(&mut engine, WorkloadKind::Sha1Hash, 25, &[az], |_| {
+            Some(dep)
+        });
+        let mut snap = engine.metrics_snapshot();
+        snap.merge(&client.metrics_snapshot());
+        snap.to_prometheus_text()
+    }
+
+    assert_eq!(
+        run(false),
+        run(true),
+        "an unreached FaultPlan changed the metric bytes"
+    );
+}

@@ -28,10 +28,10 @@ use sky_core::sim::series::Table;
 use sky_core::{CampaignConfig, PollConfig, RoutingPolicy, SamplingCampaign};
 use sky_workloads::WorkloadKind;
 
-fn golden_path(name: &str) -> PathBuf {
+fn golden_path(file: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("golden")
-        .join(format!("{name}.txt"))
+        .join(file)
 }
 
 /// Readable unified-ish diff: line numbers plus `-expected` / `+actual`
@@ -62,10 +62,17 @@ fn render_diff(expected: &str, actual: &str) -> String {
     out
 }
 
-/// Compare `actual` against the named snapshot, or rewrite the snapshot
-/// when `UPDATE_GOLDEN` is set.
+/// Compare `actual` against the named `.txt` snapshot, or rewrite the
+/// snapshot when `UPDATE_GOLDEN` is set.
 fn check_golden(name: &str, actual: &str) {
-    let path = golden_path(name);
+    check_golden_file(&format!("{name}.txt"), actual);
+}
+
+/// Like [`check_golden`] but with an explicit file name, for snapshots
+/// that aren't plain text (e.g. `.json` exports).
+fn check_golden_file(file: &str, actual: &str) {
+    let name = file;
+    let path = golden_path(file);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         fs::create_dir_all(path.parent().unwrap()).unwrap();
         fs::write(&path, actual).unwrap();
@@ -151,6 +158,19 @@ fn golden_daily_routing() {
         cumulative_savings(&outcomes) * 100.0
     );
     check_golden("daily_routing_quick", &rendered);
+}
+
+#[test]
+fn golden_metrics_report() {
+    // One snapshot drives all three expositions, so the Prometheus, JSON
+    // and table goldens can never drift apart.
+    let snapshot = sky_bench::report::report_snapshot(Scale::Quick, Jobs::serial());
+    check_golden("metrics_report_quick", &snapshot.to_prometheus_text());
+    check_golden_file("metrics_report_quick.json", &snapshot.to_json());
+    check_golden(
+        "metrics_report_table_quick",
+        &sky_bench::report::render_report(&snapshot),
+    );
 }
 
 #[test]

@@ -340,6 +340,139 @@ fn breaker_always_half_opens_after_cooldown() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Metrics-layer properties (observability subsystem).
+// ---------------------------------------------------------------------
+
+use sky_sim::{LogHistogram, MetricsRegistry, MetricsSnapshot};
+
+/// A random registry snapshot: counters, gauges and histograms over a
+/// small pool of identities, so merges genuinely collide on keys.
+fn random_metrics_snapshot(rng: &mut SimRng) -> MetricsSnapshot {
+    let mut reg = MetricsRegistry::new();
+    let subsystems = ["faas", "router", "span"];
+    let azs = ["us-east-2a", "us-east-2b", "eu-north-1a"];
+    for _ in 0..rng.range_inclusive(1, 12) {
+        let sub = subsystems[rng.next_below(3) as usize];
+        let az = azs[rng.next_below(3) as usize];
+        match rng.next_below(3) {
+            0 => {
+                let h = reg.counter(sub, "events", &[("az", az)]);
+                reg.add(h, rng.next_below(1_000));
+            }
+            1 => {
+                let h = reg.gauge(sub, "depth", &[("az", az)]);
+                reg.set_gauge(
+                    h,
+                    SimTime::from_micros(rng.next_below(1_000_000)),
+                    rng.range_f64(0.0, 100.0),
+                );
+            }
+            _ => {
+                let h = reg.histogram(sub, "lat_us", &[("az", az)]);
+                for _ in 0..rng.next_below(50) {
+                    reg.observe(h, rng.next_below(10_000_000));
+                }
+            }
+        }
+    }
+    reg.snapshot()
+}
+
+#[test]
+fn metrics_merge_is_associative_and_commutative() {
+    let mut rng = SimRng::seed_from(SEED).derive("metrics-merge");
+    for _ in 0..32 {
+        let a = random_metrics_snapshot(&mut rng);
+        let b = random_metrics_snapshot(&mut rng);
+        let c = random_metrics_snapshot(&mut rng);
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+
+        // Commutativity after normalization: a ⊕ b == b ⊕ a, down to
+        // the exported bytes.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab.to_prometheus_text(), ba.to_prometheus_text());
+        assert_eq!(ab.to_json(), ba.to_json());
+
+        // The empty snapshot is the identity.
+        let mut with_empty = a.clone();
+        with_empty.merge(&MetricsSnapshot::new());
+        assert_eq!(with_empty, a, "empty snapshot is the merge identity");
+    }
+}
+
+#[test]
+fn histogram_buckets_conserve_total_samples() {
+    let mut rng = SimRng::seed_from(SEED).derive("metrics-buckets");
+    for _ in 0..64 {
+        let n = rng.next_below(300) as usize;
+        let samples: Vec<u64> = (0..n)
+            .map(|_| {
+                // Bias toward small values but cover the full u64 range.
+                let shift = rng.next_below(64) as u32;
+                rng.next_u64() >> shift
+            })
+            .collect();
+        let mut full = LogHistogram::new();
+        let split = rng.next_below(n as u64 + 1) as usize;
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            full.record(s);
+            if i < split {
+                left.record(s)
+            } else {
+                right.record(s)
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, full, "sharded recording must equal sequential");
+
+        // Every sample lands in exactly one bucket.
+        assert_eq!(full.count(), n as u64);
+        let bucket_total: u64 = full.sparse_buckets().iter().map(|&(_, c)| c).sum();
+        assert_eq!(bucket_total, n as u64, "buckets must conserve samples");
+        if n > 0 {
+            assert_eq!(full.min(), samples.iter().min().copied());
+            assert_eq!(full.max(), samples.iter().max().copied());
+            let max = full.max().unwrap();
+            for q in [0.5, 0.9, 0.99, 1.0] {
+                assert!(full.quantile(q).unwrap() <= max);
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_snapshot_roundtrips_serde() {
+    let mut rng = SimRng::seed_from(SEED).derive("metrics-serde");
+    for _ in 0..32 {
+        let snap = random_metrics_snapshot(&mut rng);
+        let json = snap.to_json();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap, "JSON round-trip must be lossless");
+        assert_eq!(back.to_json(), json, "re-serialization is a fixpoint");
+        assert_eq!(
+            back.to_prometheus_text(),
+            snap.to_prometheus_text(),
+            "round-trip preserves the Prometheus exposition"
+        );
+    }
+}
+
 #[test]
 fn backoff_delays_are_monotone_and_bounded_for_random_policies() {
     let mut rng = SimRng::seed_from(SEED).derive("backoff");

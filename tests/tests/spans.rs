@@ -1,0 +1,152 @@
+//! Request-span lifecycle invariants: every submitted request opens and
+//! closes exactly one span, phase durations partition end-to-end latency
+//! *exactly* (integer microseconds), and no span survives engine
+//! teardown (the engine asserts `open_count() == 0` after every batch —
+//! these tests drive enough traffic through cold starts, throttles and
+//! retries to make that assertion bite if the accounting ever drifts).
+
+use sky_cloud::{Arch, Catalog, Provider};
+use sky_faas::{BatchRequest, FaasEngine, FleetConfig, RequestBody, WorkloadSpec};
+use sky_sim::{MetricValue, MetricsSnapshot, SimDuration, SimRng};
+use sky_workloads::WorkloadKind;
+
+fn new_engine(seed: u64) -> FaasEngine {
+    FaasEngine::new(Catalog::paper_world(seed), FleetConfig::new(seed))
+}
+
+/// Sum one span histogram (count, sum) across all AZ label values.
+fn span_hist_totals(snap: &MetricsSnapshot, name: &str) -> (u64, u64) {
+    let mut count = 0;
+    let mut sum = 0;
+    for e in snap.subsystem("span") {
+        if e.name != name {
+            continue;
+        }
+        if let MetricValue::Histogram(ref h) = e.value {
+            count += h.count;
+            sum += h.sum;
+        }
+    }
+    (count, sum)
+}
+
+#[test]
+fn every_request_closes_exactly_one_span() {
+    let mut engine = new_engine(11);
+    let account = engine.create_account(Provider::Aws);
+    let az: sky_cloud::AzId = "us-west-1b".parse().unwrap();
+    let dep = engine.deploy(account, &az, 2048, Arch::X86_64).unwrap();
+    let mut issued = 0u64;
+    for batch in 0..5u64 {
+        let n = 20 + batch as usize * 7;
+        let requests: Vec<BatchRequest> = (0..n)
+            .map(|i| BatchRequest {
+                deployment: dep,
+                offset: SimDuration::from_millis(i as u64 * 3),
+                body: RequestBody::Workload {
+                    spec: WorkloadSpec::new(WorkloadKind::Sha1Hash),
+                },
+            })
+            .collect();
+        issued += n as u64;
+        engine.run_batch(requests);
+        assert_eq!(engine.spans().open_count(), 0, "no span survives a batch");
+        engine.advance_by(SimDuration::from_mins(2));
+    }
+    assert_eq!(engine.spans().opened_total(), issued);
+    assert_eq!(engine.spans().closed_total(), issued);
+}
+
+#[test]
+fn span_phases_partition_end_to_end_latency() {
+    // The span histograms must satisfy the exact integer identity
+    //   Σ route + Σ cold_start + Σ warm_start + Σ execute == Σ e2e
+    // and every request contributes to exactly one of cold/warm.
+    let mut engine = new_engine(23);
+    let account = engine.create_account(Provider::Aws);
+    let az: sky_cloud::AzId = "us-east-2b".parse().unwrap();
+    let dep = engine.deploy(account, &az, 2048, Arch::X86_64).unwrap();
+    let mut rng = SimRng::seed_from(0x5fa2_2026);
+    for _ in 0..4 {
+        let n = rng.range_inclusive(10, 60) as usize;
+        let requests: Vec<BatchRequest> = (0..n)
+            .map(|i| BatchRequest {
+                deployment: dep,
+                offset: SimDuration::from_millis(i as u64 * rng.range_inclusive(0, 9)),
+                body: RequestBody::Sleep {
+                    duration: SimDuration::from_millis(rng.range_inclusive(20, 400)),
+                },
+            })
+            .collect();
+        engine.run_batch(requests);
+        engine.advance_by(SimDuration::from_mins(rng.range_inclusive(1, 30)));
+    }
+
+    let snap = engine.metrics_snapshot();
+    let (e2e_n, e2e_sum) = span_hist_totals(&snap, "e2e_us");
+    let (route_n, route_sum) = span_hist_totals(&snap, "route_us");
+    let (cold_n, cold_sum) = span_hist_totals(&snap, "cold_start_us");
+    let (warm_n, warm_sum) = span_hist_totals(&snap, "warm_start_us");
+    let (exec_n, exec_sum) = span_hist_totals(&snap, "execute_us");
+
+    assert_eq!(e2e_n, engine.spans().closed_total());
+    assert_eq!(route_n, e2e_n, "every span records a route phase");
+    assert_eq!(exec_n, e2e_n, "every span records an execute phase");
+    assert_eq!(
+        cold_n + warm_n,
+        e2e_n,
+        "every span starts exactly once, cold or warm"
+    );
+    assert_eq!(
+        route_sum + cold_sum + warm_sum + exec_sum,
+        e2e_sum,
+        "phase durations must sum exactly to end-to-end latency"
+    );
+}
+
+#[test]
+fn shed_requests_still_close_their_spans() {
+    // Saturate a zone so some arrivals are shed (throttled/no-capacity):
+    // shed requests must still open and close exactly one (zero-length)
+    // span each.
+    let mut engine = new_engine(31);
+    let account = engine.create_account(Provider::Aws);
+    let az: sky_cloud::AzId = "sa-east-1a".parse().unwrap();
+    let dep = engine.deploy(account, &az, 1024, Arch::X86_64).unwrap();
+    // The per-account concurrency quota is 1000, so a 1100-wide wave of
+    // same-instant 2 s sleeps must throttle the overflow.
+    let n = 1_100;
+    let requests: Vec<BatchRequest> = (0..n)
+        .map(|_| BatchRequest {
+            deployment: dep,
+            offset: SimDuration::ZERO,
+            body: RequestBody::Sleep {
+                duration: SimDuration::from_secs(2),
+            },
+        })
+        .collect();
+    let outcomes = engine.run_batch(requests);
+    assert_eq!(outcomes.len(), n);
+    assert_eq!(engine.spans().open_count(), 0);
+    assert_eq!(engine.spans().opened_total(), n as u64);
+    assert_eq!(engine.spans().closed_total(), n as u64);
+    let snap = engine.metrics_snapshot();
+    let shed = snap.counter_sum("faas", "requests")
+        - snap
+            .counter(
+                "faas",
+                "requests",
+                &[("az", "sa-east-1a"), ("status", "success")],
+            )
+            .unwrap_or(0)
+        - snap
+            .counter(
+                "faas",
+                "requests",
+                &[("az", "sa-east-1a"), ("status", "declined")],
+            )
+            .unwrap_or(0);
+    assert!(shed > 0, "the burst must actually shed some requests");
+    let (e2e_n, _) = span_hist_totals(&snap, "e2e_us");
+    assert_eq!(e2e_n, n as u64, "shed requests still record an e2e span");
+}
