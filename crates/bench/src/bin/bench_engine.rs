@@ -12,6 +12,11 @@
 //!    byte-identical. (On a single-core host the speedup is honestly
 //!    ~1.0×; the `host_cores` field records the conditions.)
 
+// Benchmarks measure host wall time by definition — the bench crate is
+// on the wall-clock allowlist (sky-lint D002), and the clippy
+// `disallowed_methods` ban on `Instant::now` is lifted here to match.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use sky_bench::{World, WORLD_SEED};

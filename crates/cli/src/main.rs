@@ -12,6 +12,7 @@
 //!                      [--burst N] [--seed N]
 //! skyward faults       [--jobs N] [--scale quick|full]
 //! skyward report       [--jobs N] [--scale quick|full] [--format table|prom|json]
+//! skyward lint         [--root PATH] [--format human|json]
 //! ```
 //!
 //! Everything runs against the seeded simulator; the same seed always
@@ -78,6 +79,10 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             expect_arity(&args, 1)?;
             cmd_report(&args)
         }
+        Some("lint") => {
+            expect_arity(&args, 1)?;
+            cmd_lint(&args)
+        }
         Some(other) => Err(format!("unknown command {other:?}")),
     }
 }
@@ -114,6 +119,9 @@ fn print_help() {
          \x20                                         deterministic metrics rollup of the\n\
          \x20                                         standard experiments (per-AZ and\n\
          \x20                                         per-policy breakdowns)\n\
+         \x20 lint         [--root PATH] [--format human|json]\n\
+         \x20                                         determinism static analysis (rules\n\
+         \x20                                         D001-D006; exits 1 on findings)\n\
          \n\
          global flags: --seed N (default 42), --json on characterize,\n\
          \x20             --jobs N (worker threads for multi-zone characterize;\n\
@@ -372,6 +380,34 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown format {other:?} (table|prom|json)")),
     }
     Ok(())
+}
+
+/// `skyward lint` — the determinism static-analysis pass, same engine
+/// as the standalone `sky-lint` binary. Exits 1 when findings exist so
+/// scripts and CI can gate on it.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let format = args.flag("format").unwrap_or("human");
+    if format != "human" && format != "json" {
+        return Err(format!("unknown format {format:?} (human|json)"));
+    }
+    let root = match args.flag("root") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            sky_lint::find_workspace_root(&cwd)
+                .ok_or("no workspace root (Cargo.toml with [workspace]) above the current directory; pass --root PATH")?
+        }
+    };
+    let findings = sky_lint::lint_workspace(&root).map_err(|e| e.to_string())?;
+    match format {
+        "json" => print!("{}", sky_lint::render_json(&findings)),
+        _ => print!("{}", sky_lint::render_human(&findings)),
+    }
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        std::process::exit(1);
+    }
 }
 
 fn cmd_route(args: &Args, seed: u64) -> Result<(), String> {

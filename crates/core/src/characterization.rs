@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use sky_cloud::{CpuMix, CpuType};
 use sky_faas::SaafReport;
 use sky_sim::SimTime;
+// sky-lint: allow(D001, seen_fis is membership-only - see its field pragma)
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
@@ -25,6 +26,7 @@ pub struct Characterization {
     /// FI uuids already counted. `Arc<str>` keys share the reports'
     /// uuid allocations instead of copying each string.
     #[serde(skip)]
+    // sky-lint: allow(D001, membership-only dedup set on the observe hot path; never iterated - counts come from len)
     seen_fis: HashSet<Arc<str>>,
     /// Total reports folded in (including duplicates of known FIs).
     reports: u64,

@@ -32,6 +32,7 @@ impl CostLedger {
             usd.is_finite() && usd >= 0.0,
             "spend must be finite and non-negative"
         );
+        // sky-lint: allow(D005, the ledger is a BTreeMap keyed by category - a deterministic presentation-layer fold of f64 USD)
         *self.entries.entry(category.into()).or_default() += usd;
     }
 

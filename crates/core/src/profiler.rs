@@ -244,6 +244,7 @@ impl WorkloadProfiler {
                 .collect();
             let outcomes = engine.run_batch(requests);
             for o in &outcomes {
+                // sky-lint: allow(D005, outcome-ordered f64 USD fold for the profile report; metered billing stays integer nano-USD in metrics)
                 cost += o.total_cost_usd();
                 if o.status.is_success() {
                     completed += 1;

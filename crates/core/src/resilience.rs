@@ -442,6 +442,7 @@ impl ResilientClient {
                 let i = slot.request;
                 report.attempts += o.attempts as u64;
                 *report.attempts_by_az.entry(az.clone()).or_default() += o.attempts as u64;
+                // sky-lint: allow(D005, slot-ordered f64 USD fold for the burst report; metered billing stays integer nano-USD in metrics)
                 report.total_cost_usd += o.cost_usd + o.retry_cost_usd;
                 self.metrics.incr(
                     "resilience",

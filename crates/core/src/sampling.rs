@@ -333,11 +333,12 @@ impl SamplingCampaign {
             .collect();
         let outcomes = engine.run_batch(requests);
         let mut failures = 0usize;
-        let mut poll_fis = std::collections::HashSet::new();
+        let mut poll_fis = std::collections::BTreeSet::new();
         let mut new_fis = 0u64;
         let mut cost = 0.0;
         let mut finished = started;
         for o in &outcomes {
+            // sky-lint: allow(D005, outcome-ordered f64 USD fold for the poll report; metered billing stays integer nano-USD in metrics)
             cost += o.total_cost_usd();
             finished = finished.max(o.finished);
             match o.status.report() {
@@ -350,6 +351,7 @@ impl SamplingCampaign {
                 None => failures += 1,
             }
         }
+        // sky-lint: allow(D005, campaign-level f64 USD total folded in poll order - presentation only)
         self.total_cost += cost;
         let stats = PollStats {
             index: self.polls.len(),

@@ -16,7 +16,7 @@ use sky_cloud::{Arch, AzId, Catalog, FaultKind, FaultPlan, PriceBook, Provider};
 use sky_sim::metrics::{MetricHandle, MetricsRegistry, MetricsSnapshot, SpanPhase, SpanTracker};
 use sky_sim::{EventQueue, SimDuration, SimRng, SimTime, TraceLevel, Tracer};
 use sky_workloads::PerfModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tunable platform behaviour constants.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -287,7 +287,7 @@ pub struct FaasEngine {
     /// Zone name of each platform, parallel to `platforms`.
     az_ids: Vec<AzId>,
     /// Interning map from zone name to dense platform index.
-    az_index: HashMap<AzId, u32>,
+    az_index: BTreeMap<AzId, u32>,
     accounts: Vec<Account>,
     deployments: Vec<Deployment>,
     exec_rng: SimRng,
@@ -336,7 +336,7 @@ impl FaasEngine {
             queue,
             platforms: Vec::new(),
             az_ids: Vec::new(),
-            az_index: HashMap::new(),
+            az_index: BTreeMap::new(),
             accounts: Vec::new(),
             deployments: Vec::new(),
             exec_rng: root.derive("exec"),
@@ -1090,7 +1090,9 @@ impl FaasEngine {
             {
                 let retries_so_far = self.batch_attempts[idx] - 1;
                 if retries_so_far < max_retries {
+                    // sky-lint: allow(D005, batch_retry_billed is SimDuration - integer microseconds - not float money)
                     self.batch_retry_billed[idx] += billed;
+                    // sky-lint: allow(D005, attempt-ordered f64 USD fold surfaced in the outcome report; metered billing stays integer nano-USD in metrics)
                     self.batch_retry_cost[idx] += cost;
                     self.metrics
                         .add(self.az_metrics[req.az_idx as usize].gated_retries, 1);
@@ -1222,7 +1224,7 @@ mod tests {
             })
             .collect();
         let outcomes = e.run_batch(reqs);
-        let unique: std::collections::HashSet<&str> = outcomes
+        let unique: std::collections::BTreeSet<&str> = outcomes
             .iter()
             .map(|o| &*o.status.report().unwrap().instance_uuid)
             .collect();
@@ -1385,6 +1387,7 @@ mod tests {
             retried > 100,
             "with ~40% fast share, many requests retry: {retried}"
         );
+        // sky-lint: allow(D005, test assertion over a Vec in outcome order - a deterministic fold checking the billed total is positive)
         let total_retry_cost: f64 = outcomes.iter().map(|o| o.retry_cost_usd).sum();
         assert!(total_retry_cost > 0.0);
         // Retry overhead per retried request is ~152ms at 2GB: tiny vs

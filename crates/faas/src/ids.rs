@@ -70,11 +70,12 @@ mod tests {
 
     #[test]
     fn ids_are_ordered_and_hashable() {
+        // sky-lint: allow(D001, this test exercises the ids' Hash+Eq impls themselves; set is only probed for len and membership)
         use std::collections::HashSet;
         let a = InstanceId::from_raw(1);
         let b = InstanceId::from_raw(2);
         assert!(a < b);
-        let set: HashSet<InstanceId> = [a, b, a].into_iter().collect();
+        let set: HashSet<InstanceId> = [a, b, a].into_iter().collect(); // sky-lint: allow(D001, dedup-by-Hash is the property under test)
         assert_eq!(set.len(), 2);
         assert_eq!(a.raw(), 1);
     }

@@ -10,7 +10,7 @@
 use crate::ids::{DeploymentId, HostId, InstanceId};
 use sky_cloud::{Arch, AzSpec, ChurnModel, CpuMix, CpuType, DiurnalModel, FaultKind};
 use sky_sim::{SimDuration, SimRng, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A bare-metal host backing microVM function instances.
 #[derive(Debug, Clone)]
@@ -128,15 +128,18 @@ pub struct AzPlatform {
     churn: ChurnModel,
     target_mix: CpuMix,
     hosts: Vec<Host>,
-    /// Indices into `hosts` by (arch, cpu) for placement scans.
-    by_cpu: HashMap<(Arch, CpuType), Vec<usize>>,
-    instances: HashMap<InstanceId, Instance>,
+    /// Indices into `hosts` by (arch, cpu) for placement scans. Sorted
+    /// map: `place_fresh` iterates it, so its order is event order.
+    by_cpu: BTreeMap<(Arch, CpuType), Vec<usize>>,
+    /// Sorted map: `purge_warm` iterates it, so destruction order (and
+    /// the trace lines it emits) must not depend on a hash seed.
+    instances: BTreeMap<InstanceId, Instance>,
     /// LIFO stacks of warm idle instances per deployment (most recently
     /// freed first, mirroring Lambda's warm-routing preference).
-    warm_idle: HashMap<DeploymentId, Vec<InstanceId>>,
+    warm_idle: BTreeMap<DeploymentId, Vec<InstanceId>>,
     /// Busy (executing) instances per deployment — the burst-detection
     /// signal for the warm-reuse probability.
-    busy_counts: HashMap<DeploymentId, u32>,
+    busy_counts: BTreeMap<DeploymentId, u32>,
     /// Probability that a request arriving during a burst (other
     /// instances of the same deployment busy) reuses an idle warm FI
     /// rather than spreading to a fresh environment. Idle deployments
@@ -207,10 +210,10 @@ impl AzPlatform {
             churn,
             target_mix: spec.initial_mix.clone(),
             hosts: Vec::new(),
-            by_cpu: HashMap::new(),
-            instances: HashMap::new(),
-            warm_idle: HashMap::new(),
-            busy_counts: HashMap::new(),
+            by_cpu: BTreeMap::new(),
+            instances: BTreeMap::new(),
+            warm_idle: BTreeMap::new(),
+            busy_counts: BTreeMap::new(),
             reuse_prob,
             fi_mem_used_x86: 0,
             fi_mem_used_arm: 0,
@@ -290,7 +293,7 @@ impl AzPlatform {
     /// weighted. Only experiment harnesses may call this (to compute APE
     /// against estimates); the profiler/router must not.
     pub fn ground_truth_mix(&self) -> CpuMix {
-        let mut counts: HashMap<CpuType, u64> = HashMap::new();
+        let mut counts: BTreeMap<CpuType, u64> = BTreeMap::new();
         for h in &self.hosts {
             if h.arch == Arch::X86_64 {
                 *counts.entry(h.cpu).or_default() += 1;
@@ -503,7 +506,8 @@ impl AzPlatform {
         if types.is_empty() {
             return None;
         }
-        types.sort_by_key(|&(cpu, _)| cpu); // deterministic order
+        // `by_cpu` is a BTreeMap, so `types` arrives already sorted by
+        // (arch, cpu) — the same order the explicit sort used to impose.
         let weights: Vec<f64> = types.iter().map(|&(_, f)| f as f64).collect();
         let cpu = types[self.rng.weighted_choice(&weights)].0;
         let indices = self.by_cpu.get(&(arch, cpu)).expect("type has hosts");

@@ -1,0 +1,18 @@
+//! D001 clean fixture: sorted collections, plus one justified hash map.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+// sky-lint: allow(D001, lookup-only interning index; never iterated)
+use std::collections::HashMap;
+
+pub struct Fleet {
+    slots: BTreeMap<u64, u32>,
+    names: BTreeSet<String>,
+    // sky-lint: allow(D001, lookup-only interning index; never iterated)
+    interned: HashMap<String, u32>,
+}
+
+pub fn drain(fleet: &Fleet) -> Vec<u32> {
+    let _ = (&fleet.names, &fleet.interned);
+    fleet.slots.values().copied().collect()
+}

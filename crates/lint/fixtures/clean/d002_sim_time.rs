@@ -1,0 +1,10 @@
+//! D002 clean fixture: simulated components take time from `SimTime`;
+//! mentioning the types without calling `::now` is fine.
+
+use std::time::Instant;
+
+pub fn elapsed(start: SimTime, now: SimTime) -> SimDuration {
+    now - start
+}
+
+pub fn held(_anchor: Instant) {}

@@ -1,0 +1,7 @@
+//! D003 clean fixture: all entropy flows through named `SimRng`
+//! streams derived from the root seed.
+
+pub fn jitter(seed: u64) -> u64 {
+    let mut rng = SimRng::seed_from(seed).derive("jitter");
+    rng.next_u64()
+}

@@ -1,0 +1,12 @@
+//! D004 clean fixture: distinct labels per function body; the same
+//! label in *different* functions is fine (different parent states).
+
+pub fn independent(root: &SimRng) -> (SimRng, SimRng) {
+    let placement = root.derive("placement");
+    let faults = root.derive("faults");
+    (placement, faults)
+}
+
+pub fn other_fn(root: &SimRng) -> SimRng {
+    root.derive("placement")
+}

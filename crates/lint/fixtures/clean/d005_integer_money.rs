@@ -1,0 +1,19 @@
+//! D005 clean fixture: metered money stays in integer nano-USD; a
+//! justified presentation-layer float fold carries a pragma.
+
+pub fn bill(outcomes: &[Outcome]) -> u64 {
+    let mut total_cost_nanos: u64 = 0;
+    for o in outcomes {
+        total_cost_nanos += o.cost_nanos;
+    }
+    total_cost_nanos
+}
+
+pub fn render(outcomes: &[Outcome]) -> f64 {
+    let mut shown_usd = 0.0;
+    for o in outcomes {
+        // sky-lint: allow(D005, outcome-ordered f64 fold for display only)
+        shown_usd += o.cost_usd;
+    }
+    shown_usd
+}

@@ -1,0 +1,14 @@
+//! D006 clean fixture: snapshot types expose sorted maps (or private
+//! hash maps that the exporter sorts before writing).
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    hidden_index: HashMap<String, u64>,
+}
+
+pub struct NotSerialized {
+    pub raw: HashMap<String, u64>,
+}

@@ -1,0 +1,14 @@
+//! D001 dirty fixture: hash-ordered collections in a sim-affecting
+//! crate (linted as if at `crates/faas/src/...`). Never compiled.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Fleet {
+    slots: HashMap<u64, u32>,
+}
+
+pub fn drain(fleet: &Fleet) -> Vec<u32> {
+    let seen: HashSet<u64> = fleet.slots.keys().copied().collect();
+    fleet.slots.values().map(|&v| v + seen.len() as u32).collect()
+}

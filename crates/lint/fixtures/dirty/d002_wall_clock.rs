@@ -1,0 +1,10 @@
+//! D002 dirty fixture: wall-clock reads outside the bench/cli
+//! allowlist (linted as if at `crates/sim-core/src/...`).
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    let mono = Instant::now();
+    let wall = SystemTime::now();
+    (mono, wall)
+}

@@ -1,0 +1,10 @@
+//! D003 dirty fixture: ambient entropy sources (flagged anywhere in
+//! the workspace, not just sim crates).
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    let coin: bool = rand::random();
+    let seeded = SmallRng::from_entropy();
+    let _ = (coin, seeded);
+    rng.gen()
+}

@@ -1,0 +1,8 @@
+//! D004 dirty fixture: the same stream label derived twice within one
+//! function body — the two "independent" streams are byte-identical.
+
+pub fn correlated(root: &SimRng) -> (SimRng, SimRng) {
+    let placement = root.derive("placement");
+    let faults = root.derive("placement");
+    (placement, faults)
+}

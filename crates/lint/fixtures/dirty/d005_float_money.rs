@@ -1,0 +1,11 @@
+//! D005 dirty fixture: floating-point accumulation over money
+//! identifiers in a sim-affecting crate.
+
+pub fn bill(outcomes: &[Outcome]) -> f64 {
+    let mut total_cost_usd = 0.0;
+    for o in outcomes {
+        total_cost_usd += o.cost_usd;
+    }
+    let retry_usd: f64 = outcomes.iter().map(|o| o.retry_cost_usd).sum();
+    total_cost_usd + retry_usd
+}

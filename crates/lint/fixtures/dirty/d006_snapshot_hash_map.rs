@@ -1,0 +1,12 @@
+//! D006 dirty fixture: a `pub` hash-keyed map inside a
+//! `#[derive(Serialize)]` snapshot type — serialization order follows
+//! hash iteration order, so identical snapshots can emit different
+//! bytes.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub counters: HashMap<String, u64>,
+    pub sorted: BTreeMap<String, u64>,
+}

@@ -1,0 +1,9 @@
+//! P001 dirty fixture: an `allow` with no reason is itself a finding —
+//! a suppression that cannot say *why* the site is safe is worthless.
+
+// sky-lint: allow(D001)
+use std::collections::HashMap;
+
+pub fn lookup(map: &HashMap<u64, u64>, k: u64) -> Option<u64> {
+    map.get(&k).copied()
+}

@@ -1,0 +1,7 @@
+//! P001 dirty fixture: pragmas must name a real rule.
+
+// sky-lint: allow(D042, the answer is not a rule)
+pub fn noop() {}
+
+// sky-lint: forbid(D001, not a directive either)
+pub fn still_noop() {}

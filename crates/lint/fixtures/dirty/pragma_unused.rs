@@ -1,0 +1,7 @@
+//! P002 dirty fixture: a pragma that suppresses nothing is stale and
+//! must be deleted — dead allows rot into blanket permission.
+
+// sky-lint: allow(D003, there is no entropy anywhere near this line)
+pub fn pure(x: u64) -> u64 {
+    x.wrapping_mul(2)
+}

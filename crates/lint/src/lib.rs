@@ -1,0 +1,222 @@
+//! `sky-lint` — the determinism static-analysis pass.
+//!
+//! Every figure this repository reproduces rests on byte-identical
+//! seeded replay. The golden-trace harness (`tests/golden/`) catches a
+//! run that *has drifted*; this crate catches the *line that would make
+//! it drift* — at CI time, before a nondeterministic collection, a
+//! wall-clock read, an ambient RNG, an aliased stream label or an
+//! unsorted exporter ever reaches a golden.
+//!
+//! Three entry points ship the same pass:
+//!
+//! * the `sky-lint` binary (`--format human|json`, stable sorted
+//!   output, exit 1 on findings) — the CI gate;
+//! * the `skyward lint` CLI subcommand;
+//! * this library API ([`lint_source`], [`lint_workspace`]) — what the
+//!   fixture golden tests drive.
+//!
+//! Rules are documented on [`rules`]; suppression syntax on [`pragma`].
+
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+
+pub use pragma::{Pragma, PragmaError};
+pub use rules::{lint_source, Finding, RULE_IDS, SIM_CRATES, WALLCLOCK_ALLOWLIST};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never scanned, at any depth: build output, VCS
+/// metadata, and the vendored third-party stand-ins (not ours to lint).
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "results"];
+
+/// The linter's own test corpus: deliberately dirty code that must not
+/// fail the workspace gate.
+const SKIP_PREFIXES: [&str; 1] = ["crates/lint/fixtures"];
+
+/// Walk `root` for `.rs` files, returning workspace-relative paths with
+/// `/` separators, sorted — so every downstream consumer sees the same
+/// order regardless of filesystem readdir order.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            let rel = rel_path(root, &path);
+            if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_path(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint every `.rs` file under `root`. Findings come back sorted by
+/// `(path, line, col, rule)` — stable across discovery order.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let files = collect_workspace_files(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        findings.extend(lint_source(rel, &source));
+    }
+    sort_findings(&mut findings);
+    Ok(findings)
+}
+
+/// Canonical finding order: path, then position, then rule.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule, &a.message)
+            .cmp(&(&b.path, b.line, b.col, b.rule, &b.message))
+    });
+}
+
+/// Ascend from `start` to the nearest directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Render findings as human-readable text (one finding per pair of
+/// lines, then a summary line).
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}:{}: {} {}\n    hint: {}\n",
+            f.path, f.line, f.col, f.rule, f.message, f.hint
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str("sky-lint: clean (no determinism findings)\n");
+    } else {
+        out.push_str(&format!(
+            "sky-lint: {} finding{}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Render findings as stable JSON: findings in canonical order, then a
+/// per-rule summary sorted by rule id. Hand-rolled so the byte output
+/// is fully under this crate's control (the golden tests diff it).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \
+             \"message\": {}, \"hint\": {}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(&f.message),
+            json_str(&f.hint)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"summary\": {");
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    rules.sort();
+    rules.dedup();
+    for (i, rule) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let n = findings.iter().filter(|f| f.rule == *rule).count();
+        out.push_str(&format!("\n    {}: {}", json_str(rule), n));
+    }
+    if !rules.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("}},\n  \"total\": {}\n}}\n", findings.len()));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("\u{0001}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_findings_render_cleanly() {
+        assert!(render_human(&[]).contains("clean"));
+        let json = render_json(&[]);
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"total\": 0"));
+    }
+
+    #[test]
+    fn workspace_root_is_discoverable_from_here() {
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(&here).expect("workspace root");
+        assert!(root.join("crates/lint").is_dir());
+    }
+}

@@ -1,0 +1,73 @@
+//! `sky-lint` binary — the CI determinism gate.
+//!
+//! ```text
+//! sky-lint [--root PATH] [--format human|json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error. Output
+//! is sorted by `(path, line, col, rule)` and paths are workspace-
+//! relative with `/` separators, so the bytes are identical across
+//! machines, filesystems and discovery orders.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(message) => {
+            eprintln!("sky-lint: error: {message}");
+            eprintln!("usage: sky-lint [--root PATH] [--format human|json]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "human".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let mut value = |name: &str| -> Result<String, String> {
+            match inline.clone().or_else(|| args.next()) {
+                Some(v) => Ok(v),
+                None => Err(format!("{name} requires a value")),
+            }
+        };
+        match flag.as_str() {
+            "--root" => root = Some(PathBuf::from(value("--root")?)),
+            "--format" => format = value("--format")?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if format != "human" && format != "json" {
+        return Err(format!(
+            "--format must be `human` or `json`, got {format:?}"
+        ));
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            sky_lint::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory")?
+        }
+    };
+    let findings = sky_lint::lint_workspace(&root).map_err(|e| e.to_string())?;
+    let rendered = match format.as_str() {
+        "json" => sky_lint::render_json(&findings),
+        _ => sky_lint::render_human(&findings),
+    };
+    print!("{rendered}");
+    Ok(findings.is_empty())
+}

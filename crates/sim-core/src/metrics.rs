@@ -32,6 +32,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+// sky-lint: allow(D001, HashMap here backs lookup-only interning indexes; exposition paths sort - see the per-field pragmas)
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
@@ -559,8 +560,10 @@ struct MetricKey {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     strings: Vec<String>,
+    // sky-lint: allow(D001, lookup-only string interner; never iterated - ids come from the insertion-ordered strings vec)
     string_ids: HashMap<String, u32>,
     metrics: Vec<(MetricKey, MetricData)>,
+    // sky-lint: allow(D001, lookup-only hot-path handle index; snapshot/export iterate the dense metrics vec and sort by name)
     index: HashMap<MetricKey, MetricHandle>,
 }
 
@@ -813,6 +816,7 @@ impl SpanPhase {
 ///   contract the engine asserts after every batch.
 #[derive(Debug, Clone, Default)]
 pub struct SpanTracker {
+    // sky-lint: allow(D001, membership map - open/close/is_open/len only; never iterated)
     open: HashMap<u64, SimTime>,
     opened_total: u64,
     closed_total: u64,

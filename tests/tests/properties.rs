@@ -252,7 +252,9 @@ fn rng_derived_streams_are_independent() {
     // the property the engine's dedicated fault stream relies on to keep
     // no-fault runs byte-identical.
     let parent = SimRng::seed_from(SEED);
+    // sky-lint: allow(D004, deliberate re-derivation - the test asserts that equal labels reproduce equal streams)
     let mut a = parent.derive("stream-a");
+    // sky-lint: allow(D004, deliberate re-derivation - the test asserts that equal labels reproduce equal streams)
     let mut b = parent.derive("stream-b");
     let mut noise = parent.derive("noise");
     for &expected in &seq_b {
