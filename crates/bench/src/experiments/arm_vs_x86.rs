@@ -1,0 +1,137 @@
+//! **Extension: arm64 vs x86_64** — the other axis of the sky mesh.
+//!
+//! The paper deploys its AWS mesh to both x86_64 and ARM64 (Graviton2)
+//! but evaluates only x86. Here we complete the comparison the mesh
+//! enables: Graviton runs most workloads somewhat slower than the x86
+//! baseline, but bills at a ~20 % lower GB-second rate — so the *cost*
+//! ranking differs from the *runtime* ranking per workload (cf. \[9\],
+//! \[19\], which study exactly this x86/ARM trade-off).
+//!
+//! Each workload is an independent sweep cell (its own seeded world,
+//! deployments, and per-kind derived rng), so the twelve x86/arm
+//! comparisons run in parallel under `--jobs N` and merge
+//! deterministically in Table-1 order.
+
+use crate::registry::{Experiment, ExperimentCtx, ExperimentOutput};
+use crate::sweep;
+use crate::{outln, Scale, World};
+use sky_core::cloud::Arch;
+use sky_core::faas::{BatchRequest, RequestBody, WorkloadSpec};
+use sky_core::sim::series::Table;
+use sky_core::sim::{OnlineStats, SimDuration, SimRng};
+use sky_core::workloads::WorkloadKind;
+
+struct KindResult {
+    row: [String; 7],
+    arm_cheaper: bool,
+}
+
+fn compare_kind(kind: WorkloadKind, scale: Scale, seed: u64) -> KindResult {
+    let runs = scale.pick(400, 80);
+    let mut world = World::new(seed);
+    let az = World::az("us-west-1a");
+    let dep_x86 = world
+        .engine
+        .deploy(world.aws, &az, 2048, Arch::X86_64)
+        .unwrap();
+    let dep_arm = world
+        .engine
+        .deploy(world.aws, &az, 2048, Arch::Arm64)
+        .unwrap();
+    let mut rng = SimRng::seed_from(seed)
+        .derive("arm-vs-x86")
+        .derive_idx("kind", kind as u64);
+
+    let mut stats = std::collections::BTreeMap::new();
+    for (label, dep) in [("x86", dep_x86), ("arm", dep_arm)] {
+        let requests: Vec<BatchRequest> = (0..runs)
+            .map(|_| BatchRequest {
+                deployment: dep,
+                offset: SimDuration::from_micros(rng.next_below(120_000)),
+                body: RequestBody::Workload {
+                    spec: WorkloadSpec::new(kind),
+                },
+            })
+            .collect();
+        let outcomes = world.engine.run_batch(requests);
+        let mut ms = OnlineStats::new();
+        let mut usd = OnlineStats::new();
+        for o in outcomes.iter().filter(|o| o.status.is_success()) {
+            ms.push(o.billed.as_millis_f64());
+            usd.push(o.cost_usd);
+        }
+        stats.insert(label, (ms.mean(), usd.mean()));
+        world.engine.advance_by(SimDuration::from_mins(12));
+    }
+    let (x86_ms, x86_usd) = stats["x86"];
+    let (arm_ms, arm_usd) = stats["arm"];
+    let cheaper = if arm_usd < x86_usd { "arm64" } else { "x86_64" };
+    KindResult {
+        row: [
+            kind.name().to_string(),
+            format!("{x86_ms:.0}"),
+            format!("{arm_ms:.0}"),
+            format!("{:.2}", arm_ms / x86_ms),
+            format!("{x86_usd:.6}"),
+            format!("{arm_usd:.6}"),
+            cheaper.to_string(),
+        ],
+        arm_cheaper: arm_usd < x86_usd,
+    }
+}
+
+/// See the module docs.
+pub struct ArmVsX86;
+
+impl Experiment for ArmVsX86 {
+    fn name(&self) -> &'static str {
+        "arm_vs_x86"
+    }
+
+    fn description(&self) -> &'static str {
+        "Extension: Graviton2 vs x86_64 runtime and cost per workload"
+    }
+
+    fn params(&self, scale: Scale) -> Vec<(&'static str, String)> {
+        vec![
+            ("runs_per_arch", scale.pick(400, 80).to_string()),
+            ("functions", WorkloadKind::ALL.len().to_string()),
+        ]
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let (scale, seed) = (ctx.scale, ctx.seed);
+
+        let results = sweep::run(WorkloadKind::ALL.to_vec(), ctx.jobs, |_, &kind| {
+            compare_kind(kind, scale, seed)
+        });
+
+        let mut table = Table::new(
+            "arm64 (Graviton2) vs x86_64 at 2GB: runtime and cost per invocation",
+            &[
+                "function",
+                "x86 ms",
+                "arm ms",
+                "arm runtime x",
+                "x86 $",
+                "arm $",
+                "cheaper",
+            ],
+        );
+        let mut arm_wins = 0u32;
+        for r in &results {
+            if r.arm_cheaper {
+                arm_wins += 1;
+            }
+            table.row(&r.row);
+        }
+        outln!(ctx, "{}", table.render());
+        outln!(
+            ctx,
+            "arm64 is the cheaper architecture for {arm_wins} of 12 workloads despite being \
+             slower for most — the 20% GB-second discount outweighs runtime penalties \
+             below ~25%."
+        );
+        ctx.finish()
+    }
+}

@@ -1,0 +1,150 @@
+//! Internal calibration probe: prints the raw quantities the figure
+//! experiments depend on, so model constants can be tuned against the
+//! paper's reported numbers. Not part of the published experiment set,
+//! but registered so the registry is the complete inventory.
+
+use crate::outln;
+use crate::registry::{Experiment, ExperimentCtx, ExperimentOutput};
+use sky_core::cloud::{Arch, Catalog, CpuType, Provider};
+use sky_core::faas::{FaasEngine, FleetConfig};
+use sky_core::sim::SimDuration;
+use sky_core::workloads::WorkloadKind;
+use sky_core::{
+    CampaignConfig, CharacterizationStore, RetryMode, RouterConfig, RoutingPolicy, RuntimeTable,
+    SamplingCampaign, SmartRouter, WorkloadProfiler,
+};
+
+/// See the module docs.
+pub struct CalibrationProbe;
+
+impl Experiment for CalibrationProbe {
+    fn name(&self) -> &'static str {
+        "calibration_probe"
+    }
+
+    fn description(&self) -> &'static str {
+        "Internal: raw saturation/economics/ground-truth calibration dump"
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let seed = ctx.seed;
+        let mut engine = FaasEngine::new(Catalog::paper_world(seed), FleetConfig::new(seed));
+        let account = engine.create_account(Provider::Aws);
+
+        outln!(ctx, "== saturation behaviour per AZ ==");
+        for az_name in [
+            "eu-north-1a",
+            "us-west-1a",
+            "us-west-1b",
+            "eu-central-1a",
+            "us-east-2b",
+        ] {
+            let az = az_name.parse().unwrap();
+            let mut campaign =
+                SamplingCampaign::new(&mut engine, account, &az, CampaignConfig::default())
+                    .unwrap();
+            let result = campaign.run_until_saturation(&mut engine);
+            let truth = engine.platform(&az).unwrap().ground_truth_mix();
+            let first_ape = result
+                .polls
+                .first()
+                .map(|p| p.mix_after.ape_percent(&truth))
+                .unwrap();
+            outln!(
+                ctx,
+                "{az_name}: polls={} sat={} fis={} cost=${:.3} first-poll-APE={:.1}% final-APE-vs-truth={:.1}% p95={:?}",
+                result.polls.len(),
+                result.saturated,
+                result.total_fis(),
+                result.total_cost_usd,
+                first_ape,
+                result.final_mix().ape_percent(&truth),
+                result.polls_to_accuracy(5.0),
+            );
+            engine.advance_by(SimDuration::from_mins(30));
+        }
+
+        outln!(
+            ctx,
+            "\n== focus-fastest economics on us-west-1b (zipper) =="
+        );
+        let az: sky_core::cloud::AzId = "us-west-1b".parse().unwrap();
+        let dep = engine.deploy(account, &az, 2048, Arch::X86_64).unwrap();
+        let mut profiler = WorkloadProfiler::new();
+        profiler.profile(&mut engine, dep, WorkloadKind::Zipper, 600, 150, 7);
+        let table: RuntimeTable = profiler.into_table();
+        outln!(ctx, "ranking: {:?}", table.ranking(WorkloadKind::Zipper));
+        let router = SmartRouter::new(CharacterizationStore::new(), table, RouterConfig::default());
+        engine.advance_by(SimDuration::from_mins(15));
+        let base = router.run_burst(
+            &mut engine,
+            WorkloadKind::Zipper,
+            1000,
+            &RoutingPolicy::Baseline { az: az.clone() },
+            |_| Some(dep),
+        );
+        engine.advance_by(SimDuration::from_mins(15));
+        let focus = router.run_burst(
+            &mut engine,
+            WorkloadKind::Zipper,
+            1000,
+            &RoutingPolicy::Retry {
+                az: az.clone(),
+                mode: RetryMode::FocusFastest,
+            },
+            |_| Some(dep),
+        );
+        engine.advance_by(SimDuration::from_mins(15));
+        let slow = router.run_burst(
+            &mut engine,
+            WorkloadKind::Zipper,
+            1000,
+            &RoutingPolicy::Retry {
+                az: az.clone(),
+                mode: RetryMode::RetrySlow,
+            },
+            |_| Some(dep),
+        );
+        let per = |r: &sky_core::BurstReport| r.total_cost_usd() / r.completed.max(1) as f64;
+        outln!(
+            ctx,
+            "baseline: cost/req=${:.6} mean_ms={:.0} cpus={:?}",
+            per(&base),
+            base.mean_billed_ms,
+            base.cpu_counts
+        );
+        for (name, r) in [("focus", &focus), ("slow", &slow)] {
+            outln!(
+                ctx,
+                "{name}: cost/req=${:.6} errors={} retried={:.1}% attempts/req={:.2} mean_ms={:.0} savings={:.1}% cpus={:?}",
+                per(r),
+                r.errors,
+                r.retried_fraction() * 100.0,
+                r.attempts as f64 / r.n as f64,
+                r.mean_billed_ms,
+                sky_core::savings_fraction(per(&base), per(r)) * 100.0,
+                r.cpu_counts
+            );
+        }
+
+        outln!(ctx, "\n== ground truth mixes (seed {seed}) ==");
+        for az_name in [
+            "us-west-1a",
+            "us-west-1b",
+            "sa-east-1a",
+            "eu-north-1a",
+            "ca-central-1a",
+        ] {
+            let az: sky_core::cloud::AzId = az_name.parse().unwrap();
+            if let Some(p) = engine.platform(&az) {
+                let mix = p.ground_truth_mix();
+                let shares: Vec<String> = CpuType::AWS_X86
+                    .iter()
+                    .map(|&c| format!("{}={:.2}", c.short_label(), mix.share(c)))
+                    .collect();
+                outln!(ctx, "{az_name}: {}", shares.join(" "));
+            }
+        }
+        ctx.finish()
+    }
+}

@@ -1,0 +1,125 @@
+//! **§4.3 / §4.6 cost figures** — what the measurement machinery costs.
+//!
+//! Reproduces the paper's dollar claims: under two cents per poll, about
+//! $0.04 for a usable single-zone characterization, about $0.20 to
+//! saturate a zone, and a few dollars for an entire two-week multi-zone
+//! campaign.
+
+use crate::outln;
+use crate::registry::{Experiment, ExperimentCtx, ExperimentOutput};
+use crate::{ex4_zones, Scale, World};
+use sky_core::sim::series::{fmt_usd, Table};
+use sky_core::sim::SimDuration;
+use sky_core::{CampaignConfig, CostLedger, PollConfig, SamplingCampaign};
+
+/// See the module docs.
+pub struct CostSummary;
+
+impl Experiment for CostSummary {
+    fn name(&self) -> &'static str {
+        "cost_summary"
+    }
+
+    fn description(&self) -> &'static str {
+        "§4.3/§4.6: dollar cost of polls, characterizations and campaigns"
+    }
+
+    fn params(&self, scale: Scale) -> Vec<(&'static str, String)> {
+        vec![
+            ("requests_per_poll", scale.pick(1_000, 300).to_string()),
+            ("max_polls", scale.pick(40, 8).to_string()),
+            ("campaign_days", scale.pick(14, 2).to_string()),
+        ]
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let scale = ctx.scale;
+        let requests = scale.pick(1_000, 300);
+        let mut world = ctx.world();
+        let az = World::az("us-west-1a");
+        let mut ledger = CostLedger::new();
+
+        // One poll.
+        let config = CampaignConfig {
+            poll: PollConfig {
+                requests,
+                ..Default::default()
+            },
+            max_polls: scale.pick(40, 8),
+            ..Default::default()
+        };
+        let mut campaign = SamplingCampaign::new(&mut world.engine, world.aws, &az, config.clone())
+            .expect("deploys");
+        let one_poll = campaign.poll_once(&mut world.engine);
+        ledger.add("single poll", one_poll.cost_usd);
+
+        // A usable characterization (paper: ~6 polls to 95 % accuracy).
+        let char_polls = campaign.run_polls(&mut world.engine, 5);
+        let characterization_cost =
+            one_poll.cost_usd + char_polls.iter().map(|p| p.cost_usd).sum::<f64>();
+        ledger.add(
+            "6-poll characterization",
+            characterization_cost - one_poll.cost_usd,
+        );
+
+        // Full saturation.
+        let result = campaign.run_until_saturation(&mut world.engine);
+        ledger.add(
+            "saturation remainder",
+            result.total_cost_usd - characterization_cost,
+        );
+
+        // Two-week, five-zone daily characterization campaign at the
+        // cost-optimized cadence (6 polls/zone/day).
+        let days = scale.pick(14, 2);
+        let mut campaign_cost = 0.0;
+        for day in 0..days {
+            world.engine.advance_to(
+                sky_core::sim::SimTime::start_of_day(2 + day) + SimDuration::from_hours(2),
+            );
+            for zone in ex4_zones() {
+                let mut c = SamplingCampaign::new(
+                    &mut world.engine,
+                    world.aws,
+                    &zone,
+                    CampaignConfig {
+                        deployments: 6,
+                        ..config.clone()
+                    },
+                )
+                .expect("deploys");
+                c.run_polls(&mut world.engine, 6);
+                campaign_cost += c.total_cost_usd();
+            }
+        }
+        ledger.add("two-week x 5-zone campaign", campaign_cost);
+
+        let mut table = Table::new(
+            "Sampling cost summary (paper targets in parentheses)",
+            &["quantity", "measured", "paper"],
+        );
+        table.row(&[
+            "one poll".into(),
+            fmt_usd(one_poll.cost_usd),
+            "< $0.02".into(),
+        ]);
+        table.row(&[
+            "single-zone characterization (6 polls)".into(),
+            fmt_usd(characterization_cost),
+            "~$0.04".into(),
+        ]);
+        table.row(&[
+            "saturate one zone".into(),
+            fmt_usd(result.total_cost_usd),
+            "~$0.20".into(),
+        ]);
+        table.row(&[
+            format!("{days}-day x 5-zone campaign"),
+            fmt_usd(campaign_cost),
+            "$2.80 (2 weeks, EX-5)".into(),
+        ]);
+        outln!(ctx, "{}", table.render());
+        outln!(ctx, "{}", ledger.render("Ledger"));
+        ctx.finish()
+    }
+}

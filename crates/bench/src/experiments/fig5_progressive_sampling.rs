@@ -1,0 +1,114 @@
+//! **Figure 5 / EX-3** — progressive-sampling characterization error on
+//! eleven AZs.
+//!
+//! For each zone, polls until the failure point; after each poll, the
+//! running characterization is compared against the final (saturation)
+//! characterization, yielding the APE-vs-samples curve. Also reports
+//! first-poll error and the polls needed for 95 % accuracy.
+//!
+//! Each zone is an independent sweep cell (its own seeded world), so the
+//! eleven saturation campaigns run in parallel under `--jobs N` and
+//! merge deterministically in EX-3 zone order.
+
+use crate::outln;
+use crate::registry::{Experiment, ExperimentCtx, ExperimentOutput};
+use crate::sweep;
+use crate::{ex3_zones, Scale, World};
+use sky_core::cloud::AzId;
+use sky_core::sim::series::{fmt_usd, Series, Table};
+use sky_core::{CampaignConfig, PollConfig, SamplingCampaign};
+
+struct ZoneResult {
+    row: [String; 6],
+    curve: Series,
+}
+
+fn sample_zone(az: &AzId, scale: Scale, seed: u64) -> ZoneResult {
+    let requests = scale.pick(1_000, 300);
+    let mut world = World::new(seed);
+    let config = CampaignConfig {
+        poll: PollConfig {
+            requests,
+            ..Default::default()
+        },
+        max_polls: scale.pick(60, 12),
+        ..Default::default()
+    };
+    let mut campaign =
+        SamplingCampaign::new(&mut world.engine, world.aws, az, config).expect("deploys");
+    let result = campaign.run_until_saturation(&mut world.engine);
+    let curve = result.ape_curve();
+    let mut series = Series::new(format!("APE vs FIs — {az}"));
+    for (x, y) in &curve {
+        series.push(*x, *y);
+    }
+    ZoneResult {
+        row: [
+            az.to_string(),
+            result.polls.len().to_string(),
+            result.total_fis().to_string(),
+            format!("{:.1}", curve.first().map(|&(_, y)| y).unwrap_or(0.0)),
+            result
+                .polls_to_accuracy(5.0)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            fmt_usd(result.total_cost_usd),
+        ],
+        curve: series,
+    }
+}
+
+/// See the module docs.
+pub struct Fig5ProgressiveSampling;
+
+impl Experiment for Fig5ProgressiveSampling {
+    fn name(&self) -> &'static str {
+        "fig5_progressive_sampling"
+    }
+
+    fn description(&self) -> &'static str {
+        "Fig 5 / EX-3: progressive-sampling APE curves on 11 AZs"
+    }
+
+    fn params(&self, scale: Scale) -> Vec<(&'static str, String)> {
+        vec![
+            ("requests_per_poll", scale.pick(1_000, 300).to_string()),
+            ("max_polls", scale.pick(60, 12).to_string()),
+            ("zones", ex3_zones().len().to_string()),
+        ]
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let (scale, seed) = (ctx.scale, ctx.seed);
+
+        let results = sweep::run(ex3_zones(), ctx.jobs, |_, az| sample_zone(az, scale, seed));
+
+        let mut summary = Table::new(
+            "Figure 5 summary: progressive sampling on 11 AZs",
+            &[
+                "az",
+                "polls to failure",
+                "FIs",
+                "1st-poll APE %",
+                "polls to 95%",
+                "cost",
+            ],
+        );
+        for r in &results {
+            summary.row(&r.row);
+        }
+        outln!(ctx, "{}", summary.render());
+        for r in &results {
+            outln!(ctx, "{}", r.curve.render());
+        }
+        outln!(
+            ctx,
+            "Paper: single poll <=10% APE typically (max 25%), ~6 polls to 95% accuracy,"
+        );
+        outln!(
+            ctx,
+            "us-east-2a pegged at 0% (homogeneous), failure points vary 5k-50k calls."
+        );
+        ctx.finish()
+    }
+}

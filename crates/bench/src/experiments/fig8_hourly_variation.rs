@@ -1,0 +1,101 @@
+//! **Figure 8 / EX-4** — hour-scale characterization variation.
+//!
+//! Samples us-west-1b every hour for 24 hours and reports each hour's
+//! CPU distribution plus its APE against the first hour's baseline. The
+//! paper finds 22 of 24 hours within 10 % of the baseline.
+
+use crate::outln;
+use crate::registry::{Experiment, ExperimentCtx, ExperimentOutput};
+use crate::{Scale, World};
+use sky_core::cloud::Catalog;
+use sky_core::cloud::{CpuType, Provider};
+use sky_core::faas::{FaasEngine, FleetConfig};
+use sky_core::sim::series::Table;
+use sky_core::sim::SimDuration;
+use sky_core::{run_temporal_campaign, CampaignConfig, PollConfig, TemporalConfig};
+
+/// See the module docs.
+pub struct Fig8HourlyVariation;
+
+impl Experiment for Fig8HourlyVariation {
+    fn name(&self) -> &'static str {
+        "fig8_hourly_variation"
+    }
+
+    fn description(&self) -> &'static str {
+        "Fig 8 / EX-4: hourly CPU distribution variation in us-west-1b"
+    }
+
+    fn params(&self, scale: Scale) -> Vec<(&'static str, String)> {
+        vec![
+            ("hours", scale.pick(24, 6).to_string()),
+            ("requests_per_poll", scale.pick(1_000, 300).to_string()),
+            ("max_polls", scale.pick(12, 6).to_string()),
+        ]
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let scale = ctx.scale;
+        let mut engine =
+            FaasEngine::new(Catalog::paper_world(ctx.seed), FleetConfig::new(ctx.seed));
+        let account = engine.create_account(Provider::Aws);
+        let az = World::az("us-west-1b");
+        let hours = scale.pick(24, 6);
+        let config = TemporalConfig {
+            observations: hours,
+            cadence: SimDuration::from_hours(1),
+            campaign: CampaignConfig {
+                poll: PollConfig {
+                    requests: scale.pick(1_000, 300),
+                    ..Default::default()
+                },
+                max_polls: scale.pick(12, 6),
+                ..Default::default()
+            },
+            accuracy_targets_pct: vec![5.0],
+        };
+        let result =
+            run_temporal_campaign(&mut engine, account, std::slice::from_ref(&az), &config)
+                .expect("campaign runs");
+
+        let mut table = Table::new(
+            "Figure 8: hourly CPU distribution and APE vs first hour (us-west-1b)",
+            &[
+                "hour",
+                "2.5GHz %",
+                "2.9GHz %",
+                "3.0GHz %",
+                "EPYC %",
+                "APE vs h0 %",
+            ],
+        );
+        let baseline = result
+            .records
+            .first()
+            .expect("at least one record")
+            .mix
+            .clone();
+        let mut within_10 = 0u32;
+        for r in &result.records {
+            let ape = r.mix.ape_percent(&baseline);
+            if ape <= 10.0 {
+                within_10 += 1;
+            }
+            table.row(&[
+                r.at.hour_of_day().to_string(),
+                format!("{:.0}", r.mix.share(CpuType::IntelXeon2_5) * 100.0),
+                format!("{:.0}", r.mix.share(CpuType::IntelXeon2_9) * 100.0),
+                format!("{:.0}", r.mix.share(CpuType::IntelXeon3_0) * 100.0),
+                format!("{:.0}", r.mix.share(CpuType::AmdEpyc) * 100.0),
+                format!("{ape:.1}"),
+            ]);
+        }
+        outln!(ctx, "{}", table.render());
+        outln!(
+            ctx,
+            "{within_10} of {hours} hourly characterizations within 10% of the baseline \
+             (paper: 22 of 24)."
+        );
+        ctx.finish()
+    }
+}

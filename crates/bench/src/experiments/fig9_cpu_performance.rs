@@ -1,0 +1,107 @@
+//! **Figure 9 / EX-5** — workload runtime per CPU, normalized to the
+//! 2.5 GHz baseline.
+//!
+//! Profiles all twelve Table-1 functions with thousands of invocations
+//! in a CPU-diverse zone, groups observed billed runtimes by the CPU each
+//! SAAF report names, and prints the normalized matrix. Expected
+//! hierarchy: 3.0 GHz 5–15 % faster; 2.9 GHz 15–30 % slower; EPYC
+//! slowest (up to 50 % for logistic_regression/math_service) with the
+//! disk_writer exception where EPYC slightly beats the baseline.
+//!
+//! Each workload is an independent sweep cell (its own seeded world and
+//! deployment), so the twelve profiling campaigns run in parallel under
+//! `--jobs N` and merge deterministically in Table-1 order.
+
+use crate::outln;
+use crate::registry::{Experiment, ExperimentCtx, ExperimentOutput};
+use crate::sweep;
+use crate::{Scale, World};
+use sky_core::cloud::{Arch, CpuType};
+use sky_core::sim::series::Table;
+use sky_core::workloads::WorkloadKind;
+use sky_core::WorkloadProfiler;
+
+fn profile_kind(kind: WorkloadKind, scale: Scale, seed: u64) -> [String; 6] {
+    let runs = scale.pick(2_000, 200);
+    let mut world = World::new(seed);
+    let az = World::az("us-west-1b"); // all four CPU types present
+    let dep = world
+        .engine
+        .deploy(world.aws, &az, 2048, Arch::X86_64)
+        .expect("deploys");
+
+    let mut profiler = WorkloadProfiler::new();
+    profiler.profile(&mut world.engine, dep, kind, runs, 250, seed ^ kind as u64);
+    let table = profiler.table();
+
+    let cell = |cpu: CpuType| -> String {
+        table
+            .normalized(kind, CpuType::IntelXeon2_5)
+            .iter()
+            .find(|&&(c, _)| c == cpu)
+            .map(|&(_, f)| format!("{f:.2}"))
+            .unwrap_or_else(|| "-".into())
+    };
+    let total: u64 = CpuType::AWS_X86
+        .iter()
+        .map(|&c| table.samples(kind, c))
+        .sum();
+    [
+        kind.name().to_string(),
+        cell(CpuType::IntelXeon2_5),
+        cell(CpuType::IntelXeon2_9),
+        cell(CpuType::IntelXeon3_0),
+        cell(CpuType::AmdEpyc),
+        total.to_string(),
+    ]
+}
+
+/// See the module docs.
+pub struct Fig9CpuPerformance;
+
+impl Experiment for Fig9CpuPerformance {
+    fn name(&self) -> &'static str {
+        "fig9_cpu_performance"
+    }
+
+    fn description(&self) -> &'static str {
+        "Fig 9 / EX-5: workload runtime per CPU type, normalized to 2.5GHz"
+    }
+
+    fn params(&self, scale: Scale) -> Vec<(&'static str, String)> {
+        vec![
+            ("runs_per_function", scale.pick(2_000, 200).to_string()),
+            ("functions", WorkloadKind::ALL.len().to_string()),
+        ]
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let (scale, seed) = (ctx.scale, ctx.seed);
+
+        let rows = sweep::run(WorkloadKind::ALL.to_vec(), ctx.jobs, |_, &kind| {
+            profile_kind(kind, scale, seed)
+        });
+
+        let mut out = Table::new(
+            "Figure 9: runtime normalized to the 2.5GHz Xeon (values > 1 are slower)",
+            &["function", "2.5GHz", "2.9GHz", "3.0GHz", "EPYC", "samples"],
+        );
+        for row in &rows {
+            out.row(row);
+        }
+        outln!(ctx, "{}", out.render());
+        outln!(
+            ctx,
+            "Paper: 3.0GHz fastest (5-15% gains), 2.9GHz 15-30% slower, EPYC slowest"
+        );
+        outln!(
+            ctx,
+            "(up to +50% for logistic_regression/math_service); disk_writer is the"
+        );
+        outln!(
+            ctx,
+            "exception where EPYC slightly outperforms the baseline."
+        );
+        ctx.finish()
+    }
+}

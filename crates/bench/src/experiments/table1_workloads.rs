@@ -1,0 +1,70 @@
+//! **Table 1** — the twelve serverless benchmark functions.
+//!
+//! Runs every kernel *for real* (not through the performance model) and
+//! prints the paper's metadata columns alongside execution evidence:
+//! checksum, abstract work units, and host-side wall time at scale 1.
+
+// Host wall time is the column being reported — bench is on the
+// wall-clock allowlist (sky-lint D002), so the clippy ban on
+// `Instant::now` is lifted to match.
+#![allow(clippy::disallowed_methods)]
+
+use crate::outln;
+use crate::registry::{Experiment, ExperimentCtx, ExperimentOutput};
+use crate::Scale;
+use sky_core::sim::series::Table;
+use sky_core::workloads::{execute, EphemeralFs, WorkloadKind, WorkloadRequest};
+use std::time::Instant;
+
+/// See the module docs.
+pub struct Table1Workloads;
+
+impl Experiment for Table1Workloads {
+    fn name(&self) -> &'static str {
+        "table1_workloads"
+    }
+
+    fn description(&self) -> &'static str {
+        "Table 1: the 12-function workload suite, kernels executed for real"
+    }
+
+    fn params(&self, _scale: Scale) -> Vec<(&'static str, String)> {
+        vec![("functions", WorkloadKind::ALL.len().to_string())]
+    }
+
+    /// The host-ms column is wall-clock time: same table shape every
+    /// run, different timings.
+    fn deterministic(&self) -> bool {
+        false
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let mut table = Table::new(
+            "Table 1: serverless workload suite (kernels executed for real)",
+            &[
+                "function",
+                "vCPUs",
+                "checksum",
+                "work units",
+                "host ms",
+                "description",
+            ],
+        );
+        for kind in WorkloadKind::ALL {
+            let mut fs = EphemeralFs::new();
+            let started = Instant::now();
+            let result = execute(&WorkloadRequest::new(kind, 42), &mut fs);
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+            table.row(&[
+                kind.name().to_string(),
+                format!("{:.1}", kind.vcpus()),
+                format!("{:016x}", result.checksum),
+                result.work_units.to_string(),
+                format!("{elapsed_ms:.1}"),
+                kind.description().chars().take(60).collect(),
+            ]);
+        }
+        outln!(ctx, "{}", table.render());
+        ctx.finish()
+    }
+}

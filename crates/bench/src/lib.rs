@@ -1,18 +1,27 @@
 //! # sky-bench — the experiment harness
 //!
-//! One binary per table/figure of the paper (see `src/bin/`), plus shared
-//! experiment plumbing in this library and Criterion micro-benchmarks in
-//! `benches/`. Every binary prints the same rows/series the paper
-//! reports; `EXPERIMENTS.md` records paper-vs-measured for each.
+//! Every table/figure/ablation of the paper is a registered
+//! [`registry::Experiment`] (see `src/experiments/`), enumerable and
+//! runnable through one multiplexer: `skyward exp list | run <name>... |
+//! run --all`. Shared experiment plumbing lives in this library
+//! (seeded worlds, [`ScenarioBuilder`], the parallel [`sweep`] runner)
+//! alongside Criterion micro-benchmarks in `benches/`. Every experiment
+//! renders the same rows/series the paper reports; `EXPERIMENTS.md`
+//! records paper-vs-measured for each.
 //!
-//! Binaries honour the `SKY_SCALE` environment variable (`full`, the
-//! default, or `quick` for a fast smoke run at reduced sample counts).
+//! Experiments honour the `SKY_SCALE` environment variable (`full`, the
+//! default, or `quick` for a fast smoke run at reduced sample counts);
+//! unknown values are rejected with an error rather than silently mapped.
 
+pub mod experiments;
 pub mod faults;
+pub mod registry;
 pub mod report;
 pub mod sweep;
 
-use sky_core::cloud::{AzId, Catalog, Provider};
+use std::collections::BTreeMap;
+
+use sky_core::cloud::{Arch, AzId, Catalog, Provider};
 use sky_core::faas::{AccountId, DeploymentId, FaasEngine, FleetConfig};
 use sky_core::sim::SimDuration;
 use sky_core::workloads::WorkloadKind;
@@ -31,11 +40,35 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Read the scale from the environment.
-    pub fn from_env() -> Scale {
-        match std::env::var("SKY_SCALE").as_deref() {
-            Ok("quick") => Scale::Quick,
-            _ => Scale::Full,
+    /// Parse a scale name. Exactly `"quick"` and `"full"` are accepted;
+    /// anything else (including near-misses like `"Quick"` or `"ful"`,
+    /// which an earlier version silently mapped to `Full`) is an error.
+    pub fn parse(value: &str) -> Result<Scale, String> {
+        match value {
+            "quick" => Ok(Scale::Quick),
+            "full" => Ok(Scale::Full),
+            other => Err(format!(
+                "unknown scale {other:?} (expected \"quick\" or \"full\")"
+            )),
+        }
+    }
+
+    /// Read the scale from the `SKY_SCALE` environment variable.
+    /// Unset means [`Scale::Full`]; a set-but-invalid value is an error,
+    /// never a silent fallback.
+    pub fn from_env() -> Result<Scale, String> {
+        match std::env::var("SKY_SCALE") {
+            Ok(value) => Scale::parse(&value).map_err(|e| format!("SKY_SCALE: {e}")),
+            Err(std::env::VarError::NotPresent) => Ok(Scale::Full),
+            Err(e) => Err(format!("SKY_SCALE: {e}")),
+        }
+    }
+
+    /// The scale's canonical name (round-trips through [`Scale::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
         }
     }
 
@@ -91,21 +124,18 @@ impl World {
 
 /// The five EX-4 zones.
 pub fn ex4_zones() -> Vec<AzId> {
-    [
+    ScenarioBuilder::az_list(&[
         "us-west-1a",
         "us-west-1b",
         "sa-east-1a",
         "eu-north-1a",
         "ca-central-1a",
-    ]
-    .iter()
-    .map(|s| World::az(s))
-    .collect()
+    ])
 }
 
 /// The eleven EX-3 zones.
 pub fn ex3_zones() -> Vec<AzId> {
-    [
+    ScenarioBuilder::az_list(&[
         "ca-central-1a",
         "eu-north-1a",
         "ap-northeast-1a",
@@ -117,10 +147,90 @@ pub fn ex3_zones() -> Vec<AzId> {
         "us-east-2a",
         "us-east-2b",
         "us-east-2c",
-    ]
-    .iter()
-    .map(|s| World::az(s))
-    .collect()
+    ])
+}
+
+/// Builder for the scenario shared by most routing experiments: a seeded
+/// [`World`] plus one deployment per candidate zone, deployed in the
+/// order the zones were named (deployment order feeds the engine's event
+/// stream, so it is part of an experiment's byte-identity contract).
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    seed: u64,
+    zones: Vec<AzId>,
+    memory_mb: u32,
+    arch: Arch,
+}
+
+impl ScenarioBuilder {
+    /// Start a scenario over the standard seeded world.
+    pub fn new(seed: u64) -> ScenarioBuilder {
+        ScenarioBuilder {
+            seed,
+            zones: Vec::new(),
+            memory_mb: 2048,
+            arch: Arch::X86_64,
+        }
+    }
+
+    /// Parse a list of AZ names (the one shared construction behind
+    /// [`ex3_zones`], [`ex4_zones`] and every candidate set).
+    pub fn az_list(names: &[&str]) -> Vec<AzId> {
+        names.iter().map(|s| World::az(s)).collect()
+    }
+
+    /// Add candidate zones by name, in deployment order.
+    pub fn zones(mut self, names: &[&str]) -> ScenarioBuilder {
+        self.zones.extend(Self::az_list(names));
+        self
+    }
+
+    /// Add already-parsed candidate zones, in deployment order.
+    pub fn zone_ids(mut self, azs: &[AzId]) -> ScenarioBuilder {
+        self.zones.extend_from_slice(azs);
+        self
+    }
+
+    /// Override the per-deployment memory setting (default 2048 MB).
+    pub fn memory_mb(mut self, mb: u32) -> ScenarioBuilder {
+        self.memory_mb = mb;
+        self
+    }
+
+    /// Override the deployment architecture (default x86-64).
+    pub fn arch(mut self, arch: Arch) -> ScenarioBuilder {
+        self.arch = arch;
+        self
+    }
+
+    /// Build the world and deploy to every candidate zone.
+    pub fn build(self) -> Scenario {
+        let mut world = World::new(self.seed);
+        let mut deployments = BTreeMap::new();
+        for az in &self.zones {
+            let dep = world
+                .engine
+                .deploy(world.aws, az, self.memory_mb, self.arch)
+                .expect("candidate zone deploys");
+            deployments.insert(az.clone(), dep);
+        }
+        Scenario { world, deployments }
+    }
+}
+
+/// A built scenario: the world plus the per-zone deployments.
+pub struct Scenario {
+    /// The seeded world.
+    pub world: World,
+    /// One deployment per candidate zone.
+    pub deployments: BTreeMap<AzId, DeploymentId>,
+}
+
+impl Scenario {
+    /// The deployment in a zone, if one was requested.
+    pub fn deployment(&self, az: &AzId) -> Option<DeploymentId> {
+        self.deployments.get(az).copied()
+    }
 }
 
 /// Profile a workload on a deployment and return the learned table.

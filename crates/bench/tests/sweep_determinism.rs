@@ -1,31 +1,25 @@
-//! The sweep runner's core guarantee, end to end: a multi-cell
-//! experiment binary produces byte-identical stdout at any job count.
+//! The sweep runner's core guarantee, end to end: a multi-cell registry
+//! experiment produces byte-identical output at any job count.
 
-use std::process::Command;
+use sky_bench::registry::{self, Experiment};
+use sky_bench::sweep::Jobs;
+use sky_bench::{Scale, WORLD_SEED};
 
-fn stdout_with_jobs(exe: &str, jobs: usize) -> Vec<u8> {
-    let out = Command::new(exe)
-        .arg(format!("--jobs={jobs}"))
-        .env("SKY_SCALE", "quick")
-        .output()
-        .expect("experiment binary runs");
-    assert!(
-        out.status.success(),
-        "{exe} --jobs={jobs} failed: {:?}",
-        out.status
-    );
-    out.stdout
+fn output_with_jobs(exp: &dyn Experiment, jobs: usize) -> String {
+    registry::run_experiment(exp, Scale::Quick, Jobs::new(jobs), WORLD_SEED)
+        .unwrap_or_else(|e| panic!("{} with {jobs} job(s) failed: {e}", exp.name()))
+        .text
 }
 
 #[test]
 fn fig5_parallel_output_is_byte_identical_to_serial() {
-    let exe = env!("CARGO_BIN_EXE_fig5_progressive_sampling");
-    let serial = stdout_with_jobs(exe, 1);
+    let exp = registry::find("fig5_progressive_sampling").expect("fig5 is registered");
+    let serial = output_with_jobs(exp, 1);
     assert!(!serial.is_empty(), "fig5 printed nothing");
     for jobs in [2, 4] {
         assert_eq!(
             serial,
-            stdout_with_jobs(exe, jobs),
+            output_with_jobs(exp, jobs),
             "fig5 output differs between --jobs=1 and --jobs={jobs}"
         );
     }
@@ -33,12 +27,34 @@ fn fig5_parallel_output_is_byte_identical_to_serial() {
 
 #[test]
 fn ablation_parallel_output_is_byte_identical_to_serial() {
-    let exe = env!("CARGO_BIN_EXE_ablation_staleness");
-    let serial = stdout_with_jobs(exe, 1);
+    let exp = registry::find("ablation_staleness").expect("ablation_staleness is registered");
+    let serial = output_with_jobs(exp, 1);
     assert!(!serial.is_empty(), "ablation_staleness printed nothing");
     assert_eq!(
         serial,
-        stdout_with_jobs(exe, 4),
+        output_with_jobs(exp, 4),
         "ablation_staleness output differs between --jobs=1 and --jobs=4"
     );
+}
+
+#[test]
+fn run_many_parallel_fanout_matches_serial_loop() {
+    // `run_many` switches strategy on jobs>1 (fan out over experiments,
+    // one worker each) vs jobs==1 (serial loop, full jobs) — the outputs
+    // must be byte-identical either way.
+    let exps: Vec<&'static dyn Experiment> = ["fig_faults", "ablation_staleness", "cost_summary"]
+        .iter()
+        .map(|n| registry::find(n).expect("registered"))
+        .collect();
+    let serial = registry::run_many(&exps, Scale::Quick, Jobs::serial(), WORLD_SEED);
+    let parallel = registry::run_many(&exps, Scale::Quick, Jobs::new(4), WORLD_SEED);
+    assert_eq!(serial.len(), parallel.len());
+    for ((name_s, out_s), (name_p, out_p)) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(name_s, name_p, "run_many reordered experiments");
+        assert_eq!(
+            out_s.as_ref().expect("serial run succeeds").text,
+            out_p.as_ref().expect("parallel run succeeds").text,
+            "{name_s} output differs between serial and fanned-out run_many"
+        );
+    }
 }

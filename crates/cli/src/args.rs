@@ -46,14 +46,21 @@ impl std::fmt::Display for ArgsError {
 impl std::error::Error for ArgsError {}
 
 impl Args {
-    /// Parse raw arguments (without the program name).
-    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgsError> {
+    /// Parse raw arguments, treating the named flags as boolean
+    /// *switches*: `--all` stores `"true"` without consuming the next
+    /// token (while `--all=no` still records the explicit value).
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        raw: I,
+        switches: &[&str],
+    ) -> Result<Args, ArgsError> {
         let mut args = Args::default();
         let mut iter = raw.into_iter().peekable();
         while let Some(token) = iter.next() {
             if let Some(flag) = token.strip_prefix("--") {
                 if let Some((name, value)) = flag.split_once('=') {
                     args.flags.insert(name.to_string(), value.to_string());
+                } else if switches.contains(&flag) {
+                    args.flags.insert(flag.to_string(), "true".to_string());
                 } else {
                     match iter.next() {
                         Some(value) => {
@@ -115,7 +122,7 @@ mod tests {
     use super::*;
 
     fn parse(tokens: &[&str]) -> Args {
-        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+        Args::parse_with_switches(tokens.iter().map(|s| s.to_string()), &[]).unwrap()
     }
 
     #[test]
@@ -137,8 +144,23 @@ mod tests {
     }
 
     #[test]
+    fn switches_are_bare() {
+        let args = Args::parse_with_switches(
+            ["exp", "run", "--all", "--scale", "quick", "--json"]
+                .iter()
+                .map(|s| s.to_string()),
+            &["all", "json"],
+        )
+        .unwrap();
+        assert_eq!(args.flag("all"), Some("true"));
+        assert_eq!(args.flag("json"), Some("true"));
+        assert_eq!(args.flag("scale"), Some("quick"));
+        assert_eq!(args.n_positionals(), 2);
+    }
+
+    #[test]
     fn missing_value_rejected() {
-        let err = Args::parse(["--polls".to_string()]).unwrap_err();
+        let err = Args::parse_with_switches(["--polls".to_string()], &[]).unwrap_err();
         assert_eq!(err, ArgsError::MissingValue("polls".into()));
     }
 

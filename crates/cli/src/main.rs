@@ -4,6 +4,10 @@
 //! ```text
 //! skyward world        [--seed N]
 //! skyward workloads
+//! skyward exp          list | describe <name>
+//! skyward exp          run <name>... | run --all
+//!                      [--scale quick|full] [--jobs N] [--seed N]
+//!                      [--out DIR]
 //! skyward characterize <az>[,<az>...] [--polls N] [--jobs N] [--seed N] [--json]
 //! skyward saturate     <az> [--seed N]
 //! skyward profile      <workload> <az> [--runs N] [--seed N]
@@ -21,7 +25,9 @@
 mod args;
 
 use args::Args;
+use sky_bench::registry;
 use sky_bench::sweep::{self, Jobs};
+use sky_bench::Scale;
 use sky_core::cloud::{Arch, AzId, Catalog, CpuType, Provider};
 use sky_core::faas::{FaasEngine, FleetConfig};
 use sky_core::sim::series::Table;
@@ -46,7 +52,8 @@ fn main() {
 }
 
 fn run(raw: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(raw).map_err(|e| e.to_string())?;
+    let args =
+        Args::parse_with_switches(raw, &["all", "json", "verbose"]).map_err(|e| e.to_string())?;
     let seed = args.flag_u64("seed", 42).map_err(|e| e.to_string())?;
     match args.positional(0) {
         None | Some("help") | Some("--help") => {
@@ -58,6 +65,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             cmd_world(seed)
         }
         Some("workloads") => cmd_workloads(),
+        Some("exp") => cmd_exp(&args, seed),
         Some("characterize") => {
             expect_arity(&args, 2)?;
             cmd_characterize(&args, seed)
@@ -105,6 +113,12 @@ fn print_help() {
          commands:\n\
          \x20 world        [--seed N]                 list regions and zones\n\
          \x20 workloads                               the Table-1 workload suite\n\
+         \x20 exp          list                       the registered experiments\n\
+         \x20 exp          describe <name>            one experiment's parameters\n\
+         \x20 exp          run <name>... | run --all  run experiments through the\n\
+         \x20              [--scale quick|full] [--jobs N] [--out DIR]\n\
+         \x20                                         registry (writes DIR/<name>.txt\n\
+         \x20                                         per experiment, else stdout)\n\
          \x20 characterize <az>[,<az>...] [--polls N] estimate zones' CPU mixes\n\
          \x20              [--jobs N]                 (zones characterized in parallel)\n\
          \x20 saturate     <az>                       poll a zone to its failure point\n\
@@ -344,33 +358,185 @@ fn cmd_profile(args: &Args, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolve `--scale` (or `SKY_SCALE`) through the one strict parser:
+/// near-misses like `Quick` or `ful` are errors, not silent fallbacks.
+fn resolve_scale(args: &Args) -> Result<Scale, String> {
+    match args.flag("scale") {
+        Some(value) => Scale::parse(value),
+        None => Scale::from_env(),
+    }
+}
+
+/// Resolve `--jobs`, falling back to `SKY_JOBS` / machine parallelism.
+fn resolve_jobs(args: &Args) -> Result<Jobs, String> {
+    match args.flag("jobs") {
+        Some(_) => Ok(Jobs::new(
+            args.flag_u64("jobs", 1).map_err(|e| e.to_string())? as usize,
+        )),
+        None => Ok(Jobs::from_env()),
+    }
+}
+
+/// `skyward exp` — the experiment registry multiplexer. Replaces the 24
+/// former one-off binaries: every figure/table/ablation is a registered
+/// [`registry::Experiment`] run through one entry point.
+fn cmd_exp(args: &Args, seed: u64) -> Result<(), String> {
+    match args.positional(1) {
+        None | Some("list") => {
+            expect_arity(args, 2)?;
+            cmd_exp_list()
+        }
+        Some("describe") => {
+            expect_arity(args, 3)?;
+            cmd_exp_describe(args)
+        }
+        Some("run") => cmd_exp_run(args, seed),
+        Some(other) => Err(format!(
+            "unknown exp subcommand {other:?} (list|describe|run)"
+        )),
+    }
+}
+
+fn cmd_exp_list() -> Result<(), String> {
+    let mut table = Table::new(
+        format!("registered experiments ({})", registry::all().len()),
+        &["name", "golden", "description"],
+    );
+    for exp in registry::all() {
+        table.row(&[
+            exp.name().to_string(),
+            if exp.deterministic() { "yes" } else { "-" }.to_string(),
+            exp.description().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("run one with `skyward exp run <name>`, everything with `skyward exp run --all`.");
+    Ok(())
+}
+
+fn cmd_exp_describe(args: &Args) -> Result<(), String> {
+    let name = args.positional(2).ok_or("describe needs an <experiment>")?;
+    let exp = registry::find(name).ok_or_else(|| unknown_experiment(name))?;
+    println!("{}: {}", exp.name(), exp.description());
+    println!(
+        "deterministic: {} (byte-identical for any --jobs at a fixed scale and seed)",
+        if exp.deterministic() {
+            "yes"
+        } else {
+            "no — wall-clock measurements"
+        }
+    );
+    for scale in [Scale::Full, Scale::Quick] {
+        let params = exp.params(scale);
+        if params.is_empty() {
+            continue;
+        }
+        let mut table = Table::new(
+            format!("parameters at {} scale", scale.name()),
+            &["parameter", "value"],
+        );
+        for (key, value) in params {
+            table.row(&[key.to_string(), value]);
+        }
+        println!("{}", table.render());
+    }
+    println!("artifact: results/{}.txt", exp.name());
+    Ok(())
+}
+
+fn unknown_experiment(name: &str) -> String {
+    let names: Vec<&str> = registry::all().iter().map(|e| e.name()).collect();
+    format!(
+        "unknown experiment {name:?}; choose one of: {}",
+        names.join(", ")
+    )
+}
+
+// Timing the experiment runs is a deliberate wall-clock read; the cli
+// crate is on the sky-lint D002 allowlist, and the clippy ban is lifted
+// to match.
+#[allow(clippy::disallowed_methods)]
+fn cmd_exp_run(args: &Args, seed: u64) -> Result<(), String> {
+    let scale = resolve_scale(args)?;
+    let jobs = resolve_jobs(args)?;
+    let exps: Vec<&'static dyn registry::Experiment> = if args.flag("all").is_some() {
+        registry::all().to_vec()
+    } else {
+        let names: Vec<&str> = (2..args.n_positionals())
+            .filter_map(|i| args.positional(i))
+            .collect();
+        if names.is_empty() {
+            return Err("exp run needs experiment names or --all".into());
+        }
+        names
+            .iter()
+            .map(|name| registry::find(name).ok_or_else(|| unknown_experiment(name)))
+            .collect::<Result<_, _>>()?
+    };
+    let out_dir = args.flag("out").map(std::path::PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+
+    eprintln!(
+        "running {} experiment(s) at {} scale, seed {seed}, {} worker(s)...",
+        exps.len(),
+        scale.name(),
+        jobs.get()
+    );
+    let started = std::time::Instant::now();
+    let outcomes = registry::run_many(&exps, scale, jobs, seed);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut failures = Vec::new();
+    for (name, outcome) in outcomes {
+        match outcome {
+            Ok(output) => {
+                match &out_dir {
+                    Some(dir) => {
+                        let path = dir.join(format!("{name}.txt"));
+                        std::fs::write(&path, output.text.as_bytes())
+                            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                        eprintln!("  ok {name} -> {}", path.display());
+                    }
+                    None => print!("{}", output.text),
+                }
+                for artifact in &output.artifacts {
+                    let path = registry::repo_root().join(&artifact.file_name);
+                    std::fs::write(&path, artifact.contents.as_bytes())
+                        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                    eprintln!("  ok {name} artifact -> {}", path.display());
+                }
+            }
+            Err(message) => {
+                eprintln!("  FAILED {name}: {message}");
+                failures.push(name);
+            }
+        }
+    }
+    eprintln!("finished in {elapsed:.1}s");
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} experiment(s) failed: {}",
+            failures.len(),
+            failures.join(", ")
+        ))
+    }
+}
+
 fn cmd_faults(args: &Args) -> Result<(), String> {
-    let scale = match args.flag("scale") {
-        None => sky_bench::Scale::from_env(),
-        Some("quick") => sky_bench::Scale::Quick,
-        Some("full") => sky_bench::Scale::Full,
-        Some(other) => return Err(format!("unknown scale {other:?} (quick|full)")),
-    };
-    let jobs = match args.flag("jobs") {
-        Some(_) => Jobs::new(args.flag_u64("jobs", 1).map_err(|e| e.to_string())? as usize),
-        None => Jobs::from_env(),
-    };
+    let scale = resolve_scale(args)?;
+    let jobs = resolve_jobs(args)?;
     let rows = sky_bench::faults::fig_faults_rows(scale, jobs);
     print!("{}", sky_bench::faults::render_fig_faults(&rows));
     Ok(())
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    let scale = match args.flag("scale") {
-        None => sky_bench::Scale::from_env(),
-        Some("quick") => sky_bench::Scale::Quick,
-        Some("full") => sky_bench::Scale::Full,
-        Some(other) => return Err(format!("unknown scale {other:?} (quick|full)")),
-    };
-    let jobs = match args.flag("jobs") {
-        Some(_) => Jobs::new(args.flag_u64("jobs", 1).map_err(|e| e.to_string())? as usize),
-        None => Jobs::from_env(),
-    };
+    let scale = resolve_scale(args)?;
+    let jobs = resolve_jobs(args)?;
     let format = args.flag("format").unwrap_or("table");
     let snapshot = sky_bench::report::report_snapshot(scale, jobs);
     match format {

@@ -1,12 +1,11 @@
 #!/bin/bash
 # Regenerate every table and figure at full scale into results/.
-set -u
+#
+# The experiment inventory lives in the registry (`skyward exp list`);
+# this script is a thin wrapper over the multiplexer. Extra arguments
+# are forwarded, e.g. `./run_experiments.sh --scale quick --jobs 4`.
+set -euo pipefail
 cd "$(dirname "$0")"
-BINS="table1_workloads fig2_global_characterization fig3_sleep_sweep fig4_saturation fig5_progressive_sampling fig6_polls_to_accuracy fig7_temporal_drift fig8_hourly_variation fig9_cpu_performance fig10_retry_methods fig11_region_hopping ex5_summary cost_summary ablation_ban_sets ablation_staleness ablation_passive latency_tradeoff arm_vs_x86 availability carbon_aware adaptive_sampling fig_faults"
-for bin in $BINS; do
-  echo "=== $bin ==="
-  start=$SECONDS
-  cargo run --release -q -p sky-bench --bin "$bin" > "results/$bin.txt" 2>&1 || echo "FAILED: $bin"
-  echo "$((SECONDS-start))s elapsed"
-done
+cargo build --release -q -p sky-cli
+./target/release/skyward exp run --all --out results/ "$@"
 echo ALL_EXPERIMENTS_DONE

@@ -97,6 +97,23 @@ fn check_golden_file(file: &str, actual: &str) {
 }
 
 #[test]
+fn golden_registry_experiments_quick() {
+    // The registry-driven gate behind the experiment multiplexer: every
+    // deterministic registered experiment must reproduce its quick-scale
+    // snapshot byte-for-byte. Ports or refactors of an experiment that
+    // shift even one byte of output fail here, not in review.
+    for exp in sky_bench::registry::all() {
+        if !exp.deterministic() {
+            continue;
+        }
+        let output =
+            sky_bench::registry::run_experiment(*exp, Scale::Quick, Jobs::serial(), WORLD_SEED)
+                .unwrap_or_else(|e| panic!("{} failed at quick scale: {e}", exp.name()));
+        check_golden_file(&format!("exp/{}_quick.txt", exp.name()), &output.text);
+    }
+}
+
+#[test]
 fn golden_fig_faults() {
     let rendered = render_fig_faults(&fig_faults_rows(Scale::Quick, Jobs::serial()));
     check_golden("fig_faults_quick", &rendered);
