@@ -6,8 +6,53 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sky_core::cloud::{Arch, Catalog, Provider};
 use sky_core::faas::{BatchRequest, FaasEngine, FleetConfig, RequestBody};
-use sky_core::sim::{EventQueue, SimDuration, SimTime};
+use sky_core::sim::{BinaryHeapQueue, EventQueue, SimDuration, SimTime};
 use std::hint::black_box;
+
+/// Pseudo-shuffled event time for slot `i`: a multiplicative hash over a
+/// `span_us` horizon, so both queues see an identical, order-free fill.
+fn shuffled_at(i: u64, span_us: u64) -> SimTime {
+    SimTime::from_micros(i.wrapping_mul(2654435761) % span_us)
+}
+
+/// Fill-and-drain a queue at several pending-set sizes, timer wheel vs
+/// the reference binary heap. The span scales with n (constant event
+/// density), so large sizes also exercise the wheel's overflow cascade.
+fn bench_wheel_vs_heap(c: &mut Criterion) {
+    for n in [1_000u64, 100_000, 1_000_000] {
+        let span_us = n * 100;
+        let mut group = c.benchmark_group(format!("event_queue_{n}"));
+        group.sample_size(if n >= 1_000_000 { 10 } else { 20 });
+        group.throughput(Throughput::Elements(n));
+        group.bench_function("timer_wheel", |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n as usize);
+                for i in 0..n {
+                    q.schedule(shuffled_at(i, span_us), i);
+                }
+                let mut last = 0u64;
+                while let Some((t, _)) = q.pop() {
+                    last = t.as_micros();
+                }
+                black_box(last)
+            });
+        });
+        group.bench_function("binary_heap", |b| {
+            b.iter(|| {
+                let mut q = BinaryHeapQueue::with_capacity(n as usize);
+                for i in 0..n {
+                    q.schedule(shuffled_at(i, span_us), i);
+                }
+                let mut last = 0u64;
+                while let Some((t, _)) = q.pop() {
+                    last = t.as_micros();
+                }
+                black_box(last)
+            });
+        });
+        group.finish();
+    }
+}
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
@@ -83,5 +128,10 @@ fn bench_poll_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_poll_batch);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_wheel_vs_heap,
+    bench_poll_batch
+);
 criterion_main!(benches);

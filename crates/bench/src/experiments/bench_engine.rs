@@ -139,18 +139,43 @@ impl Experiment for BenchEngine {
             let parallel = run_sibling(name, Jobs::new(parallel_jobs), ctx.scale, ctx.seed);
             match (serial, parallel) {
                 (Some((serial_s, serial_out)), Some((parallel_s, parallel_out))) => {
-                    let speedup = serial_s / parallel_s;
                     let identical = serial_out == parallel_out;
-                    eprintln!(
-                        "  serial {serial_s:.2}s, parallel {parallel_s:.2}s, speedup {speedup:.2}x, \
-                         identical output: {identical}"
-                    );
+                    // On a single-core host a worker pool cannot beat the
+                    // serial run; a <1x "speedup" would only be noise, so
+                    // record null + the reason instead of a number.
+                    let (speedup, note) = if cores == 1 {
+                        (
+                            serde_json::Value::Null,
+                            serde_json::json!(
+                                "single-core host: parallel sweep cannot beat serial"
+                            ),
+                        )
+                    } else {
+                        (
+                            serde_json::json!(serial_s / parallel_s),
+                            serde_json::Value::Null,
+                        )
+                    };
+                    if cores == 1 {
+                        eprintln!(
+                            "  serial {serial_s:.2}s, parallel {parallel_s:.2}s, \
+                             speedup not meaningful on a single-core host, \
+                             identical output: {identical}"
+                        );
+                    } else {
+                        eprintln!(
+                            "  serial {serial_s:.2}s, parallel {parallel_s:.2}s, \
+                             speedup {:.2}x, identical output: {identical}",
+                            serial_s / parallel_s
+                        );
+                    }
                     sweeps.push(serde_json::json!({
                         "experiment": name,
                         "jobs": parallel_jobs,
                         "serial_ms": serial_s * 1_000.0,
                         "parallel_ms": parallel_s * 1_000.0,
                         "speedup": speedup,
+                        "note": note,
                         "identical_output": identical,
                     }));
                 }

@@ -1,0 +1,238 @@
+//! **Fleet scaling benchmark** — runs the same multi-AZ fleet workload
+//! through [`ShardedFleet`] at shard counts 1, 2 and 8 and asserts the
+//! conservative-window determinism contract: every shard count yields a
+//! byte-identical [`FleetReport::digest`].
+//!
+//! The rendered report contains only shard-invariant values (digests,
+//! outcome counts, windows, forwards, events), so the experiment is
+//! `deterministic()` and golden-pinned at quick scale — the `engine-scale`
+//! CI job runs it at all three shard counts through the normal golden
+//! gate. Host wall-clock throughput per shard count goes to stderr and
+//! the `BENCH_engine_fleet.json` artifact, never into the golden text.
+//!
+//! [`ShardedFleet`]: sky_core::faas::ShardedFleet
+//! [`FleetReport::digest`]: sky_core::faas::FleetReport
+
+// Wall-clock throughput measurement, like bench_engine (sky-lint D002
+// allowlists the bench crate; clippy's `Instant::now` ban is lifted).
+#![allow(clippy::disallowed_methods)]
+
+use std::time::Instant;
+
+use crate::registry::{Experiment, ExperimentCtx, ExperimentOutput};
+use crate::{outln, Scale, ScenarioBuilder};
+use sky_core::cloud::Catalog;
+use sky_core::faas::{FleetConfig, FleetReport, FleetRequest, RequestBody, ShardedFleet};
+use sky_core::sim::{SimDuration, SimTime};
+
+/// Shard counts the scaling contract is checked at.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Per-lane FI memory: big enough that the small pools also exhaust
+/// capacity (not just the account quota), exercising both shed paths.
+const MEMORY_MB: u32 = 10_240;
+
+/// Zones (one lane each), all in distinct regions so the conservative
+/// window — the minimum cross-lane one-way latency — stays well above
+/// the burst spread.
+fn lane_names(scale: Scale) -> &'static [&'static str] {
+    match scale {
+        Scale::Quick => &["us-east-2a", "us-west-1a", "eu-north-1a", "ap-south-1a"],
+        Scale::Full => &[
+            "us-east-2a",
+            "us-west-1a",
+            "ca-central-1a",
+            "eu-north-1a",
+            "sa-east-1a",
+            "ap-south-1a",
+            "ap-northeast-1a",
+            "af-south-1a",
+        ],
+    }
+}
+
+fn waves(scale: Scale) -> u64 {
+    scale.pick(3, 2)
+}
+
+fn per_wave(scale: Scale) -> u64 {
+    scale.pick(1_500, 1_200)
+}
+
+/// The workload: per lane, `waves` bursts of `per_wave` two-second
+/// sleeps, each burst spread over 8 ms (inside one window) and sized
+/// above the 1000-per-account concurrency quota — so every lane sheds
+/// part of every burst and forwards it around the ring.
+fn fleet_requests(scale: Scale, lanes: usize) -> Vec<FleetRequest> {
+    let mut reqs = Vec::new();
+    for wave in 0..waves(scale) {
+        let wave_start = SimTime::ZERO + SimDuration::from_secs(wave * 8);
+        for i in 0..(per_wave(scale) * lanes as u64) {
+            reqs.push(FleetRequest {
+                lane: (i % lanes as u64) as usize,
+                at: wave_start + SimDuration::from_millis(i % 8),
+                body: RequestBody::Sleep {
+                    duration: SimDuration::from_secs(2),
+                },
+            });
+        }
+    }
+    reqs
+}
+
+struct ShardRun {
+    shards: usize,
+    report: FleetReport,
+    wall_s: f64,
+}
+
+fn run_with_shards(catalog: &Catalog, seed: u64, scale: Scale, shards: usize) -> ShardRun {
+    let azs = ScenarioBuilder::az_list(lane_names(scale));
+    let mut fleet = ShardedFleet::new(catalog, FleetConfig::new(seed), &azs, MEMORY_MB, shards);
+    let requests = fleet_requests(scale, azs.len());
+    let start = Instant::now();
+    let report = fleet.run(&requests);
+    ShardRun {
+        shards,
+        report,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// See the module docs.
+pub struct BenchEngineFleet;
+
+impl Experiment for BenchEngineFleet {
+    fn name(&self) -> &'static str {
+        "bench_engine_fleet"
+    }
+
+    fn description(&self) -> &'static str {
+        "AZ-sharded fleet scaling: identical digests at shards 1/2/8"
+    }
+
+    fn params(&self, scale: Scale) -> Vec<(&'static str, String)> {
+        vec![
+            ("lanes", lane_names(scale).join(",")),
+            ("memory_mb", MEMORY_MB.to_string()),
+            ("waves", waves(scale).to_string()),
+            ("requests_per_wave_per_lane", per_wave(scale).to_string()),
+            (
+                "shard_counts",
+                SHARD_COUNTS.map(|s| s.to_string()).join(","),
+            ),
+        ]
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let catalog = Catalog::paper_world(ctx.seed);
+        let runs: Vec<ShardRun> = SHARD_COUNTS
+            .iter()
+            .map(|&shards| {
+                eprintln!("fleet run with {shards} shard(s)...");
+                let run = run_with_shards(&catalog, ctx.seed, ctx.scale, shards);
+                eprintln!(
+                    "  {:.2}s wall, {} sim events, digest {:016x}",
+                    run.wall_s, run.report.events, run.report.digest
+                );
+                run
+            })
+            .collect();
+        let base = &runs[0].report;
+
+        outln!(
+            ctx,
+            "# bench_engine_fleet — conservative-window AZ-sharded fleet"
+        );
+        outln!(
+            ctx,
+            "scale={} lanes={} memory_mb={} window_us={} requests={}",
+            ctx.scale.name(),
+            base.lanes,
+            MEMORY_MB,
+            base.window.as_micros(),
+            base.submitted,
+        );
+        outln!(ctx);
+        for run in &runs {
+            outln!(
+                ctx,
+                "shards={}: digest={:016x} windows={} events={}",
+                run.shards,
+                run.report.digest,
+                run.report.windows,
+                run.report.events,
+            );
+        }
+        // The scaling contract. A divergence fails the experiment (and
+        // the engine-scale CI job) rather than rendering quietly.
+        for run in &runs[1..] {
+            assert_eq!(
+                run.report.digest, base.digest,
+                "digest diverged at shards={}",
+                run.shards
+            );
+            assert_eq!(
+                run.report.lane_digests, base.lane_digests,
+                "lane digests diverged at shards={}",
+                run.shards
+            );
+            assert_eq!(run.report.counts, base.counts);
+            assert_eq!(run.report.events, base.events);
+        }
+        outln!(
+            ctx,
+            "digest agreement: OK ({} shard counts identical)",
+            runs.len()
+        );
+        outln!(ctx);
+        let c = &base.counts;
+        outln!(
+            ctx,
+            "forwards={} completed={} success={} declined={} throttled={} no_capacity={}",
+            c.forwarded,
+            c.completed,
+            c.success,
+            c.declined,
+            c.throttled,
+            c.no_capacity,
+        );
+        assert_eq!(c.completed, base.submitted, "every request must resolve");
+        outln!(ctx);
+        outln!(ctx, "per-lane digests:");
+        for (i, d) in base.lane_digests.iter().enumerate() {
+            outln!(ctx, "  {} {:016x}", lane_names(ctx.scale)[i], d);
+        }
+
+        // Wall-clock scaling is host-dependent: artifact + stderr only.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let report = serde_json::json!({
+            "benchmark": "sky-bench fleet shard scaling",
+            "host_cores": cores,
+            "note": if cores == 1 {
+                serde_json::json!(
+                    "single-core host: shard wall times measure overhead, not speedup"
+                )
+            } else {
+                serde_json::Value::Null
+            },
+            "scale": ctx.scale.name(),
+            "lanes": base.lanes,
+            "requests": base.submitted,
+            "window_us": base.window.as_micros(),
+            "digest": format!("{:016x}", base.digest),
+            "runs": runs.iter().map(|r| serde_json::json!({
+                "shards": r.shards,
+                "wall_ms": r.wall_s * 1_000.0,
+                "sim_events_per_sec": r.report.events as f64 / r.wall_s,
+            })).collect::<Vec<_>>(),
+        });
+        ctx.artifact(
+            "BENCH_engine_fleet.json",
+            serde_json::to_string_pretty(&report).expect("serializable"),
+        );
+        ctx.finish()
+    }
+}

@@ -178,6 +178,7 @@ pub fn all() -> &'static [&'static dyn Experiment] {
         &fig_faults::FigFaults,
         &calibration_probe::CalibrationProbe,
         &bench_engine::BenchEngine,
+        &bench_engine_fleet::BenchEngineFleet,
     ];
     ALL
 }

@@ -135,11 +135,12 @@ fn print_help() {
          \x20                                         per-policy breakdowns)\n\
          \x20 lint         [--root PATH] [--format human|json]\n\
          \x20                                         determinism static analysis (rules\n\
-         \x20                                         D001-D006; exits 1 on findings)\n\
+         \x20                                         D001-D007; exits 1 on findings)\n\
          \n\
          global flags: --seed N (default 42), --json on characterize,\n\
-         \x20             --jobs N (worker threads for multi-zone characterize;\n\
-         \x20             defaults to SKY_JOBS or the machine's parallelism)"
+         \x20             --jobs N (worker threads for exp run and multi-zone\n\
+         \x20             characterize; defaults to SKY_JOBS, then the machine's\n\
+         \x20             available parallelism)"
     );
 }
 

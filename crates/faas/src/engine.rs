@@ -14,7 +14,7 @@ use crate::report::SaafReport;
 use crate::request::{BatchRequest, InvocationOutcome, InvocationStatus, RequestBody};
 use sky_cloud::{Arch, AzId, Catalog, FaultKind, FaultPlan, PriceBook, Provider};
 use sky_sim::metrics::{MetricHandle, MetricsRegistry, MetricsSnapshot, SpanPhase, SpanTracker};
-use sky_sim::{EventQueue, SimDuration, SimRng, SimTime, TraceLevel, Tracer};
+use sky_sim::{EventQueue, SimDuration, SimRng, SimTime, Slab, SlotKey, TraceLevel, Tracer};
 use sky_workloads::PerfModel;
 use std::collections::BTreeMap;
 
@@ -150,27 +150,35 @@ pub struct Deployment {
 /// Engine events address platforms by dense index (`az_idx` into
 /// [`FaasEngine::platforms`]) rather than by `AzId`, so the hot path
 /// never hashes or clones a zone name.
+/// Events are deliberately small: the large [`InvocationStatus`] payload
+/// (which carries a full [`SaafReport`]) lives in the engine's response
+/// slab and the event holds only its [`SlotKey`], so timer-wheel slot
+/// sorts move a few words per event instead of a ~150-byte report.
 enum Event {
     Arrival {
         idx: usize,
     },
     /// The function's response reached the client: resolve the outcome or
-    /// reissue a declined gated request.
+    /// reissue a declined gated request. `status` keys
+    /// [`FaasEngine::response_payloads`]; exactly one handle consumes it.
     Response {
         idx: usize,
-        status: InvocationStatus,
+        status: SlotKey,
         billed: SimDuration,
         cost: f64,
     },
     /// The FI finished its work (including any decline hold) and returns
-    /// to the warm pool.
+    /// to the warm pool. `slot` is the FI's platform slot (stable while
+    /// busy); `instance` validates it.
     Release {
         az_idx: u32,
         instance: InstanceId,
+        slot: SlotKey,
     },
     Expire {
         az_idx: u32,
         instance: InstanceId,
+        slot: SlotKey,
         epoch: u64,
     },
     DayTick {
@@ -258,7 +266,7 @@ impl AzMetricHandles {
 /// Round a dollar amount to integer nano-dollars — the only place an
 /// f64 cost meets the metrics layer, so shard sums are order-free.
 #[inline]
-fn nano_usd(cost: f64) -> u64 {
+pub(crate) fn nano_usd(cost: f64) -> u64 {
     (cost * 1e9).round() as u64
 }
 
@@ -274,6 +282,39 @@ struct CompiledRequest {
     arch: Arch,
     provider: Provider,
     body: RequestBody,
+}
+
+/// Hot per-request state for the batch in flight, kept as one contiguous
+/// arena (indexed by request position) rather than nine parallel `Vec`s:
+/// an arrival or response touches one cache line of its own record.
+struct RequestState {
+    req: CompiledRequest,
+    outcome: Option<InvocationOutcome>,
+    first_arrival: Option<SimTime>,
+    attempts: u32,
+    retry_billed: SimDuration,
+    retry_cost: f64,
+    /// Final-attempt span components, overwritten per attempt: dispatch
+    /// latency, client-visible execute time, and cold/warm.
+    span_dispatch: SimDuration,
+    span_exec: SimDuration,
+    span_cold: bool,
+}
+
+impl RequestState {
+    fn new(req: CompiledRequest) -> Self {
+        RequestState {
+            req,
+            outcome: None,
+            first_arrival: None,
+            attempts: 0,
+            retry_billed: SimDuration::ZERO,
+            retry_cost: 0.0,
+            span_dispatch: SimDuration::ZERO,
+            span_exec: SimDuration::ZERO,
+            span_cold: false,
+        }
+    }
 }
 
 /// The multi-AZ fleet engine.
@@ -297,19 +338,13 @@ pub struct FaasEngine {
     spans: SpanTracker,
     /// Per-AZ metric handles, parallel to `platforms`.
     az_metrics: Vec<AzMetricHandles>,
-    // Per-batch state (valid during run_batch only).
-    batch_requests: Vec<CompiledRequest>,
-    batch_outcomes: Vec<Option<InvocationOutcome>>,
+    /// Per-batch request arena (valid during run_batch only).
+    batch: Vec<RequestState>,
     batch_pending: usize,
-    batch_first_arrival: Vec<Option<SimTime>>,
-    batch_attempts: Vec<u32>,
-    batch_retry_billed: Vec<SimDuration>,
-    batch_retry_cost: Vec<f64>,
-    /// Final-attempt span components, overwritten per attempt: dispatch
-    /// latency, client-visible execute time, and cold/warm.
-    batch_span_dispatch: Vec<SimDuration>,
-    batch_span_exec: Vec<SimDuration>,
-    batch_span_cold: Vec<bool>,
+    /// In-flight `Event::Response` payloads, slab-allocated so queue
+    /// entries stay small. Slots recycle within a batch (steady-state
+    /// zero allocation) and the slab is asserted empty at batch teardown.
+    response_payloads: Slab<InvocationStatus>,
 }
 
 impl std::fmt::Debug for FaasEngine {
@@ -345,16 +380,9 @@ impl FaasEngine {
             metrics: MetricsRegistry::new(),
             spans: SpanTracker::new(),
             az_metrics: Vec::new(),
-            batch_requests: Vec::new(),
-            batch_outcomes: Vec::new(),
+            batch: Vec::new(),
             batch_pending: 0,
-            batch_first_arrival: Vec::new(),
-            batch_attempts: Vec::new(),
-            batch_retry_billed: Vec::new(),
-            batch_retry_cost: Vec::new(),
-            batch_span_dispatch: Vec::new(),
-            batch_span_exec: Vec::new(),
-            batch_span_cold: Vec::new(),
+            response_payloads: Slab::new(),
         }
     }
 
@@ -603,25 +631,17 @@ impl FaasEngine {
         }
         let start = self.now;
         let n = requests.len();
-        self.batch_outcomes = (0..n).map(|_| None).collect();
         self.batch_pending = n;
-        self.batch_first_arrival = vec![None; n];
-        self.batch_attempts = vec![0; n];
-        self.batch_retry_billed = vec![SimDuration::ZERO; n];
-        self.batch_retry_cost = vec![0.0; n];
-        self.batch_span_dispatch = vec![SimDuration::ZERO; n];
-        self.batch_span_exec = vec![SimDuration::ZERO; n];
-        self.batch_span_cold = vec![false; n];
         // Resolve each request's deployment once up front; every attempt
         // (including gated retries) then works from the flat record.
-        self.batch_requests = requests
+        self.batch = requests
             .iter()
             .map(|req| {
                 let dep = match self.deployments.get(req.deployment.raw() as usize) {
                     Some(d) => d,
                     None => panic!("invocation of unknown deployment {}", req.deployment),
                 };
-                CompiledRequest {
+                RequestState::new(CompiledRequest {
                     deployment: dep.id,
                     account: dep.account.raw() as u32,
                     az_idx: self.az_index[&dep.az],
@@ -629,12 +649,9 @@ impl FaasEngine {
                     arch: dep.arch,
                     provider: dep.provider,
                     body: req.body,
-                }
+                })
             })
             .collect();
-        // Every request produces at least an arrival and a response; pay
-        // the heap growth once instead of amortizing it mid-batch.
-        self.queue.reserve(2 * n);
         for (idx, req) in requests.iter().enumerate() {
             self.queue
                 .schedule(start + req.offset, Event::Arrival { idx });
@@ -648,16 +665,20 @@ impl FaasEngine {
             self.events_processed += 1;
             self.handle(event);
         }
-        self.batch_requests = Vec::new();
-        // Teardown contract: every submitted request closed its span.
+        // Teardown contract: every submitted request closed its span and
+        // consumed its response payload.
         assert_eq!(
             self.spans.open_count(),
             0,
             "span(s) survived batch teardown"
         );
-        self.batch_outcomes
-            .drain(..)
-            .map(|o| o.expect("all outcomes resolved"))
+        debug_assert!(
+            self.response_payloads.is_empty(),
+            "response payload(s) survived batch teardown"
+        );
+        std::mem::take(&mut self.batch)
+            .into_iter()
+            .map(|s| s.outcome.expect("all outcomes resolved"))
             .collect()
     }
 
@@ -669,14 +690,21 @@ impl FaasEngine {
                 status,
                 billed,
                 cost,
-            } => self.handle_response(idx, status, billed, cost),
+            } => {
+                let status = self.response_payloads.remove(status);
+                self.handle_response(idx, status, billed, cost)
+            }
             other => self.handle_maintenance(other),
         }
     }
 
     fn handle_maintenance(&mut self, event: Event) {
         match event {
-            Event::Release { az_idx, instance } => {
+            Event::Release {
+                az_idx,
+                instance,
+                slot,
+            } => {
                 // A cold-start storm suppresses keep-alive: the FI is torn
                 // down right after its invocation, so the next request
                 // pays a (storm-inflated) cold start.
@@ -688,12 +716,13 @@ impl FaasEngine {
                     SimDuration::from_micros(self.exec_rng.range_inclusive(lo, hi))
                 };
                 let platform = &mut self.platforms[az_idx as usize];
-                let (deadline, epoch) = platform.release(instance, self.now, keep_alive);
+                let (deadline, epoch) = platform.release(instance, slot, self.now, keep_alive);
                 self.queue.schedule(
                     deadline,
                     Event::Expire {
                         az_idx,
                         instance,
+                        slot,
                         epoch,
                     },
                 );
@@ -701,9 +730,10 @@ impl FaasEngine {
             Event::Expire {
                 az_idx,
                 instance,
+                slot,
                 epoch,
             } => {
-                if self.platforms[az_idx as usize].expire(instance, epoch, self.now) {
+                if self.platforms[az_idx as usize].expire(instance, slot, epoch, self.now) {
                     self.metrics
                         .add(self.az_metrics[az_idx as usize].keepalive_evictions, 1);
                 }
@@ -777,8 +807,8 @@ impl FaasEngine {
     }
 
     fn resolve(&mut self, idx: usize, outcome: InvocationOutcome) {
-        debug_assert!(self.batch_outcomes[idx].is_none(), "double resolution");
-        self.batch_outcomes[idx] = Some(outcome);
+        debug_assert!(self.batch[idx].outcome.is_none(), "double resolution");
+        self.batch[idx].outcome = Some(outcome);
         self.batch_pending -= 1;
     }
 
@@ -793,15 +823,20 @@ impl FaasEngine {
         billed: SimDuration,
         cost: f64,
     ) {
-        let arrived = self.batch_first_arrival[idx].unwrap_or(finished);
-        let az_idx = self.batch_requests[idx].az_idx as usize;
+        let state = &self.batch[idx];
+        let arrived = state.first_arrival.unwrap_or(finished);
+        let az_idx = state.req.az_idx as usize;
         let handles = self.az_metrics[az_idx];
 
         // Span accounting: e2e partitions exactly into route (queueing,
         // gated-retry waits) + final-attempt dispatch + execute.
-        let dispatch = self.batch_span_dispatch[idx];
-        let exec = self.batch_span_exec[idx];
-        let cold = self.batch_span_cold[idx];
+        let dispatch = state.span_dispatch;
+        let exec = state.span_exec;
+        let cold = state.span_cold;
+        let memory_mb = state.req.memory_mb;
+        let retry_billed = state.retry_billed;
+        let retry_cost = state.retry_cost;
+        let attempts = state.attempts;
         let e2e = finished.saturating_since(arrived);
         let route =
             SimDuration::from_micros(e2e.as_micros() - dispatch.as_micros() - exec.as_micros());
@@ -836,15 +871,13 @@ impl FaasEngine {
             InvocationStatus::NoCapacity => handles.no_capacity,
         };
         self.metrics.add(status_counter, 1);
-        let total_billed = billed + self.batch_retry_billed[idx];
+        let total_billed = billed + retry_billed;
         self.metrics.add(
             handles.billed_mb_us,
-            total_billed.as_micros() * self.batch_requests[idx].memory_mb as u64,
+            total_billed.as_micros() * memory_mb as u64,
         );
-        self.metrics.add(
-            handles.cost_nanousd,
-            nano_usd(cost) + nano_usd(self.batch_retry_cost[idx]),
-        );
+        self.metrics
+            .add(handles.cost_nanousd, nano_usd(cost) + nano_usd(retry_cost));
 
         let outcome = InvocationOutcome {
             index: idx,
@@ -853,9 +886,9 @@ impl FaasEngine {
             status,
             billed,
             cost_usd: cost,
-            attempts: self.batch_attempts[idx].max(1),
-            retry_billed: self.batch_retry_billed[idx],
-            retry_cost_usd: self.batch_retry_cost[idx],
+            attempts: attempts.max(1),
+            retry_billed,
+            retry_cost_usd: retry_cost,
         };
         self.resolve(idx, outcome);
     }
@@ -864,19 +897,20 @@ impl FaasEngine {
     /// dispatch work (throttle, no-capacity): its end-to-end time is
     /// pure routing.
     fn shed_span_state(&mut self, idx: usize) {
-        self.batch_span_dispatch[idx] = SimDuration::ZERO;
-        self.batch_span_exec[idx] = SimDuration::ZERO;
-        self.batch_span_cold[idx] = false;
+        let state = &mut self.batch[idx];
+        state.span_dispatch = SimDuration::ZERO;
+        state.span_exec = SimDuration::ZERO;
+        state.span_cold = false;
     }
 
     fn handle_arrival(&mut self, idx: usize) {
-        let req = self.batch_requests[idx];
+        let req = self.batch[idx].req;
         let arrived = self.now;
-        if self.batch_first_arrival[idx].is_none() {
-            self.batch_first_arrival[idx] = Some(arrived);
+        if self.batch[idx].first_arrival.is_none() {
+            self.batch[idx].first_arrival = Some(arrived);
             self.spans.open(idx as u64, arrived);
         }
-        self.batch_attempts[idx] += 1;
+        self.batch[idx].attempts += 1;
         self.metrics
             .add(self.az_metrics[req.az_idx as usize].attempts, 1);
         // Concurrency quota.
@@ -907,7 +941,7 @@ impl FaasEngine {
             return;
         }
         // Placement.
-        let (instance_id, cold) =
+        let (instance_id, inst_slot, cold) =
             match platform.acquire(req.deployment, req.memory_mb, req.arch, arrived) {
                 Ok(x) => x,
                 Err(CapacityError::Exhausted) => {
@@ -958,7 +992,7 @@ impl FaasEngine {
         let hour = arrived.hour_of_day_f64();
         let contention = platform.diurnal().contention(hour);
         let gray = platform.gray_slowdown(arrived);
-        let inst = platform.instance(instance_id).expect("just acquired");
+        let inst = platform.instance_at(inst_slot).expect("just acquired");
         let cpu = inst.cpu;
         // `billed` is the full FI occupancy (including decline holds);
         // `response_after` is when the client hears back, measured from
@@ -971,7 +1005,7 @@ impl FaasEngine {
             RequestBody::Workload { spec } => {
                 let decode = self.decode_overhead(
                     req.az_idx,
-                    instance_id,
+                    inst_slot,
                     spec.payload_hash,
                     spec.payload_bytes,
                 );
@@ -1000,7 +1034,7 @@ impl FaasEngine {
                 } else {
                     let decode = self.decode_overhead(
                         req.az_idx,
-                        instance_id,
+                        inst_slot,
                         spec.payload_hash,
                         spec.payload_bytes,
                     );
@@ -1024,15 +1058,18 @@ impl FaasEngine {
         // The attempt that resolves the request defines its span's
         // start/execute components; earlier attempts' time lands in the
         // route phase (finished − first arrival − dispatch − execute).
-        self.batch_span_dispatch[idx] = dispatch;
-        self.batch_span_exec[idx] = response_after;
-        self.batch_span_cold[idx] = cold;
+        {
+            let state = &mut self.batch[idx];
+            state.span_dispatch = dispatch;
+            state.span_exec = response_after;
+            state.span_cold = cold;
+        }
         let response_at = arrived + dispatch + response_after;
         let release_at = arrived + dispatch + billed;
         let cost = PriceBook::invocation_cost(req.provider, req.arch, req.memory_mb, billed);
 
         let inst = self.platforms[req.az_idx as usize]
-            .instance(instance_id)
+            .instance_at(inst_slot)
             .expect("just acquired");
         let report = SaafReport {
             cpu_model: cpu.model_name().into(),
@@ -1053,11 +1090,12 @@ impl FaasEngine {
         } else {
             InvocationStatus::Success(report)
         };
+        let status_key = self.response_payloads.insert(status);
         self.queue.schedule(
             response_at,
             Event::Response {
                 idx,
-                status,
+                status: status_key,
                 billed,
                 cost,
             },
@@ -1067,6 +1105,7 @@ impl FaasEngine {
             Event::Release {
                 az_idx: req.az_idx,
                 instance: instance_id,
+                slot: inst_slot,
             },
         );
     }
@@ -1078,7 +1117,7 @@ impl FaasEngine {
         billed: SimDuration,
         cost: f64,
     ) {
-        let req = self.batch_requests[idx];
+        let req = self.batch[idx].req;
         self.accounts[req.account as usize].in_flight -= 1;
         // Automatic reissue of declined gated requests.
         if let InvocationStatus::Declined(_) = &status {
@@ -1088,12 +1127,12 @@ impl FaasEngine {
                 ..
             } = req.body
             {
-                let retries_so_far = self.batch_attempts[idx] - 1;
+                let retries_so_far = self.batch[idx].attempts - 1;
                 if retries_so_far < max_retries {
-                    // sky-lint: allow(D005, batch_retry_billed is SimDuration - integer microseconds - not float money)
-                    self.batch_retry_billed[idx] += billed;
+                    // sky-lint: allow(D005, retry_billed is SimDuration - integer microseconds - not float money)
+                    self.batch[idx].retry_billed += billed;
                     // sky-lint: allow(D005, attempt-ordered f64 USD fold surfaced in the outcome report; metered billing stays integer nano-USD in metrics)
-                    self.batch_retry_cost[idx] += cost;
+                    self.batch[idx].retry_cost += cost;
                     self.metrics
                         .add(self.az_metrics[req.az_idx as usize].gated_retries, 1);
                     self.queue
@@ -1111,12 +1150,12 @@ impl FaasEngine {
     fn decode_overhead(
         &mut self,
         az_idx: u32,
-        instance: InstanceId,
+        slot: SlotKey,
         payload_hash: u64,
         payload_bytes: u32,
     ) -> SimDuration {
         let platform = &mut self.platforms[az_idx as usize];
-        let inst = platform.instance_mut(instance).expect("acquired");
+        let inst = platform.instance_at_mut(slot).expect("acquired");
         if inst.payload_cache.contains(payload_hash) {
             return SimDuration::ZERO;
         }

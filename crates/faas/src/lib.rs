@@ -36,9 +36,11 @@ pub mod ids;
 pub mod platform;
 pub mod report;
 pub mod request;
+pub mod sharded;
 
 pub use engine::{DeployError, Deployment, FaasEngine, FleetConfig};
 pub use ids::{AccountId, DeploymentId, HostId, InstanceId};
 pub use platform::{AzPlatform, CapacityError, Host, Instance};
 pub use report::SaafReport;
 pub use request::{BatchRequest, InvocationOutcome, InvocationStatus, RequestBody, WorkloadSpec};
+pub use sharded::{FleetCounts, FleetReport, FleetRequest, ShardedFleet};

@@ -9,7 +9,7 @@
 
 use crate::ids::{DeploymentId, HostId, InstanceId};
 use sky_cloud::{Arch, AzSpec, ChurnModel, CpuMix, CpuType, DiurnalModel, FaultKind};
-use sky_sim::{SimDuration, SimRng, SimTime};
+use sky_sim::{SimDuration, SimRng, SimTime, Slab, SlotKey};
 use std::collections::BTreeMap;
 
 /// A bare-metal host backing microVM function instances.
@@ -131,12 +131,20 @@ pub struct AzPlatform {
     /// Indices into `hosts` by (arch, cpu) for placement scans. Sorted
     /// map: `place_fresh` iterates it, so its order is event order.
     by_cpu: BTreeMap<(Arch, CpuType), Vec<usize>>,
-    /// Sorted map: `purge_warm` iterates it, so destruction order (and
-    /// the trace lines it emits) must not depend on a hash seed.
-    instances: BTreeMap<InstanceId, Instance>,
+    /// Hot per-FI state, slab-allocated: every acquire/release/expire on
+    /// the invocation path is an O(1) slot index instead of the
+    /// `BTreeMap` walk this replaces. Iteration (`purge_warm`) is in
+    /// slot order, which is deterministic (a pure function of the
+    /// create/destroy sequence, itself seed-determined).
+    instances: Slab<Instance>,
+    /// Identity index for the public by-id API (`instance`,
+    /// `instance_mut`). Maintained on create/destroy only — the cold
+    /// paths — never consulted per invocation.
+    by_id: BTreeMap<InstanceId, SlotKey>,
     /// LIFO stacks of warm idle instances per deployment (most recently
-    /// freed first, mirroring Lambda's warm-routing preference).
-    warm_idle: BTreeMap<DeploymentId, Vec<InstanceId>>,
+    /// freed first, mirroring Lambda's warm-routing preference). Each
+    /// entry carries the FI's slot; the id validates against slot reuse.
+    warm_idle: BTreeMap<DeploymentId, Vec<(InstanceId, SlotKey)>>,
     /// Busy (executing) instances per deployment — the burst-detection
     /// signal for the warm-reuse probability.
     busy_counts: BTreeMap<DeploymentId, u32>,
@@ -211,7 +219,8 @@ impl AzPlatform {
             target_mix: spec.initial_mix.clone(),
             hosts: Vec::new(),
             by_cpu: BTreeMap::new(),
-            instances: BTreeMap::new(),
+            instances: Slab::new(),
+            by_id: BTreeMap::new(),
             warm_idle: BTreeMap::new(),
             busy_counts: BTreeMap::new(),
             reuse_prob,
@@ -327,7 +336,10 @@ impl AzPlatform {
     /// Try to obtain an instance for an invocation: reuse the most
     /// recently idled warm FI for the deployment, else place a new one.
     ///
-    /// Returns `(instance, cold_start)`.
+    /// Returns `(instance, slot, cold_start)`. The slot addresses the FI
+    /// in O(1) for the rest of its busy period (`instance_at`,
+    /// `release`); it is only valid paired with the id, since slots are
+    /// recycled after destruction.
     ///
     /// # Errors
     ///
@@ -339,7 +351,7 @@ impl AzPlatform {
         memory_mb: u32,
         arch: Arch,
         now: SimTime,
-    ) -> Result<(InstanceId, bool), CapacityError> {
+    ) -> Result<(InstanceId, SlotKey, bool), CapacityError> {
         // Warm path. A deployment with no in-flight executions always
         // reuses its warm FI (sequential traffic packs); during a burst
         // the router spreads with probability `1 - reuse_prob`, matching
@@ -349,16 +361,18 @@ impl AzPlatform {
         let busy_now = self.busy_counts.get(&deployment).copied().unwrap_or(0);
         let prefer_warm = busy_now == 0 || self.rng.chance(self.reuse_prob);
         if prefer_warm {
-            if let Some(id) = self.pop_valid_warm(deployment) {
-                return Ok((self.mark_busy(id), false));
+            if let Some((id, slot)) = self.pop_valid_warm(deployment) {
+                self.mark_busy(slot);
+                return Ok((id, slot, false));
             }
         }
         // Cold path. An injected outage fails all *new* placement (warm
         // FIs above keep serving, matching how zone incidents present).
         if let Some(until) = self.outage_until {
             if now < until {
-                if let Some(id) = self.pop_valid_warm(deployment) {
-                    return Ok((self.mark_busy(id), false));
+                if let Some((id, slot)) = self.pop_valid_warm(deployment) {
+                    self.mark_busy(slot);
+                    return Ok((id, slot, false));
                 }
                 self.capacity_failures_pending += 1;
                 return Err(CapacityError::Exhausted);
@@ -372,8 +386,9 @@ impl AzPlatform {
         if let Some((until, severity)) = self.partial_outage {
             if now < until {
                 if self.fault_rng.chance(severity) {
-                    if let Some(id) = self.pop_valid_warm(deployment) {
-                        return Ok((self.mark_busy(id), false));
+                    if let Some((id, slot)) = self.pop_valid_warm(deployment) {
+                        self.mark_busy(slot);
+                        return Ok((id, slot, false));
                     }
                     self.capacity_failures_pending += 1;
                     return Err(CapacityError::Exhausted);
@@ -392,8 +407,9 @@ impl AzPlatform {
         let usable = (total as f64 * self.diurnal.usable_fraction(hour)) as u64;
         if used + memory_mb as u64 > usable {
             // Out of capacity: fall back to a warm FI if one exists.
-            if let Some(id) = self.pop_valid_warm(deployment) {
-                return Ok((self.mark_busy(id), false));
+            if let Some((id, slot)) = self.pop_valid_warm(deployment) {
+                self.mark_busy(slot);
+                return Ok((id, slot, false));
             }
             self.capacity_failures_pending += 1;
             return Err(CapacityError::Exhausted);
@@ -401,8 +417,9 @@ impl AzPlatform {
         let host_index = match self.place(memory_mb, arch) {
             Some(i) => i,
             None => {
-                if let Some(id) = self.pop_valid_warm(deployment) {
-                    return Ok((self.mark_busy(id), false));
+                if let Some((id, slot)) = self.pop_valid_warm(deployment) {
+                    self.mark_busy(slot);
+                    return Ok((id, slot, false));
                 }
                 self.capacity_failures_pending += 1;
                 return Err(CapacityError::Exhausted);
@@ -420,33 +437,33 @@ impl AzPlatform {
         self.next_instance += 1;
         *self.busy_counts.entry(deployment).or_default() += 1;
         let uuid: std::sync::Arc<str> = self.rng.next_uuid().into();
-        self.instances.insert(
+        let slot = self.instances.insert(Instance {
             id,
-            Instance {
-                id,
-                uuid,
-                host_index,
-                host_id,
-                deployment,
-                cpu,
-                memory_mb,
-                busy: true,
-                keep_alive_until: now, // set on release
-                expire_epoch: 0,
-                invocations: 1,
-                payload_cache: PayloadCache::default(),
-            },
-        );
-        Ok((id, true))
+            uuid,
+            host_index,
+            host_id,
+            deployment,
+            cpu,
+            memory_mb,
+            busy: true,
+            keep_alive_until: now, // set on release
+            expire_epoch: 0,
+            invocations: 1,
+            payload_cache: PayloadCache::default(),
+        });
+        self.by_id.insert(id, slot);
+        Ok((id, slot, true))
     }
 
     /// Pop the most recently idled valid warm instance for a deployment.
-    fn pop_valid_warm(&mut self, deployment: DeploymentId) -> Option<InstanceId> {
+    /// An entry is valid when its slot still holds the same FI (slots are
+    /// recycled) and that FI is idle.
+    fn pop_valid_warm(&mut self, deployment: DeploymentId) -> Option<(InstanceId, SlotKey)> {
         let stack = self.warm_idle.entry(deployment).or_default();
-        while let Some(id) = stack.pop() {
-            if let Some(inst) = self.instances.get(&id) {
-                if !inst.busy {
-                    return Some(id);
+        while let Some((id, slot)) = stack.pop() {
+            if let Some(inst) = self.instances.get(slot) {
+                if inst.id == id && !inst.busy {
+                    return Some((id, slot));
                 }
             }
         }
@@ -454,15 +471,14 @@ impl AzPlatform {
     }
 
     /// Mark a (validated) idle instance busy and count the invocation.
-    fn mark_busy(&mut self, id: InstanceId) -> InstanceId {
+    fn mark_busy(&mut self, slot: SlotKey) {
         let inst = self
             .instances
-            .get_mut(&id)
+            .get_mut(slot)
             .expect("validated by pop_valid_warm");
         inst.busy = true;
         inst.invocations += 1;
         *self.busy_counts.entry(inst.deployment).or_default() += 1;
-        id
     }
 
     /// Bin-packing host selection: usually continue filling the host the
@@ -528,24 +544,31 @@ impl AzPlatform {
     ///
     /// # Panics
     ///
-    /// Panics if the instance is unknown or not busy (an engine bug).
+    /// Panics if the slot does not hold `id` or the FI is not busy (an
+    /// engine bug — a busy FI cannot be destroyed, so its slot is stable
+    /// for the whole busy period).
     pub fn release(
         &mut self,
         id: InstanceId,
+        slot: SlotKey,
         now: SimTime,
         keep_alive: SimDuration,
     ) -> (SimTime, u64) {
         let inst = self
             .instances
-            .get_mut(&id)
+            .get_mut(slot)
             .expect("release of unknown instance");
+        assert_eq!(inst.id, id, "release slot/id mismatch");
         assert!(inst.busy, "release of idle instance");
         inst.busy = false;
         inst.keep_alive_until = now + keep_alive;
         inst.expire_epoch += 1;
         let deployment = inst.deployment;
         let result = (inst.keep_alive_until, inst.expire_epoch);
-        self.warm_idle.entry(deployment).or_default().push(id);
+        self.warm_idle
+            .entry(deployment)
+            .or_default()
+            .push((id, slot));
         let busy = self
             .busy_counts
             .get_mut(&deployment)
@@ -554,44 +577,68 @@ impl AzPlatform {
         result
     }
 
-    /// Handle an expire event: destroy the instance if it is still idle,
+    /// Handle an expire event: destroy the instance if the slot still
+    /// holds it (slots are recycled after destruction), it is still idle,
     /// past its keep-alive, and the epoch matches (stale events no-op).
     /// Returns whether the FI was actually evicted, so the engine can
     /// meter keep-alive evictions separately from purges and recycling.
-    pub fn expire(&mut self, id: InstanceId, epoch: u64, now: SimTime) -> bool {
-        let destroy = match self.instances.get(&id) {
-            Some(inst) => !inst.busy && inst.expire_epoch == epoch && now >= inst.keep_alive_until,
+    pub fn expire(&mut self, id: InstanceId, slot: SlotKey, epoch: u64, now: SimTime) -> bool {
+        let destroy = match self.instances.get(slot) {
+            Some(inst) => {
+                inst.id == id
+                    && !inst.busy
+                    && inst.expire_epoch == epoch
+                    && now >= inst.keep_alive_until
+            }
             None => false,
         };
         if destroy {
-            self.destroy(id);
+            self.destroy(slot);
         }
         destroy
     }
 
-    fn destroy(&mut self, id: InstanceId) {
-        if let Some(inst) = self.instances.remove(&id) {
-            let host = &mut self.hosts[inst.host_index];
-            host.mem_used_mb -= inst.memory_mb as u64;
-            host.live_instances -= 1;
-            match host.arch {
-                Arch::X86_64 => self.fi_mem_used_x86 -= inst.memory_mb as u64,
-                Arch::Arm64 => self.fi_mem_used_arm -= inst.memory_mb as u64,
-            }
-            if let Some(stack) = self.warm_idle.get_mut(&inst.deployment) {
-                stack.retain(|&x| x != id);
-            }
+    fn destroy(&mut self, slot: SlotKey) {
+        let inst = self.instances.remove(slot);
+        self.by_id.remove(&inst.id);
+        let host = &mut self.hosts[inst.host_index];
+        host.mem_used_mb -= inst.memory_mb as u64;
+        host.live_instances -= 1;
+        match host.arch {
+            Arch::X86_64 => self.fi_mem_used_x86 -= inst.memory_mb as u64,
+            Arch::Arm64 => self.fi_mem_used_arm -= inst.memory_mb as u64,
+        }
+        if let Some(stack) = self.warm_idle.get_mut(&inst.deployment) {
+            stack.retain(|&(x, _)| x != inst.id);
         }
     }
 
-    /// Immutable access to an instance.
+    /// Immutable access to an instance by identity (index walk — cold
+    /// paths and tests; the dispatch loop uses [`AzPlatform::instance_at`]).
     pub fn instance(&self, id: InstanceId) -> Option<&Instance> {
-        self.instances.get(&id)
+        self.by_id
+            .get(&id)
+            .and_then(|&slot| self.instances.get(slot))
     }
 
-    /// Mutable access to an instance (payload-cache updates).
+    /// Mutable access to an instance by identity.
     pub fn instance_mut(&mut self, id: InstanceId) -> Option<&mut Instance> {
-        self.instances.get_mut(&id)
+        match self.by_id.get(&id) {
+            Some(&slot) => self.instances.get_mut(slot),
+            None => None,
+        }
+    }
+
+    /// O(1) access to an instance by slot (hot path). Callers must have
+    /// validated the slot against the id for state held across simulated
+    /// time; within a busy period the slot is stable.
+    pub fn instance_at(&self, slot: SlotKey) -> Option<&Instance> {
+        self.instances.get(slot)
+    }
+
+    /// O(1) mutable access by slot (payload-cache updates).
+    pub fn instance_at_mut(&mut self, slot: SlotKey) -> Option<&mut Instance> {
+        self.instances.get_mut(slot)
     }
 
     /// Apply the day-boundary churn: evolve the target mix, then recycle
@@ -724,15 +771,15 @@ impl AzPlatform {
     /// a simulated keep-alive flush). Busy instances are untouched.
     /// Returns how many instances were destroyed.
     pub fn purge_warm(&mut self) -> u32 {
-        let idle: Vec<InstanceId> = self
+        let idle: Vec<SlotKey> = self
             .instances
-            .values()
-            .filter(|i| !i.busy)
-            .map(|i| i.id)
+            .iter()
+            .filter(|(_, i)| !i.busy)
+            .map(|(slot, _)| slot)
             .collect();
         let purged = idle.len() as u32;
-        for id in idle {
-            self.destroy(id);
+        for slot in idle {
+            self.destroy(slot);
         }
         purged
     }
@@ -782,18 +829,20 @@ mod tests {
         let mut p = platform("us-east-2a");
         let dep = DeploymentId::from_raw(1);
         let t0 = SimTime::ZERO;
-        let (a, cold_a) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
+        let (a, slot_a, cold_a) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
         assert!(cold_a);
         p.release(
             a,
+            slot_a,
             t0 + SimDuration::from_millis(100),
             SimDuration::from_mins(6),
         );
-        let (b, cold_b) = p
+        let (b, slot_b, cold_b) = p
             .acquire(dep, 2048, Arch::X86_64, t0 + SimDuration::from_millis(200))
             .unwrap();
         assert!(!cold_b, "second request should reuse the warm FI");
         assert_eq!(a, b);
+        assert_eq!(slot_a, slot_b, "warm reuse keeps the slot");
         assert_eq!(p.instance(a).unwrap().invocations, 2);
     }
 
@@ -801,8 +850,8 @@ mod tests {
     fn busy_instance_not_reused() {
         let mut p = platform("us-east-2a");
         let dep = DeploymentId::from_raw(1);
-        let (a, _) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
-        let (b, cold) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        let (a, _, _) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        let (b, _, cold) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
         assert!(cold);
         assert_ne!(a, b);
         assert_eq!(p.instance_count(), 2);
@@ -813,13 +862,14 @@ mod tests {
         let mut p = platform("us-east-2a");
         let d1 = DeploymentId::from_raw(1);
         let d2 = DeploymentId::from_raw(2);
-        let (a, _) = p.acquire(d1, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        let (a, slot_a, _) = p.acquire(d1, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
         p.release(
             a,
+            slot_a,
             SimTime::ZERO + SimDuration::from_millis(10),
             SimDuration::from_mins(6),
         );
-        let (b, cold) = p
+        let (b, _, cold) = p
             .acquire(
                 d2,
                 2048,
@@ -852,19 +902,19 @@ mod tests {
         let mut p = platform("us-east-2a");
         let dep = DeploymentId::from_raw(1);
         let t0 = SimTime::ZERO;
-        let (a, _) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
-        let (deadline, epoch) = p.release(a, t0, SimDuration::from_mins(6));
+        let (a, slot, _) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
+        let (deadline, epoch) = p.release(a, slot, t0, SimDuration::from_mins(6));
         // Reuse before expiry.
-        let (b, _) = p
+        let (b, _, _) = p
             .acquire(dep, 2048, Arch::X86_64, t0 + SimDuration::from_mins(1))
             .unwrap();
         assert_eq!(a, b);
         // Stale expire event must not kill the busy instance.
-        p.expire(a, epoch, deadline);
+        p.expire(a, slot, epoch, deadline);
         assert!(p.instance(a).is_some());
         // Release again, then valid expiry destroys it.
-        let (deadline2, epoch2) = p.release(a, deadline, SimDuration::from_mins(6));
-        p.expire(a, epoch2, deadline2);
+        let (deadline2, epoch2) = p.release(a, slot, deadline, SimDuration::from_mins(6));
+        p.expire(a, slot, epoch2, deadline2);
         assert!(p.instance(a).is_none());
         assert_eq!(p.instance_count(), 0);
     }
@@ -873,10 +923,33 @@ mod tests {
     fn early_expire_event_is_ignored() {
         let mut p = platform("us-east-2a");
         let dep = DeploymentId::from_raw(1);
-        let (a, _) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
-        let (_, epoch) = p.release(a, SimTime::ZERO, SimDuration::from_mins(6));
-        p.expire(a, epoch, SimTime::ZERO + SimDuration::from_mins(1));
+        let (a, slot, _) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        let (_, epoch) = p.release(a, slot, SimTime::ZERO, SimDuration::from_mins(6));
+        p.expire(a, slot, epoch, SimTime::ZERO + SimDuration::from_mins(1));
         assert!(p.instance(a).is_some(), "not yet past keep-alive");
+    }
+
+    #[test]
+    fn recycled_slot_does_not_confuse_stale_events() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        let t0 = SimTime::ZERO;
+        let (a, slot_a, _) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
+        let (deadline, epoch) = p.release(a, slot_a, t0, SimDuration::from_mins(5));
+        assert!(
+            p.expire(a, slot_a, epoch, deadline),
+            "valid expiry destroys"
+        );
+        // The next cold placement reuses the freed slot (LIFO free list).
+        let (b, slot_b, cold) = p.acquire(dep, 2048, Arch::X86_64, deadline).unwrap();
+        assert!(cold);
+        assert_eq!(slot_a, slot_b, "slot recycled");
+        assert_ne!(a, b);
+        // A stale expire addressed to the *old* FI must not touch the new
+        // occupant, even with a matching epoch counter.
+        assert!(!p.expire(a, slot_a, epoch, deadline + SimDuration::from_mins(20)));
+        assert!(p.instance(b).is_some());
+        assert_eq!(p.instance_count(), 1);
     }
 
     #[test]
@@ -921,7 +994,7 @@ mod tests {
     fn arm_pool_is_separate() {
         let mut p = platform("us-west-1a");
         let dep = DeploymentId::from_raw(7);
-        let (a, _) = p.acquire(dep, 2048, Arch::Arm64, SimTime::ZERO).unwrap();
+        let (a, _, _) = p.acquire(dep, 2048, Arch::Arm64, SimTime::ZERO).unwrap();
         assert_eq!(p.instance(a).unwrap().cpu, CpuType::Graviton2);
     }
 

@@ -1,0 +1,19 @@
+//! D007 clean fixture: the indexed-slot reduction — each worker writes
+//! only its own pre-allocated slot, and the merge reads the slots in
+//! item order after the join, erasing completion order entirely.
+
+pub fn collect(items: &[Cell]) -> Vec<Outcome> {
+    let slots: Vec<Mutex<Option<Outcome>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|s| {
+        for (i, item) in items.iter().enumerate() {
+            s.spawn(move |_| {
+                *slots[i].lock().expect("poisoned") = Some(run_cell(item));
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("poisoned").expect("every cell ran"))
+        .collect()
+}

@@ -1,0 +1,17 @@
+//! D007 dirty fixture: workers fold results into one shared locked
+//! `Vec`, so the merged order is thread completion order — different
+//! on every run even under a fixed seed.
+
+pub fn collect(items: &[Cell]) -> Vec<Outcome> {
+    let results = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|s| {
+        for item in items {
+            s.spawn(|_| {
+                let outcome = run_cell(item);
+                results.lock().expect("poisoned").push(outcome);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results.into_inner().expect("poisoned")
+}

@@ -1,4 +1,4 @@
-//! The determinism rules (D001–D006) plus the pragma-hygiene findings
+//! The determinism rules (D001–D007) plus the pragma-hygiene findings
 //! (P001 malformed pragma, P002 unused pragma).
 //!
 //! Every rule is resolvable at token level — deliberately: the gate
@@ -16,13 +16,14 @@
 //! | D004 | no duplicate `SimRng::derive("label")` literals within one function body |
 //! | D005 | no float `+=`/`.sum()` accumulation over money identifiers in sim-affecting crates |
 //! | D006 | no `pub` hash-keyed map fields in `#[derive(Serialize)]` snapshot types |
+//! | D007 | no unordered parallel reductions (`.lock()` + `push`/`extend`/`insert`/`append` on one line) in sim crates or `bench` |
 
 use crate::lexer::{Lexed, Tok, Token};
 use crate::pragma::{parse_pragmas, suppresses};
 
 /// All suppressible rule ids (P001/P002 are not suppressible: pragma
 /// hygiene cannot be pragma'd away).
-pub const RULE_IDS: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"];
+pub const RULE_IDS: [&str; 7] = ["D001", "D002", "D003", "D004", "D005", "D006", "D007"];
 
 /// Crates whose code runs inside (or feeds state into) the seeded
 /// simulation — the D001/D005 scope.
@@ -41,7 +42,7 @@ pub struct Finding {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
-    /// Rule id (`D001`…`D006`, `P001`, `P002`).
+    /// Rule id (`D001`…`D007`, `P001`, `P002`).
     pub rule: &'static str,
     /// What is wrong.
     pub message: String,
@@ -56,6 +57,10 @@ struct FileScope {
     sim: bool,
     /// Inside the wall-clock allowlist (D002 does not apply).
     wallclock_allowed: bool,
+    /// Inside a crate that may run parallel reductions over sim
+    /// results — the sim crates plus `bench`, home of the sweep
+    /// runner and the sharded fleet driver (the D007 scope).
+    parallel: bool,
 }
 
 fn crate_of(rel_path: &str) -> Option<&str> {
@@ -69,6 +74,7 @@ fn scope_of(rel_path: &str) -> FileScope {
     FileScope {
         sim: krate.is_some_and(|k| SIM_CRATES.contains(&k)),
         wallclock_allowed: krate.is_some_and(|k| WALLCLOCK_ALLOWLIST.contains(&k)),
+        parallel: krate.is_some_and(|k| SIM_CRATES.contains(&k) || k == "bench"),
     }
 }
 
@@ -86,6 +92,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     rule_d004_duplicate_stream_labels(rel_path, &lexed, &mut raw);
     rule_d005_float_money(rel_path, &lexed, scope, &mut raw);
     rule_d006_serialized_hash_maps(rel_path, &lexed, &mut raw);
+    rule_d007_unordered_parallel_reductions(rel_path, &lexed, scope, &mut raw);
 
     let mut findings: Vec<Finding> = raw
         .into_iter()
@@ -523,6 +530,68 @@ fn check_struct_fields(path: &str, toks: &[Token], open: usize, out: &mut Vec<Fi
             _ => {}
         }
         j += 1;
+    }
+}
+
+/// D007 — unordered parallel reductions. A worker that does
+/// `shared.lock()….push(result)` commits results in thread *completion*
+/// order, which varies run to run even under a fixed seed — the one
+/// nondeterminism parallelism can smuggle past it. The deterministic
+/// shape is the sweep runner's: one pre-allocated slot per item index,
+/// assigned under its own lock, merged in item order after the join.
+///
+/// Heuristic: a line that both acquires a lock (`.lock()`) and grows a
+/// collection (`push`/`extend`/`insert`/`append`), inside the sim
+/// crates or `bench` (where the parallel drivers live).
+fn rule_d007_unordered_parallel_reductions(
+    path: &str,
+    lexed: &Lexed,
+    scope: FileScope,
+    out: &mut Vec<Finding>,
+) {
+    if !scope.parallel {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let Tok::Ident(name) = &toks[i].tok else {
+            continue;
+        };
+        if name != "lock"
+            || i == 0
+            || toks[i - 1].tok != Tok::Punct('.')
+            || toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('('))
+        {
+            continue;
+        }
+        let line = toks[i].line;
+        let grower = toks.iter().enumerate().find(|(j, t)| {
+            t.line == line
+                && matches!(&t.tok, Tok::Ident(m)
+                    if m == "push" || m == "extend" || m == "insert" || m == "append")
+                && toks.get(j + 1).map(|n| &n.tok) == Some(&Tok::Punct('('))
+        });
+        if let Some((_, t)) = grower {
+            if let Tok::Ident(m) = &t.tok {
+                push_once_per_line(
+                    out,
+                    Finding {
+                        path: path.to_string(),
+                        line,
+                        col: t.col,
+                        rule: "D007",
+                        message: format!(
+                            "unordered parallel reduction: `.{m}` on a lock-guarded \
+                             collection commits results in thread completion order"
+                        ),
+                        hint: "reduce into one pre-allocated slot per item index and \
+                               merge in item order (see `sky_bench::sweep::run`), or \
+                               sort by a deterministic key before folding"
+                            .to_string(),
+                    },
+                );
+            }
+        }
     }
 }
 

@@ -73,7 +73,7 @@ fn rules_in(findings: &[Finding], file_stem: &str) -> Vec<&'static str> {
 fn every_rule_has_a_failing_and_a_passing_fixture() {
     let dirty = lint_corpus("dirty", false);
     let clean = lint_corpus("clean", false);
-    for rule in ["D001", "D002", "D003", "D004", "D005", "D006"] {
+    for rule in ["D001", "D002", "D003", "D004", "D005", "D006", "D007"] {
         let stem = rule.to_lowercase();
         assert!(
             rules_in(&dirty, &stem).contains(&rule),

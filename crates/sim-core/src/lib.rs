@@ -9,7 +9,10 @@
 //! * [`SimTime`] / [`SimDuration`] — virtual time with microsecond
 //!   resolution and calendar helpers (hour-of-day, day index) used by the
 //!   diurnal and churn models.
-//! * [`EventQueue`] — a stable, deterministic priority queue of timed events.
+//! * [`EventQueue`] — a stable, deterministic priority queue of timed events,
+//!   implemented as a hierarchical timer wheel (see [`events`]).
+//! * [`Slab`] — a reusable-slot arena for hot per-request / per-instance
+//!   state, so steady-state simulations stop allocating.
 //! * [`rng::SimRng`] — a from-scratch SplitMix64/xoshiro256++ PRNG with
 //!   hierarchical stream derivation so every component of a simulation gets
 //!   an independent, reproducible stream from one root seed.
@@ -42,17 +45,19 @@ pub mod events;
 pub mod metrics;
 pub mod rng;
 pub mod series;
+pub mod slab;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use events::EventQueue;
+pub use events::{BinaryHeapQueue, EventQueue};
 pub use metrics::{
     LogHistogram, MetricHandle, MetricValue, MetricsRegistry, MetricsSnapshot, SpanPhase,
     SpanTracker,
 };
 pub use rng::SimRng;
 pub use series::{Series, Table};
+pub use slab::{Slab, SlotKey};
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLevel, Tracer};

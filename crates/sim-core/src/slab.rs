@@ -1,0 +1,238 @@
+//! Slab allocator for hot simulation state.
+//!
+//! A `Slab<T>` is a vector of reusable slots addressed by a dense
+//! [`SlotKey`] (`u32`). Freed slots go on a LIFO free list and are handed
+//! back to the next insert, so a steady-state simulation — which creates and
+//! destroys function instances and in-flight request records continuously —
+//! reaches a fixed working set and stops allocating entirely. Lookup is an
+//! array index instead of the `BTreeMap` walk the platform previously paid
+//! on every acquire/release/expire.
+//!
+//! Determinism: the slab is single-threaded and slot assignment depends only
+//! on the sequence of `insert`/`remove` calls, which in this engine is
+//! itself a pure function of the seed. Slots are recycled, so a stale key
+//! can point at a *different* live occupant; callers that hold keys across
+//! simulated time (e.g. timer events about a function instance) must pair
+//! the key with an identity check (instance id, epoch) before acting — see
+//! `AzPlatform` for the pattern.
+
+/// Dense handle into a [`Slab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotKey(u32);
+
+impl SlotKey {
+    /// Raw slot index (stable for the lifetime of the occupant).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+enum Slot<T> {
+    /// Free slot; value is the next free slot index, or `NIL`.
+    Vacant(u32),
+    Occupied(T),
+}
+
+const NIL: u32 = u32::MAX;
+
+/// A reusable-slot arena; see the module docs.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// An empty slab with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// Store `value`, reusing the most recently freed slot if any.
+    pub fn insert(&mut self, value: T) -> SlotKey {
+        self.len += 1;
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            match self.slots[idx as usize] {
+                Slot::Vacant(next) => self.free_head = next,
+                Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
+            }
+            self.slots[idx as usize] = Slot::Occupied(value);
+            SlotKey(idx)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
+            self.slots.push(Slot::Occupied(value));
+            SlotKey(idx)
+        }
+    }
+
+    /// Remove and return the occupant of `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant — a remove of a stale key is always a
+    /// caller bug (identity checks belong *before* the remove).
+    pub fn remove(&mut self, key: SlotKey) -> T {
+        let slot = std::mem::replace(&mut self.slots[key.index()], Slot::Vacant(self.free_head));
+        match slot {
+            Slot::Occupied(value) => {
+                self.free_head = key.0;
+                self.len -= 1;
+                value
+            }
+            Slot::Vacant(next) => {
+                // Undo the replace so the free list stays intact.
+                self.slots[key.index()] = Slot::Vacant(next);
+                panic!("slab: remove of vacant slot {}", key.0);
+            }
+        }
+    }
+
+    /// Shared access to the occupant of `key`, if the slot is occupied.
+    #[inline]
+    pub fn get(&self, key: SlotKey) -> Option<&T> {
+        match self.slots.get(key.index()) {
+            Some(Slot::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Exclusive access to the occupant of `key`, if the slot is occupied.
+    #[inline]
+    pub fn get_mut(&mut self, key: SlotKey) -> Option<&mut T> {
+        match self.slots.get_mut(key.index()) {
+            Some(Slot::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Number of live occupants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab has no live occupants.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots ever allocated (live + free); the high-water mark of the
+    /// working set.
+    pub fn capacity_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterate over live occupants in slot order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (SlotKey, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied(v) => Some((SlotKey(i as u32), v)),
+            Slot::Vacant(_) => None,
+        })
+    }
+
+    /// Drop all occupants and reset the free list.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free_head = NIL;
+        self.len = 0;
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slab")
+            .field("len", &self.len)
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get_mut(b), Some(&mut "b"));
+        assert_eq!(slab.remove(a), "a");
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn freed_slots_are_reused_lifo() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        let c = slab.insert(3);
+        slab.remove(b);
+        slab.remove(a);
+        // LIFO: a was freed last, so it is reused first.
+        assert_eq!(slab.insert(4), a);
+        assert_eq!(slab.insert(5), b);
+        // No free slots left: grows.
+        let d = slab.insert(6);
+        assert_eq!(d.index(), 3);
+        assert_eq!(slab.capacity_slots(), 4);
+        assert_eq!(slab.len(), 4);
+        let _ = c;
+    }
+
+    #[test]
+    fn steady_state_stops_growing() {
+        let mut slab = Slab::with_capacity(8);
+        let mut live = Vec::new();
+        for i in 0..1_000u64 {
+            live.push(slab.insert(i));
+            if live.len() > 7 {
+                let k = live.remove(0);
+                slab.remove(k);
+            }
+        }
+        assert!(slab.capacity_slots() <= 8);
+    }
+
+    #[test]
+    fn iter_is_in_slot_order() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let _b = slab.insert("b");
+        let _c = slab.insert("c");
+        slab.remove(a);
+        let seen: Vec<&str> = slab.iter().map(|(_, v)| *v).collect();
+        assert_eq!(seen, vec!["b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "remove of vacant slot")]
+    fn double_remove_panics() {
+        let mut slab = Slab::new();
+        let k = slab.insert(());
+        slab.remove(k);
+        slab.remove(k);
+    }
+}

@@ -39,7 +39,11 @@ fn registry_names_are_unique_and_well_formed() {
             "experiment {name:?} has no description"
         );
     }
-    assert_eq!(seen.len(), 24, "expected the 24 ported binaries");
+    assert_eq!(
+        seen.len(),
+        25,
+        "expected the 24 ported binaries plus bench_engine_fleet"
+    );
 }
 
 #[test]

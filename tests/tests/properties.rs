@@ -214,6 +214,67 @@ fn event_queue_pops_sorted() {
     }
 }
 
+/// The timer wheel's pop sequence must equal a sorted `(SimTime, seq)`
+/// reference under arbitrary push/pop interleavings — including exact
+/// SimTime ties (FIFO by schedule order) and far-future events that
+/// live in the overflow levels and cascade back through the near wheel.
+/// This is the heavyweight companion of the unit-level
+/// `wheel_matches_heap_reference` test in `sky_sim::events`.
+#[test]
+fn timer_wheel_matches_sorted_reference_under_interleaving() {
+    use sky_sim::events::WINDOW_US;
+    let mut rng = SimRng::seed_from(SEED).derive("timer-wheel");
+    for _ in 0..6 {
+        let mut queue = EventQueue::new();
+        // Reference model: pending (time, seq) pairs, popped min-first.
+        let mut reference: Vec<(SimTime, u64)> = Vec::new();
+        let mut seq = 0u64;
+        // Pops are monotone, so schedules stay at/after the last pop.
+        let mut now = SimTime::ZERO;
+        for _ in 0..5_000 {
+            if rng.chance(0.6) || reference.is_empty() {
+                let at = if !reference.is_empty() && rng.chance(0.15) {
+                    // Exact tie with a random pending event.
+                    reference[rng.next_below(reference.len() as u64) as usize].0
+                } else {
+                    let delta = match rng.next_below(8) {
+                        // Same-slot and near-wheel times.
+                        0..=4 => rng.next_below(WINDOW_US / 2),
+                        // A few windows out (first overflow levels).
+                        5..=6 => rng.next_below(WINDOW_US * 8),
+                        // Far future: deep overflow, cascades on drain.
+                        _ => rng.next_below(WINDOW_US * 700),
+                    };
+                    now + SimDuration::from_micros(delta)
+                };
+                queue.schedule(at, seq);
+                reference.push((at, seq));
+                seq += 1;
+            } else {
+                let (at, payload) = queue.pop().expect("reference is non-empty");
+                let min_idx = reference
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(t, s))| (t, s))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let expected = reference.swap_remove(min_idx);
+                assert_eq!((at, payload), expected);
+                assert!(at >= now, "pops must be monotone");
+                now = at;
+            }
+        }
+        // Drain: the tail must come out fully sorted by (time, seq).
+        reference.sort_unstable();
+        for expected in reference {
+            let (at, payload) = queue.pop().expect("queue holds the reference tail");
+            assert_eq!((at, payload), expected);
+        }
+        assert!(queue.pop().is_none());
+        assert!(queue.is_empty());
+    }
+}
+
 #[test]
 fn sha1_is_injective_on_small_perturbations() {
     use sky_workloads::sha1::sha1;
