@@ -176,6 +176,8 @@ pub fn all() -> &'static [&'static dyn Experiment] {
         &carbon_aware::CarbonAware,
         &adaptive_sampling::AdaptiveSampling,
         &fig_faults::FigFaults,
+        &fig_exec_modes::FigExecModes,
+        &ablation_mode_routing::AblationModeRouting,
         &calibration_probe::CalibrationProbe,
         &bench_engine::BenchEngine,
         &bench_engine_fleet::BenchEngineFleet,

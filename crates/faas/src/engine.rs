@@ -9,9 +9,12 @@
 //! lives behind.
 
 use crate::ids::{AccountId, DeploymentId, InstanceId};
+use crate::lifecycle::{ExecMode, ExecProfile, StartClass};
 use crate::platform::{AzPlatform, CapacityError};
 use crate::report::SaafReport;
-use crate::request::{BatchRequest, InvocationOutcome, InvocationStatus, RequestBody};
+use crate::request::{
+    BatchRequest, InvocationOutcome, InvocationStatus, RequestBody, WorkloadSpec,
+};
 use sky_cloud::{Arch, AzId, Catalog, FaultKind, FaultPlan, PriceBook, Provider};
 use sky_sim::metrics::{MetricHandle, MetricsRegistry, MetricsSnapshot, SpanPhase, SpanTracker};
 use sky_sim::{EventQueue, SimDuration, SimRng, SimTime, Slab, SlotKey, TraceLevel, Tracer};
@@ -49,6 +52,19 @@ pub struct FleetConfig {
     /// ~5 reissues per request on a 40%-fast zone, the figure the paper
     /// reports for us-west-1b (§4.6).
     pub warm_reuse_prob: f64,
+    /// Execution profile applied to every new deployment (per-deployment
+    /// overrides via [`FaasEngine::set_exec_profile`]). The default is
+    /// the legacy cached lifecycle, which changes nothing.
+    pub exec_profile: ExecProfile,
+    /// Snapshot-restore initialization latency: deterministic (CRIU-style
+    /// restores are dominated by image read-back, not init jitter) and
+    /// between `warm_dispatch` and `cold_start_min`.
+    pub restore_latency: SimDuration,
+    /// CoW-branch initialization latency (page tables only — cheaper
+    /// than a full restore).
+    pub branch_latency: SimDuration,
+    /// Interval between pre-warm pool maintenance ticks.
+    pub pool_tick_interval: SimDuration,
 }
 
 impl FleetConfig {
@@ -66,6 +82,10 @@ impl FleetConfig {
             warm_dispatch: SimDuration::from_millis(3),
             scale_interval: SimDuration::from_secs(60),
             warm_reuse_prob: 0.58,
+            exec_profile: ExecProfile::default(),
+            restore_latency: SimDuration::from_millis(40),
+            branch_latency: SimDuration::from_millis(15),
+            pool_tick_interval: SimDuration::from_secs(60),
         }
     }
 }
@@ -187,6 +207,12 @@ enum Event {
     ScaleCheck {
         az_idx: u32,
     },
+    /// Recurring pre-warm pool maintenance on one platform; scheduled
+    /// only while the platform has at least one pool, so legacy runs see
+    /// zero extra events.
+    PoolTick {
+        az_idx: u32,
+    },
     /// A scheduled [`FaultPlan`] event fires: arm the fault on its
     /// platform until `until`. Each plan entry is scheduled exactly once,
     /// so a fault can neither double-fire nor fire outside its window.
@@ -224,15 +250,38 @@ struct AzMetricHandles {
     /// Invocation spend in integer nano-dollars (each f64 cost rounded
     /// once at record time, so shard merges are order-free).
     cost_nanousd: MetricHandle,
+    /// Start classes beyond the legacy cold/warm pair: snapshot
+    /// restores, CoW branches, and pre-warm pool hits.
+    restored_starts: MetricHandle,
+    branched_starts: MetricHandle,
+    pooled_starts: MetricHandle,
+    /// Pre-warm pool maintenance: instances provisioned ahead of demand,
+    /// trimmed back to target, and the occupancy high-water gauge.
+    pool_provisioned: MetricHandle,
+    pool_trimmed: MetricHandle,
+    pool_occupancy: MetricHandle,
+    /// Ephemeral-mode FIs torn down right after their invocation.
+    ephemeral_retires: MetricHandle,
+    /// Snapshot registry lifecycle.
+    snapshots_captured: MetricHandle,
+    snapshots_evicted: MetricHandle,
+    /// Idempotent result-cache outcomes on `Workload` requests.
+    result_cache_hits: MetricHandle,
+    result_cache_misses: MetricHandle,
     /// Per-attempt dispatch latency distributions.
     dispatch_cold_us: MetricHandle,
+    dispatch_restore_us: MetricHandle,
     dispatch_warm_us: MetricHandle,
     /// Final-attempt span phase distributions plus end-to-end.
     span_route_us: MetricHandle,
     span_cold_us: MetricHandle,
+    span_restore_us: MetricHandle,
     span_warm_us: MetricHandle,
     span_exec_us: MetricHandle,
     span_e2e_us: MetricHandle,
+    /// Billed occupancy integral split by execution mode (indexed by
+    /// [`ExecMode::index`]); the slices sum exactly to `billed_mb_us`.
+    billed_mb_us_mode: [MetricHandle; 5],
 }
 
 impl AzMetricHandles {
@@ -252,13 +301,33 @@ impl AzMetricHandles {
             hosts_added: metrics.counter("faas", "hosts_added", &[("az", az)]),
             billed_mb_us: metrics.counter("faas", "billed_mb_us", &[("az", az)]),
             cost_nanousd: metrics.counter("faas", "cost_nanousd", &[("az", az)]),
+            restored_starts: metrics.counter("faas", "restored_starts", &[("az", az)]),
+            branched_starts: metrics.counter("faas", "branched_starts", &[("az", az)]),
+            pooled_starts: metrics.counter("faas", "pooled_starts", &[("az", az)]),
+            pool_provisioned: metrics.counter("faas", "pool_provisioned", &[("az", az)]),
+            pool_trimmed: metrics.counter("faas", "pool_trimmed", &[("az", az)]),
+            pool_occupancy: metrics.gauge("faas", "pool_occupancy", &[("az", az)]),
+            ephemeral_retires: metrics.counter("faas", "ephemeral_retires", &[("az", az)]),
+            snapshots_captured: metrics.counter("faas", "snapshots_captured", &[("az", az)]),
+            snapshots_evicted: metrics.counter("faas", "snapshots_evicted", &[("az", az)]),
+            result_cache_hits: metrics.counter("faas", "result_cache_hits", &[("az", az)]),
+            result_cache_misses: metrics.counter("faas", "result_cache_misses", &[("az", az)]),
             dispatch_cold_us: metrics.histogram("faas", "dispatch_cold_us", &[("az", az)]),
+            dispatch_restore_us: metrics.histogram("faas", "dispatch_restore_us", &[("az", az)]),
             dispatch_warm_us: metrics.histogram("faas", "dispatch_warm_us", &[("az", az)]),
             span_route_us: metrics.histogram("span", "route_us", &[("az", az)]),
             span_cold_us: metrics.histogram("span", "cold_start_us", &[("az", az)]),
+            span_restore_us: metrics.histogram("span", "restore_start_us", &[("az", az)]),
             span_warm_us: metrics.histogram("span", "warm_start_us", &[("az", az)]),
             span_exec_us: metrics.histogram("span", "execute_us", &[("az", az)]),
             span_e2e_us: metrics.histogram("span", "e2e_us", &[("az", az)]),
+            billed_mb_us_mode: ExecMode::ALL.map(|m| {
+                metrics.counter(
+                    "faas",
+                    "billed_mb_us_mode",
+                    &[("az", az), ("mode", m.label())],
+                )
+            }),
         }
     }
 }
@@ -282,6 +351,25 @@ struct CompiledRequest {
     arch: Arch,
     provider: Provider,
     body: RequestBody,
+    /// Execution mode of the deployment (resolved once per batch; keys
+    /// the per-mode billing slice).
+    mode: ExecMode,
+    /// Idempotent result-cache TTL (zero = caching disabled).
+    cache_ttl: SimDuration,
+}
+
+/// Result-cache key: a `Workload` request is idempotent in exactly its
+/// deployment and workload spec (kind, scale, payload identity).
+type ResultCacheKey = (u64, u64, u32, u32, u64);
+
+fn result_cache_key(dep: DeploymentId, spec: &WorkloadSpec) -> ResultCacheKey {
+    (
+        dep.raw(),
+        spec.kind as u64,
+        spec.scale,
+        spec.payload_bytes,
+        spec.payload_hash,
+    )
 }
 
 /// Hot per-request state for the batch in flight, kept as one contiguous
@@ -295,10 +383,11 @@ struct RequestState {
     retry_billed: SimDuration,
     retry_cost: f64,
     /// Final-attempt span components, overwritten per attempt: dispatch
-    /// latency, client-visible execute time, and cold/warm.
+    /// latency, client-visible execute time, and the start class that
+    /// picks the span's start phase.
     span_dispatch: SimDuration,
     span_exec: SimDuration,
-    span_cold: bool,
+    span_class: StartClass,
 }
 
 impl RequestState {
@@ -312,7 +401,7 @@ impl RequestState {
             retry_cost: 0.0,
             span_dispatch: SimDuration::ZERO,
             span_exec: SimDuration::ZERO,
-            span_cold: false,
+            span_class: StartClass::Warm,
         }
     }
 }
@@ -345,6 +434,11 @@ pub struct FaasEngine {
     /// entries stay small. Slots recycle within a batch (steady-state
     /// zero allocation) and the slab is asserted empty at batch teardown.
     response_payloads: Slab<InvocationStatus>,
+    /// Idempotent result cache: successful `Workload` reports keyed by
+    /// [`result_cache_key`], replayed while unexpired. Expired entries
+    /// are overwritten by the next successful completion of their key,
+    /// so the map is bounded by the distinct request shapes in play.
+    result_cache: BTreeMap<ResultCacheKey, (SimTime, SaafReport)>,
 }
 
 impl std::fmt::Debug for FaasEngine {
@@ -383,6 +477,7 @@ impl FaasEngine {
             batch: Vec::new(),
             batch_pending: 0,
             response_payloads: Slab::new(),
+            result_cache: BTreeMap::new(),
         }
     }
 
@@ -494,8 +589,49 @@ impl FaasEngine {
             memory_mb,
             arch,
         });
-        self.ensure_platform(az);
+        let az_idx = self.ensure_platform(az);
+        // Only a non-default fleet-wide profile registers anything: the
+        // legacy path never touches the mode machinery, keeping
+        // pre-existing runs byte-identical.
+        if self.config.exec_profile != ExecProfile::default() {
+            self.apply_profile(id, az_idx, self.config.exec_profile);
+        }
         Ok(id)
+    }
+
+    /// Override one deployment's execution profile (mode, pre-warm pool,
+    /// snapshot TTL, result-cache TTL), provisioning any fixed pool
+    /// immediately and arming the platform's pool tick if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deployment id is unknown.
+    pub fn set_exec_profile(&mut self, dep: DeploymentId, profile: ExecProfile) {
+        let az = self.deployments[dep.raw() as usize].az.clone();
+        let az_idx = self.az_index[&az];
+        self.apply_profile(dep, az_idx, profile);
+    }
+
+    fn apply_profile(&mut self, dep: DeploymentId, az_idx: u32, profile: ExecProfile) {
+        let d = &self.deployments[dep.raw() as usize];
+        let (memory_mb, arch) = (d.memory_mb, d.arch);
+        let now = self.now;
+        let provisioned =
+            self.platforms[az_idx as usize].set_profile(dep, profile, memory_mb, arch, now);
+        if provisioned > 0 {
+            self.metrics.add(
+                self.az_metrics[az_idx as usize].pool_provisioned,
+                provisioned as u64,
+            );
+        }
+        let platform = &mut self.platforms[az_idx as usize];
+        if profile.pool.enabled() && !platform.pool_tick_scheduled {
+            platform.pool_tick_scheduled = true;
+            self.queue.schedule(
+                now + self.config.pool_tick_interval,
+                Event::PoolTick { az_idx },
+            );
+        }
     }
 
     /// Look up a deployment record.
@@ -641,14 +777,18 @@ impl FaasEngine {
                     Some(d) => d,
                     None => panic!("invocation of unknown deployment {}", req.deployment),
                 };
+                let az_idx = self.az_index[&dep.az];
+                let profile = self.platforms[az_idx as usize].profile(dep.id);
                 RequestState::new(CompiledRequest {
                     deployment: dep.id,
                     account: dep.account.raw() as u32,
-                    az_idx: self.az_index[&dep.az],
+                    az_idx,
                     memory_mb: dep.memory_mb,
                     arch: dep.arch,
                     provider: dep.provider,
                     body: req.body,
+                    mode: profile.mode,
+                    cache_ttl: profile.result_cache_ttl,
                 })
             })
             .collect();
@@ -705,27 +845,54 @@ impl FaasEngine {
                 instance,
                 slot,
             } => {
-                // A cold-start storm suppresses keep-alive: the FI is torn
-                // down right after its invocation, so the next request
-                // pays a (storm-inflated) cold start.
-                let keep_alive = if self.platforms[az_idx as usize].cold_storm_active(self.now) {
-                    SimDuration::ZERO
-                } else {
-                    let lo = self.config.keep_alive_min.as_micros();
-                    let hi = self.config.keep_alive_max.as_micros();
-                    SimDuration::from_micros(self.exec_rng.range_inclusive(lo, hi))
-                };
-                let platform = &mut self.platforms[az_idx as usize];
-                let (deadline, epoch) = platform.release(instance, slot, self.now, keep_alive);
-                self.queue.schedule(
-                    deadline,
-                    Event::Expire {
-                        az_idx,
-                        instance,
-                        slot,
-                        epoch,
-                    },
-                );
+                let mode = self.platforms[az_idx as usize]
+                    .instance_at(slot)
+                    .expect("released FI is live")
+                    .mode;
+                match mode {
+                    ExecMode::Ephemeral => {
+                        // Torn down right out of execution: no idle
+                        // period, no keep-alive draw, no expire event.
+                        self.platforms[az_idx as usize].retire(instance, slot, self.now);
+                        self.metrics
+                            .add(self.az_metrics[az_idx as usize].ephemeral_retires, 1);
+                    }
+                    ExecMode::Persistent => {
+                        // Never reclaimed: park warm with an effectively
+                        // infinite keep-alive and schedule no expiry.
+                        // (Storms shorten keep-alives, not dedicated
+                        // environments.)
+                        let forever = SimDuration::from_secs(10 * 365 * 24 * 3600);
+                        let _ = self.platforms[az_idx as usize]
+                            .release(instance, slot, self.now, forever);
+                    }
+                    ExecMode::Cached | ExecMode::Checkpointed | ExecMode::Branched => {
+                        // A cold-start storm suppresses keep-alive: the FI
+                        // is torn down right after its invocation, so the
+                        // next request pays a (storm-inflated) cold start.
+                        let keep_alive =
+                            if self.platforms[az_idx as usize].cold_storm_active(self.now) {
+                                SimDuration::ZERO
+                            } else {
+                                let lo = self.config.keep_alive_min.as_micros();
+                                let hi = self.config.keep_alive_max.as_micros();
+                                SimDuration::from_micros(self.exec_rng.range_inclusive(lo, hi))
+                            };
+                        let platform = &mut self.platforms[az_idx as usize];
+                        let (deadline, epoch) =
+                            platform.release(instance, slot, self.now, keep_alive);
+                        self.queue.schedule(
+                            deadline,
+                            Event::Expire {
+                                az_idx,
+                                instance,
+                                slot,
+                                epoch,
+                            },
+                        );
+                    }
+                }
+                self.meter_snapshot_deltas(az_idx);
             }
             Event::Expire {
                 az_idx,
@@ -770,6 +937,24 @@ impl FaasEngine {
                     );
                 }
             }
+            Event::PoolTick { az_idx } => {
+                let stats = self.platforms[az_idx as usize].pool_tick(self.now);
+                let handles = self.az_metrics[az_idx as usize];
+                self.metrics
+                    .add(handles.pool_provisioned, stats.provisioned as u64);
+                self.metrics.add(handles.pool_trimmed, stats.trimmed as u64);
+                self.metrics
+                    .set_gauge(handles.pool_occupancy, self.now, stats.occupancy as f64);
+                let p = &mut self.platforms[az_idx as usize];
+                if p.has_pools() {
+                    self.queue.schedule(
+                        self.now + self.config.pool_tick_interval,
+                        Event::PoolTick { az_idx },
+                    );
+                } else {
+                    p.pool_tick_scheduled = false;
+                }
+            }
             Event::Fault {
                 az_idx,
                 kind,
@@ -806,6 +991,23 @@ impl FaasEngine {
         }
     }
 
+    /// Meter snapshot captures/evictions accumulated on a platform since
+    /// the last drain (acquire can lazily evict; release/retire can
+    /// capture).
+    fn meter_snapshot_deltas(&mut self, az_idx: u32) {
+        let (captured, evicted) = self.platforms[az_idx as usize].take_snapshot_deltas();
+        if captured > 0 {
+            self.metrics.add(
+                self.az_metrics[az_idx as usize].snapshots_captured,
+                captured,
+            );
+        }
+        if evicted > 0 {
+            self.metrics
+                .add(self.az_metrics[az_idx as usize].snapshots_evicted, evicted);
+        }
+    }
+
     fn resolve(&mut self, idx: usize, outcome: InvocationOutcome) {
         debug_assert!(self.batch[idx].outcome.is_none(), "double resolution");
         self.batch[idx].outcome = Some(outcome);
@@ -832,7 +1034,8 @@ impl FaasEngine {
         // gated-retry waits) + final-attempt dispatch + execute.
         let dispatch = state.span_dispatch;
         let exec = state.span_exec;
-        let cold = state.span_cold;
+        let class = state.span_class;
+        let mode = state.req.mode;
         let memory_mb = state.req.memory_mb;
         let retry_billed = state.retry_billed;
         let retry_cost = state.retry_cost;
@@ -840,10 +1043,10 @@ impl FaasEngine {
         let e2e = finished.saturating_since(arrived);
         let route =
             SimDuration::from_micros(e2e.as_micros() - dispatch.as_micros() - exec.as_micros());
-        let start_phase = if cold {
-            SpanPhase::ColdStart
-        } else {
-            SpanPhase::WarmStart
+        let start_phase = match class {
+            StartClass::Cold => SpanPhase::ColdStart,
+            StartClass::Restored | StartClass::Branched => SpanPhase::Restore,
+            StartClass::Pooled | StartClass::Warm => SpanPhase::WarmStart,
         };
         self.spans.close(
             idx as u64,
@@ -855,10 +1058,10 @@ impl FaasEngine {
             ],
         );
         self.metrics.observe_duration(handles.span_route_us, route);
-        let start_hist = if cold {
-            handles.span_cold_us
-        } else {
-            handles.span_warm_us
+        let start_hist = match class {
+            StartClass::Cold => handles.span_cold_us,
+            StartClass::Restored | StartClass::Branched => handles.span_restore_us,
+            StartClass::Pooled | StartClass::Warm => handles.span_warm_us,
         };
         self.metrics.observe_duration(start_hist, dispatch);
         self.metrics.observe_duration(handles.span_exec_us, exec);
@@ -872,10 +1075,12 @@ impl FaasEngine {
         };
         self.metrics.add(status_counter, 1);
         let total_billed = billed + retry_billed;
-        self.metrics.add(
-            handles.billed_mb_us,
-            total_billed.as_micros() * memory_mb as u64,
-        );
+        let billed_mb_us = total_billed.as_micros() * memory_mb as u64;
+        self.metrics.add(handles.billed_mb_us, billed_mb_us);
+        // Per-mode billing slice: a request bills against exactly one
+        // mode (its deployment's), so the slices partition the total.
+        self.metrics
+            .add(handles.billed_mb_us_mode[mode.index()], billed_mb_us);
         self.metrics
             .add(handles.cost_nanousd, nano_usd(cost) + nano_usd(retry_cost));
 
@@ -900,7 +1105,7 @@ impl FaasEngine {
         let state = &mut self.batch[idx];
         state.span_dispatch = SimDuration::ZERO;
         state.span_exec = SimDuration::ZERO;
-        state.span_cold = false;
+        state.span_class = StartClass::Warm;
     }
 
     fn handle_arrival(&mut self, idx: usize) {
@@ -913,6 +1118,36 @@ impl FaasEngine {
         self.batch[idx].attempts += 1;
         self.metrics
             .add(self.az_metrics[req.az_idx as usize].attempts, 1);
+        // Idempotent result cache: an unexpired cached report for this
+        // exact workload is replayed at the edge — no quota, no
+        // placement, no billing. (Expired entries are left for the next
+        // completion to overwrite.)
+        if req.cache_ttl > SimDuration::ZERO {
+            if let RequestBody::Workload { spec } = req.body {
+                let key = result_cache_key(req.deployment, &spec);
+                let hit = match self.result_cache.get(&key) {
+                    Some((expires, report)) if arrived < *expires => Some(report.clone()),
+                    _ => None,
+                };
+                let handles = self.az_metrics[req.az_idx as usize];
+                if let Some(mut report) = hit {
+                    // A replay starts no container, whatever the
+                    // original run did.
+                    report.new_container = false;
+                    self.metrics.add(handles.result_cache_hits, 1);
+                    self.shed_span_state(idx);
+                    self.resolve_final(
+                        idx,
+                        arrived,
+                        InvocationStatus::Success(report),
+                        SimDuration::ZERO,
+                        0.0,
+                    );
+                    return;
+                }
+                self.metrics.add(handles.result_cache_misses, 1);
+            }
+        }
         // Concurrency quota.
         let acct = &mut self.accounts[req.account as usize];
         if acct.in_flight >= acct.quota {
@@ -941,7 +1176,7 @@ impl FaasEngine {
             return;
         }
         // Placement.
-        let (instance_id, inst_slot, cold) =
+        let (instance_id, inst_slot, class) =
             match platform.acquire(req.deployment, req.memory_mb, req.arch, arrived) {
                 Ok(x) => x,
                 Err(CapacityError::Exhausted) => {
@@ -964,24 +1199,38 @@ impl FaasEngine {
                 }
             };
         self.accounts[req.account as usize].in_flight += 1;
+        // Acquire may have lazily evicted an expired snapshot.
+        self.meter_snapshot_deltas(req.az_idx);
 
-        // Dispatch latency (not billed). Cold-start storms inflate init;
-        // latency spikes add a flat (unbilled) delay to every dispatch.
+        // Dispatch latency (not billed). Cold-start storms inflate init
+        // (and snapshot restores — image read-back contends on the same
+        // substrate); latency spikes add a flat (unbilled) delay to every
+        // dispatch. Restore and branch latencies are deterministic: no
+        // RNG draw, so pooled/restored traffic never perturbs the
+        // exec stream consumed by legacy deployments.
         let platform = &self.platforms[req.az_idx as usize];
-        let dispatch = if cold {
-            let lo = self.config.cold_start_min.as_micros();
-            let hi = self.config.cold_start_max.as_micros();
-            SimDuration::from_micros(self.exec_rng.range_inclusive(lo, hi))
-                .mul_f64(platform.cold_start_factor(arrived))
-        } else {
-            self.config.warm_dispatch
+        let dispatch = match class {
+            StartClass::Cold => {
+                let lo = self.config.cold_start_min.as_micros();
+                let hi = self.config.cold_start_max.as_micros();
+                SimDuration::from_micros(self.exec_rng.range_inclusive(lo, hi))
+                    .mul_f64(platform.cold_start_factor(arrived))
+            }
+            StartClass::Restored => self
+                .config
+                .restore_latency
+                .mul_f64(platform.cold_start_factor(arrived)),
+            StartClass::Branched => self.config.branch_latency,
+            StartClass::Pooled | StartClass::Warm => self.config.warm_dispatch,
         } + platform.extra_dispatch_latency(arrived);
         {
             let handles = self.az_metrics[req.az_idx as usize];
-            let (starts, hist) = if cold {
-                (handles.cold_starts, handles.dispatch_cold_us)
-            } else {
-                (handles.warm_starts, handles.dispatch_warm_us)
+            let (starts, hist) = match class {
+                StartClass::Cold => (handles.cold_starts, handles.dispatch_cold_us),
+                StartClass::Restored => (handles.restored_starts, handles.dispatch_restore_us),
+                StartClass::Branched => (handles.branched_starts, handles.dispatch_restore_us),
+                StartClass::Pooled => (handles.pooled_starts, handles.dispatch_warm_us),
+                StartClass::Warm => (handles.warm_starts, handles.dispatch_warm_us),
             };
             self.metrics.add(starts, 1);
             self.metrics.observe_duration(hist, dispatch);
@@ -1062,7 +1311,7 @@ impl FaasEngine {
             let state = &mut self.batch[idx];
             state.span_dispatch = dispatch;
             state.span_exec = response_after;
-            state.span_cold = cold;
+            state.span_class = class;
         }
         let response_at = arrived + dispatch + response_after;
         let release_at = arrived + dispatch + billed;
@@ -1077,7 +1326,7 @@ impl FaasEngine {
             instance_uuid: std::sync::Arc::clone(&inst.uuid),
             host_id: inst.host_id,
             instance_id,
-            new_container: cold,
+            new_container: class.new_container(),
             billed,
             memory_mb: req.memory_mb,
             arch: req.arch,
@@ -1141,6 +1390,19 @@ impl FaasEngine {
                 }
             }
         }
+        // Cache the successful report for idempotent replay. Only real
+        // completions land here (cache hits resolve inside
+        // handle_arrival), so a hit never refreshes its own TTL.
+        if req.cache_ttl > SimDuration::ZERO {
+            if let (InvocationStatus::Success(report), RequestBody::Workload { spec }) =
+                (&status, req.body)
+            {
+                self.result_cache.insert(
+                    result_cache_key(req.deployment, &spec),
+                    (self.now + req.cache_ttl, report.clone()),
+                );
+            }
+        }
         self.resolve_final(idx, self.now, status, billed, cost);
     }
 
@@ -1168,7 +1430,7 @@ impl FaasEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::WorkloadSpec;
+    use crate::lifecycle::PoolPolicy;
     use sky_workloads::WorkloadKind;
 
     fn engine(seed: u64) -> FaasEngine {
@@ -1527,6 +1789,310 @@ mod tests {
             after.ape_percent(&before) > 1.0,
             "volatile zone should churn over 10 days"
         );
+    }
+
+    fn engine_with_profile(seed: u64, profile: ExecProfile) -> FaasEngine {
+        let mut cfg = FleetConfig::new(seed);
+        cfg.exec_profile = profile;
+        FaasEngine::new(Catalog::paper_world(7), cfg)
+    }
+
+    fn sleep_req(dep: DeploymentId, offset: SimDuration) -> BatchRequest {
+        BatchRequest {
+            deployment: dep,
+            offset,
+            body: RequestBody::Sleep {
+                duration: SimDuration::from_millis(250),
+            },
+        }
+    }
+
+    #[test]
+    fn ephemeral_mode_every_request_cold_and_torn_down() {
+        let mut e = engine_with_profile(21, ExecProfile::for_mode(ExecMode::Ephemeral));
+        let acct = e.create_account(Provider::Aws);
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
+        let reqs: Vec<BatchRequest> = (0..8)
+            .map(|i| sleep_req(dep, SimDuration::from_secs(i)))
+            .collect();
+        let outcomes = e.run_batch(reqs);
+        for o in &outcomes {
+            assert!(o.status.is_success());
+            assert!(
+                o.status.report().unwrap().new_container,
+                "ephemeral never reuses: every start is cold"
+            );
+        }
+        let unique: std::collections::BTreeSet<&str> = outcomes
+            .iter()
+            .map(|o| &*o.status.report().unwrap().instance_uuid)
+            .collect();
+        assert_eq!(unique.len(), 8, "a fresh FI per request");
+        // The last FI's release event is still queued when the batch
+        // resolves; draining it retires the final instance too.
+        e.advance_by(SimDuration::from_secs(5));
+        assert_eq!(
+            e.platform(&az("us-east-2a")).unwrap().instance_count(),
+            0,
+            "nothing idles in ephemeral mode"
+        );
+        let snap = e.metrics_snapshot();
+        assert_eq!(
+            snap.counter("faas", "ephemeral_retires", &[("az", "us-east-2a")]),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn persistent_mode_survives_arbitrary_idle_periods() {
+        let mut e = engine_with_profile(22, ExecProfile::for_mode(ExecMode::Persistent));
+        let acct = e.create_account(Provider::Aws);
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
+        let first = e.run_batch(vec![sleep_req(dep, SimDuration::ZERO)]);
+        // Far past any keep-alive draw (5-9 min): a cached FI would be
+        // long gone.
+        e.advance_by(SimDuration::from_mins(90));
+        let second = e.run_batch(vec![sleep_req(dep, SimDuration::ZERO)]);
+        let (r1, r2) = (
+            first[0].status.report().unwrap(),
+            second[0].status.report().unwrap(),
+        );
+        assert!(r1.new_container);
+        assert!(!r2.new_container, "persistent FI still warm after 90 min");
+        assert_eq!(r1.instance_uuid, r2.instance_uuid);
+        let snap = e.metrics_snapshot();
+        assert_eq!(
+            snap.counter("faas", "keepalive_evictions", &[("az", "us-east-2a")]),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn checkpointed_mode_restores_after_keepalive_lapse() {
+        let mut e = engine_with_profile(23, ExecProfile::for_mode(ExecMode::Checkpointed));
+        let acct = e.create_account(Provider::Aws);
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
+        let first = e.run_batch(vec![sleep_req(dep, SimDuration::ZERO)]);
+        assert!(first[0].status.report().unwrap().new_container);
+        // 15 min: past the 9-min keep-alive ceiling, inside the 30-min
+        // snapshot TTL.
+        e.advance_by(SimDuration::from_mins(15));
+        let second = e.run_batch(vec![sleep_req(dep, SimDuration::ZERO)]);
+        let r2 = second[0].status.report().unwrap();
+        assert!(
+            !r2.new_container,
+            "a CRIU-style restore replays /tmp: not a new container"
+        );
+        assert_ne!(
+            first[0].status.report().unwrap().instance_uuid,
+            r2.instance_uuid,
+            "restored into a fresh FI"
+        );
+        let snap = e.metrics_snapshot();
+        assert_eq!(
+            snap.counter("faas", "restored_starts", &[("az", "us-east-2a")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("faas", "snapshots_captured", &[("az", "us-east-2a")]),
+            Some(1)
+        );
+        // Restore latency is deterministic and sits between warm
+        // dispatch and the cold-start floor.
+        let e2e = second[0].finished.saturating_since(second[0].arrived);
+        let dispatch = e2e.as_micros() - second[0].billed.as_micros();
+        assert_eq!(dispatch, e.config.restore_latency.as_micros());
+    }
+
+    #[test]
+    fn branched_mode_burst_clones_share_parent() {
+        let mut e = engine_with_profile(24, ExecProfile::for_mode(ExecMode::Branched));
+        let acct = e.create_account(Provider::Aws);
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
+        // Seed the snapshot with one cold run.
+        let first = e.run_batch(vec![sleep_req(dep, SimDuration::ZERO)]);
+        assert!(first[0].status.report().unwrap().new_container);
+        e.advance_by(SimDuration::from_secs(5));
+        // Concurrent burst: one warm reuse at most, everything else
+        // CoW-branches off the captured snapshot instead of cold-booting.
+        let reqs: Vec<BatchRequest> = (0..6).map(|_| sleep_req(dep, SimDuration::ZERO)).collect();
+        let outcomes = e.run_batch(reqs);
+        assert!(outcomes.iter().all(|o| o.status.is_success()));
+        let snap = e.metrics_snapshot();
+        let branched = snap
+            .counter("faas", "branched_starts", &[("az", "us-east-2a")])
+            .unwrap();
+        assert!(branched >= 4, "burst branches: {branched}/6");
+        assert_eq!(
+            snap.counter("faas", "cold_starts", &[("az", "us-east-2a")]),
+            Some(1),
+            "only the seeding request cold-started"
+        );
+    }
+
+    #[test]
+    fn prewarm_pool_serves_burst_without_cold_starts() {
+        let profile = ExecProfile::default().with_pool(PoolPolicy::Fixed { target: 4, cap: 4 });
+        let mut e = engine_with_profile(25, profile);
+        let acct = e.create_account(Provider::Aws);
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
+        let reqs: Vec<BatchRequest> = (0..4).map(|_| sleep_req(dep, SimDuration::ZERO)).collect();
+        let outcomes = e.run_batch(reqs);
+        for o in &outcomes {
+            assert!(o.status.is_success());
+            assert!(
+                !o.status.report().unwrap().new_container,
+                "pooled starts are not new containers"
+            );
+        }
+        let snap = e.metrics_snapshot();
+        assert_eq!(
+            snap.counter("faas", "pooled_starts", &[("az", "us-east-2a")]),
+            Some(4)
+        );
+        assert_eq!(
+            snap.counter("faas", "cold_starts", &[("az", "us-east-2a")]),
+            Some(0)
+        );
+        assert_eq!(
+            snap.counter("faas", "pool_provisioned", &[("az", "us-east-2a")]),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn result_cache_replays_idempotent_workloads() {
+        let profile = ExecProfile::default().with_result_cache_ttl(SimDuration::from_mins(10));
+        let mut e = engine_with_profile(26, profile);
+        let acct = e.create_account(Provider::Aws);
+        let dep = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
+        let spec = WorkloadSpec::new(WorkloadKind::Sha1Hash);
+        let mk = |offset: SimDuration| BatchRequest {
+            deployment: dep,
+            offset,
+            body: RequestBody::Workload { spec },
+        };
+        let outcomes = e.run_batch(vec![mk(SimDuration::ZERO), mk(SimDuration::from_mins(2))]);
+        assert!(outcomes[0].billed > SimDuration::ZERO);
+        assert_eq!(
+            outcomes[1].billed,
+            SimDuration::ZERO,
+            "replay executes nothing"
+        );
+        assert_eq!(outcomes[1].cost_usd, 0.0);
+        let r = outcomes[1].status.report().unwrap();
+        assert!(!r.new_container, "a replay starts no container");
+        // Past the TTL the cache misses and the workload runs again.
+        e.advance_by(SimDuration::from_mins(30));
+        let later = e.run_batch(vec![mk(SimDuration::ZERO)]);
+        assert!(later[0].billed > SimDuration::ZERO, "expired entry re-runs");
+        let snap = e.metrics_snapshot();
+        assert_eq!(
+            snap.counter("faas", "result_cache_hits", &[("az", "us-east-2a")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("faas", "result_cache_misses", &[("az", "us-east-2a")]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn mode_billing_slices_partition_total() {
+        let mut e = engine(27);
+        let acct = e.create_account(Provider::Aws);
+        let cached = e
+            .deploy(acct, &az("us-east-2a"), 2048, Arch::X86_64)
+            .unwrap();
+        let checkpointed = e
+            .deploy(acct, &az("us-east-2a"), 1024, Arch::X86_64)
+            .unwrap();
+        e.set_exec_profile(checkpointed, ExecProfile::for_mode(ExecMode::Checkpointed));
+        for round in 0..3 {
+            let reqs: Vec<BatchRequest> = (0..10)
+                .map(|i| {
+                    sleep_req(
+                        if i % 2 == 0 { cached } else { checkpointed },
+                        SimDuration::from_millis(i),
+                    )
+                })
+                .collect();
+            e.run_batch(reqs);
+            // Long gaps force keep-alive lapses, so later rounds restore.
+            e.advance_by(SimDuration::from_mins(12 + round));
+        }
+        let snap = e.metrics_snapshot();
+        assert!(
+            snap.counter("faas", "restored_starts", &[("az", "us-east-2a")])
+                .unwrap()
+                > 0,
+            "checkpointed deployment restored at least once"
+        );
+        assert_eq!(
+            snap.counter_sum("faas", "billed_mb_us_mode"),
+            snap.counter_sum("faas", "billed_mb_us"),
+            "per-mode billing slices must partition the billed total"
+        );
+    }
+
+    #[test]
+    fn stale_expire_events_on_recycled_slots_are_inert() {
+        // Regression: Expire events queued for FIs that a cold-start
+        // storm purged must not touch the slots once ephemeral traffic
+        // recycles them — the slab's generation check makes the stale
+        // keys miss.
+        let mut e = engine(28);
+        let acct = e.create_account(Provider::Aws);
+        let zone = az("us-east-2a");
+        let cached = e.deploy(acct, &zone, 2048, Arch::X86_64).unwrap();
+        let ephemeral = e.deploy(acct, &zone, 2048, Arch::X86_64).unwrap();
+        e.set_exec_profile(ephemeral, ExecProfile::for_mode(ExecMode::Ephemeral));
+        // 10 idle FIs, 10 Expire events queued 5-9 minutes out.
+        let reqs: Vec<BatchRequest> = (0..10)
+            .map(|_| sleep_req(cached, SimDuration::ZERO))
+            .collect();
+        assert!(e.run_batch(reqs).iter().all(|o| o.status.is_success()));
+        // Purge the warm pool out from under those events.
+        let plan = FaultPlan::new()
+            .with_event(
+                zone.clone(),
+                e.now() + SimDuration::from_secs(1),
+                SimDuration::from_secs(1),
+                FaultKind::ColdStartStorm { init_factor: 2.0 },
+            )
+            .unwrap();
+        e.set_fault_plan(&plan);
+        e.advance_by(SimDuration::from_secs(3));
+        // Recycle the freed slots many times over under new generations.
+        let reqs: Vec<BatchRequest> = (0..20)
+            .map(|i| sleep_req(ephemeral, SimDuration::from_secs(i)))
+            .collect();
+        assert!(e.run_batch(reqs).iter().all(|o| o.status.is_success()));
+        // Drain the stale Expire events: every one must no-op.
+        e.advance_by(SimDuration::from_mins(15));
+        let snap = e.metrics_snapshot();
+        assert_eq!(
+            snap.counter("faas", "keepalive_evictions", &[("az", "us-east-2a")]),
+            Some(0),
+            "stale expire events must not evict recycled slots"
+        );
+        assert_eq!(
+            snap.counter("faas", "ephemeral_retires", &[("az", "us-east-2a")]),
+            Some(20)
+        );
+        assert_eq!(e.platform(&zone).unwrap().instance_count(), 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod engine;
 pub mod ids;
+pub mod lifecycle;
 pub mod platform;
 pub mod report;
 pub mod request;
@@ -40,7 +41,8 @@ pub mod sharded;
 
 pub use engine::{DeployError, Deployment, FaasEngine, FleetConfig};
 pub use ids::{AccountId, DeploymentId, HostId, InstanceId};
-pub use platform::{AzPlatform, CapacityError, Host, Instance};
+pub use lifecycle::{ExecMode, ExecProfile, FiEvent, FiState, PoolPolicy, SnapshotId, StartClass};
+pub use platform::{AzPlatform, CapacityError, Host, Instance, PoolTickStats, Snapshot};
 pub use report::SaafReport;
 pub use request::{BatchRequest, InvocationOutcome, InvocationStatus, RequestBody, WorkloadSpec};
 pub use sharded::{FleetCounts, FleetReport, FleetRequest, ShardedFleet};

@@ -8,6 +8,7 @@
 //! sampling campaign's sleep interval must outrun, Figure 3).
 
 use crate::ids::{DeploymentId, HostId, InstanceId};
+use crate::lifecycle::{ExecMode, ExecProfile, PoolPolicy, SnapshotId, StartClass};
 use sky_cloud::{Arch, AzSpec, ChurnModel, CpuMix, CpuType, DiurnalModel, FaultKind};
 use sky_sim::{SimDuration, SimRng, SimTime, Slab, SlotKey};
 use std::collections::BTreeMap;
@@ -65,6 +66,13 @@ pub struct Instance {
     /// Payload hashes already decoded and cached on this FI's scratch
     /// volume (the dynamic-function cache).
     pub payload_cache: PayloadCache,
+    /// Lifecycle mode, fixed at creation from the deployment's
+    /// [`ExecProfile`] — an instance is billed under exactly one mode
+    /// for its whole life.
+    pub mode: ExecMode,
+    /// The snapshot this instance was restored or CoW-branched from,
+    /// if any.
+    pub parent_snapshot: Option<SnapshotId>,
 }
 
 /// Bounded FI-side payload cache: a fixed-size ring of payload hashes.
@@ -120,6 +128,55 @@ pub enum CapacityError {
     Exhausted,
 }
 
+/// A captured `(az, function)` execution snapshot: while live (before
+/// `expires`), cold placements of checkpointed deployments restore from
+/// it and branched deployments CoW-clone it.
+#[derive(Debug, Clone, Copy)]
+pub struct Snapshot {
+    /// Identity (branched instances record it as their parent).
+    pub id: SnapshotId,
+    /// Capture instant.
+    pub created: SimTime,
+    /// Eviction deadline (TTL from the deployment's profile).
+    pub expires: SimTime,
+    /// Restores served.
+    pub restores: u64,
+    /// CoW branches served.
+    pub branches: u64,
+}
+
+/// Per-deployment pre-warm pool state. The pool holds fully provisioned
+/// idle instances that have never served an invocation; once taken (and
+/// later released) an instance re-enters circulation through the normal
+/// warm-idle stack, so pool occupancy counts only instances provisioned
+/// ahead of demand.
+#[derive(Debug)]
+struct PoolState {
+    policy: PoolPolicy,
+    /// Deployment sizing, recorded so maintenance ticks can provision
+    /// without consulting the engine's deployment table.
+    memory_mb: u32,
+    arch: Arch,
+    /// Idle pre-warmed instances, LIFO. Entries validate against slot
+    /// reuse exactly like the warm-idle stack.
+    idle: Vec<(InstanceId, SlotKey)>,
+    /// Fixed-point (x256) demand EWMA state for `PoolPolicy::DemandEwma`.
+    ewma_x256: u64,
+    /// Arrivals observed since the last pool tick.
+    window_arrivals: u64,
+}
+
+/// What one [`AzPlatform::pool_tick`] did, for the engine's metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolTickStats {
+    /// Instances provisioned into pools this tick.
+    pub provisioned: u32,
+    /// Idle pool instances destroyed to meet a lowered target.
+    pub trimmed: u32,
+    /// Total pool occupancy after the tick, across deployments.
+    pub occupancy: u64,
+}
+
 /// Per-AZ platform simulator state.
 #[derive(Debug)]
 pub struct AzPlatform {
@@ -167,6 +224,25 @@ pub struct AzPlatform {
     pub(crate) capacity_failures_pending: u32,
     /// Whether a scale-check event is currently scheduled.
     pub(crate) scale_check_scheduled: bool,
+    /// Whether a pool-tick event is currently scheduled.
+    pub(crate) pool_tick_scheduled: bool,
+    /// Execution-mode profiles by deployment. Deployments never
+    /// registered here run the legacy default ([`ExecProfile::default`]).
+    profiles: BTreeMap<DeploymentId, ExecProfile>,
+    /// Live snapshots by deployment (at most one per `(az, function)`;
+    /// re-capture replaces an expired one).
+    snapshots: BTreeMap<DeploymentId, Snapshot>,
+    /// Pre-warm pools by deployment (only profile-enabled deployments
+    /// appear, so legacy acquires never touch this map).
+    pools: BTreeMap<DeploymentId, PoolState>,
+    next_snapshot: u64,
+    /// Monotone counter of snapshot TTL evictions (never decreases —
+    /// the property suite's monotonicity witness).
+    snapshots_evicted: u64,
+    /// Snapshot captures/evictions since the engine last drained them
+    /// into the metrics registry.
+    pending_snap_captured: u64,
+    pending_snap_evicted: u64,
     id_base: u64,
     next_host: u64,
     next_instance: u64,
@@ -231,6 +307,14 @@ impl AzPlatform {
             extra_hosts: 0,
             capacity_failures_pending: 0,
             scale_check_scheduled: false,
+            pool_tick_scheduled: false,
+            profiles: BTreeMap::new(),
+            snapshots: BTreeMap::new(),
+            pools: BTreeMap::new(),
+            next_snapshot: 0,
+            snapshots_evicted: 0,
+            pending_snap_captured: 0,
+            pending_snap_evicted: 0,
             id_base,
             next_host: 0,
             next_instance: 0,
@@ -334,12 +418,18 @@ impl AzPlatform {
     }
 
     /// Try to obtain an instance for an invocation: reuse the most
-    /// recently idled warm FI for the deployment, else place a new one.
+    /// recently idled warm FI for the deployment, else take a pre-warmed
+    /// pool instance, else place a new one (restoring or branching from a
+    /// live snapshot when the deployment's mode allows it).
     ///
-    /// Returns `(instance, slot, cold_start)`. The slot addresses the FI
+    /// Returns `(instance, slot, start_class)`. The slot addresses the FI
     /// in O(1) for the rest of its busy period (`instance_at`,
     /// `release`); it is only valid paired with the id, since slots are
     /// recycled after destruction.
+    ///
+    /// Determinism: mode machinery draws no randomness and is consulted
+    /// only for deployments with a non-default profile, so a legacy
+    /// deployment consumes exactly the RNG stream it always did.
     ///
     /// # Errors
     ///
@@ -351,7 +441,7 @@ impl AzPlatform {
         memory_mb: u32,
         arch: Arch,
         now: SimTime,
-    ) -> Result<(InstanceId, SlotKey, bool), CapacityError> {
+    ) -> Result<(InstanceId, SlotKey, StartClass), CapacityError> {
         // Warm path. A deployment with no in-flight executions always
         // reuses its warm FI (sequential traffic packs); during a burst
         // the router spreads with probability `1 - reuse_prob`, matching
@@ -363,7 +453,19 @@ impl AzPlatform {
         if prefer_warm {
             if let Some((id, slot)) = self.pop_valid_warm(deployment) {
                 self.mark_busy(slot);
-                return Ok((id, slot, false));
+                return Ok((id, slot, StartClass::Warm));
+            }
+        }
+        // Pre-warm pool: count demand and take a pooled instance before
+        // paying for any fresh placement. Only profile-enabled
+        // deployments have pool state.
+        if self.pools.contains_key(&deployment) {
+            if let Some(pool) = self.pools.get_mut(&deployment) {
+                pool.window_arrivals += 1;
+            }
+            if let Some((id, slot)) = self.pop_valid_pool(deployment) {
+                self.mark_busy(slot);
+                return Ok((id, slot, StartClass::Pooled));
             }
         }
         // Cold path. An injected outage fails all *new* placement (warm
@@ -372,7 +474,7 @@ impl AzPlatform {
             if now < until {
                 if let Some((id, slot)) = self.pop_valid_warm(deployment) {
                     self.mark_busy(slot);
-                    return Ok((id, slot, false));
+                    return Ok((id, slot, StartClass::Warm));
                 }
                 self.capacity_failures_pending += 1;
                 return Err(CapacityError::Exhausted);
@@ -388,7 +490,7 @@ impl AzPlatform {
                 if self.fault_rng.chance(severity) {
                     if let Some((id, slot)) = self.pop_valid_warm(deployment) {
                         self.mark_busy(slot);
-                        return Ok((id, slot, false));
+                        return Ok((id, slot, StartClass::Warm));
                     }
                     self.capacity_failures_pending += 1;
                     return Err(CapacityError::Exhausted);
@@ -409,7 +511,7 @@ impl AzPlatform {
             // Out of capacity: fall back to a warm FI if one exists.
             if let Some((id, slot)) = self.pop_valid_warm(deployment) {
                 self.mark_busy(slot);
-                return Ok((id, slot, false));
+                return Ok((id, slot, StartClass::Warm));
             }
             self.capacity_failures_pending += 1;
             return Err(CapacityError::Exhausted);
@@ -419,12 +521,77 @@ impl AzPlatform {
             None => {
                 if let Some((id, slot)) = self.pop_valid_warm(deployment) {
                     self.mark_busy(slot);
-                    return Ok((id, slot, false));
+                    return Ok((id, slot, StartClass::Warm));
                 }
                 self.capacity_failures_pending += 1;
                 return Err(CapacityError::Exhausted);
             }
         };
+        // A fresh environment: restore or branch when the mode has a
+        // live snapshot, else a full cold provision. No RNG involved.
+        let (class, parent) = self.fresh_start_class(deployment, now);
+        let (id, slot) =
+            self.create_instance(deployment, memory_mb, arch, host_index, true, parent, now);
+        Ok((id, slot, class))
+    }
+
+    /// The start class a fresh placement resolves to: `Restored` or
+    /// `Branched` when the deployment's mode snapshots and a live
+    /// snapshot exists (bumping its usage counters), else `Cold`.
+    fn fresh_start_class(
+        &mut self,
+        deployment: DeploymentId,
+        now: SimTime,
+    ) -> (StartClass, Option<SnapshotId>) {
+        let mode = self.profile(deployment).mode;
+        if !mode.snapshots() {
+            return (StartClass::Cold, None);
+        }
+        match self.live_snapshot(deployment, now) {
+            Some(snap) => {
+                if mode == ExecMode::Branched {
+                    snap.branches += 1;
+                    (StartClass::Branched, Some(snap.id))
+                } else {
+                    snap.restores += 1;
+                    (StartClass::Restored, Some(snap.id))
+                }
+            }
+            None => (StartClass::Cold, None),
+        }
+    }
+
+    /// The live (unexpired) snapshot for a deployment, evicting it first
+    /// if its TTL lapsed. Eviction is lazy but monotone: once `now`
+    /// passes `expires` the snapshot can never serve again.
+    fn live_snapshot(&mut self, deployment: DeploymentId, now: SimTime) -> Option<&mut Snapshot> {
+        if let Some(snap) = self.snapshots.get(&deployment) {
+            if now >= snap.expires {
+                self.snapshots.remove(&deployment);
+                self.snapshots_evicted += 1;
+                self.pending_snap_evicted += 1;
+                return None;
+            }
+        } else {
+            return None;
+        }
+        self.snapshots.get_mut(&deployment)
+    }
+
+    /// Allocate host memory and insert a fresh [`Instance`] record.
+    /// `busy` distinguishes an acquisition (serving its first invocation)
+    /// from a pool provision (parked idle).
+    #[allow(clippy::too_many_arguments)]
+    fn create_instance(
+        &mut self,
+        deployment: DeploymentId,
+        memory_mb: u32,
+        arch: Arch,
+        host_index: usize,
+        busy: bool,
+        parent_snapshot: Option<SnapshotId>,
+        now: SimTime,
+    ) -> (InstanceId, SlotKey) {
         let host = &mut self.hosts[host_index];
         host.mem_used_mb += memory_mb as u64;
         host.live_instances += 1;
@@ -435,7 +602,10 @@ impl AzPlatform {
         }
         let id = InstanceId::from_raw(self.id_base + self.next_instance);
         self.next_instance += 1;
-        *self.busy_counts.entry(deployment).or_default() += 1;
+        if busy {
+            *self.busy_counts.entry(deployment).or_default() += 1;
+        }
+        let mode = self.profile(deployment).mode;
         let uuid: std::sync::Arc<str> = self.rng.next_uuid().into();
         let slot = self.instances.insert(Instance {
             id,
@@ -445,14 +615,16 @@ impl AzPlatform {
             deployment,
             cpu,
             memory_mb,
-            busy: true,
+            busy,
             keep_alive_until: now, // set on release
             expire_epoch: 0,
-            invocations: 1,
+            invocations: if busy { 1 } else { 0 },
             payload_cache: PayloadCache::default(),
+            mode,
+            parent_snapshot,
         });
         self.by_id.insert(id, slot);
-        Ok((id, slot, true))
+        (id, slot)
     }
 
     /// Pop the most recently idled valid warm instance for a deployment.
@@ -468,6 +640,158 @@ impl AzPlatform {
             }
         }
         None
+    }
+
+    /// Pop the most recently provisioned valid pool instance. Entries
+    /// validate against slot reuse exactly like the warm-idle stack.
+    fn pop_valid_pool(&mut self, deployment: DeploymentId) -> Option<(InstanceId, SlotKey)> {
+        let pool = self.pools.get_mut(&deployment)?;
+        while let Some((id, slot)) = pool.idle.pop() {
+            if let Some(inst) = self.instances.get(slot) {
+                if inst.id == id && !inst.busy {
+                    return Some((id, slot));
+                }
+            }
+        }
+        None
+    }
+
+    /// Register (or replace) a deployment's execution profile,
+    /// immediately provisioning a fixed pool to its target. Returns how
+    /// many instances were provisioned.
+    pub fn set_profile(
+        &mut self,
+        deployment: DeploymentId,
+        profile: ExecProfile,
+        memory_mb: u32,
+        arch: Arch,
+        now: SimTime,
+    ) -> u32 {
+        self.profiles.insert(deployment, profile);
+        if !profile.pool.enabled() {
+            self.pools.remove(&deployment);
+            return 0;
+        }
+        self.pools.entry(deployment).or_insert(PoolState {
+            policy: profile.pool,
+            memory_mb,
+            arch,
+            idle: Vec::new(),
+            ewma_x256: 0,
+            window_arrivals: 0,
+        });
+        let target = profile.pool.target(0);
+        self.fill_pool(deployment, target, now)
+    }
+
+    /// The execution profile of a deployment (legacy default when never
+    /// registered).
+    pub fn profile(&self, deployment: DeploymentId) -> ExecProfile {
+        self.profiles.get(&deployment).copied().unwrap_or_default()
+    }
+
+    /// Whether any pre-warm pool exists on this platform (drives the
+    /// engine's recurring pool tick).
+    pub fn has_pools(&self) -> bool {
+        !self.pools.is_empty()
+    }
+
+    /// Current pool occupancy of a deployment (0 when unpooled).
+    pub fn pool_occupancy(&self, deployment: DeploymentId) -> usize {
+        self.pools.get(&deployment).map_or(0, |p| p.idle.len())
+    }
+
+    /// The live snapshot record of a deployment, if one is captured
+    /// (read-only; does not evict).
+    pub fn snapshot(&self, deployment: DeploymentId) -> Option<&Snapshot> {
+        self.snapshots.get(&deployment)
+    }
+
+    /// Monotone total of snapshot TTL evictions on this platform.
+    pub fn snapshots_evicted_total(&self) -> u64 {
+        self.snapshots_evicted
+    }
+
+    /// Drain snapshot capture/eviction counts accumulated since the last
+    /// drain — the engine meters these after acquire/release calls.
+    pub(crate) fn take_snapshot_deltas(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.pending_snap_captured),
+            std::mem::take(&mut self.pending_snap_evicted),
+        )
+    }
+
+    /// One maintenance tick over every pool: fold the demand EWMA,
+    /// re-target, trim or provision, and report occupancy. Iteration is
+    /// in `BTreeMap` (deployment-id) order — deterministic.
+    pub fn pool_tick(&mut self, now: SimTime) -> PoolTickStats {
+        let mut stats = PoolTickStats::default();
+        let deps: Vec<DeploymentId> = self.pools.keys().copied().collect();
+        for dep in deps {
+            let target = {
+                let instances = &self.instances;
+                let pool = self.pools.get_mut(&dep).expect("listed above");
+                let arrivals = std::mem::take(&mut pool.window_arrivals);
+                pool.ewma_x256 = pool.policy.fold_ewma(pool.ewma_x256, arrivals);
+                // Drop entries invalidated by purges or faults before
+                // sizing against the target.
+                pool.idle.retain(
+                    |&(id, slot)| matches!(instances.get(slot), Some(i) if i.id == id && !i.busy),
+                );
+                pool.policy.target(pool.ewma_x256)
+            };
+            let len = self.pools[&dep].idle.len() as u32;
+            if len > target {
+                let excess = len - target;
+                let doomed: Vec<(InstanceId, SlotKey)> = {
+                    let pool = self.pools.get_mut(&dep).expect("listed above");
+                    (0..excess).filter_map(|_| pool.idle.pop()).collect()
+                };
+                for (_, slot) in doomed {
+                    self.destroy(slot);
+                    stats.trimmed += 1;
+                }
+            } else if len < target {
+                stats.provisioned += self.fill_pool(dep, target, now);
+            }
+            stats.occupancy += self.pools[&dep].idle.len() as u64;
+        }
+        stats
+    }
+
+    /// Provision pool instances up to `target`, stopping early if the
+    /// zone runs out of placeable capacity. Returns how many were
+    /// created. Occupancy can never exceed the policy cap: `target` is
+    /// already clamped and the pool only grows here.
+    fn fill_pool(&mut self, deployment: DeploymentId, target: u32, now: SimTime) -> u32 {
+        let (memory_mb, arch) = match self.pools.get(&deployment) {
+            Some(p) => (p.memory_mb, p.arch),
+            None => return 0,
+        };
+        let mut created = 0u32;
+        while (self.pools[&deployment].idle.len() as u32) < target {
+            let hour = now.hour_of_day_f64();
+            let (used, total) = match arch {
+                Arch::X86_64 => (self.fi_mem_used_x86, self.total_mem_x86),
+                Arch::Arm64 => (self.fi_mem_used_arm, self.total_mem_arm),
+            };
+            let usable = (total as f64 * self.diurnal.usable_fraction(hour)) as u64;
+            if used + memory_mb as u64 > usable {
+                break;
+            }
+            let Some(host_index) = self.place(memory_mb, arch) else {
+                break;
+            };
+            let (id, slot) =
+                self.create_instance(deployment, memory_mb, arch, host_index, false, None, now);
+            self.pools
+                .get_mut(&deployment)
+                .expect("pool exists")
+                .idle
+                .push((id, slot));
+            created += 1;
+        }
+        created
     }
 
     /// Mark a (validated) idle instance busy and count the invocation.
@@ -574,7 +898,61 @@ impl AzPlatform {
             .get_mut(&deployment)
             .expect("busy count tracked");
         *busy -= 1;
+        self.maybe_capture_snapshot(deployment, now);
         result
+    }
+
+    /// Capture a `(az, function)` snapshot at release time for
+    /// snapshotting modes, when none is live. Re-capture over an expired
+    /// snapshot first records its eviction, keeping the eviction counter
+    /// monotone.
+    fn maybe_capture_snapshot(&mut self, deployment: DeploymentId, now: SimTime) {
+        let profile = self.profile(deployment);
+        if !profile.mode.snapshots() || profile.snapshot_ttl == SimDuration::ZERO {
+            return;
+        }
+        if self.live_snapshot(deployment, now).is_some() {
+            return;
+        }
+        let id = SnapshotId(self.next_snapshot);
+        self.next_snapshot += 1;
+        self.snapshots.insert(
+            deployment,
+            Snapshot {
+                id,
+                created: now,
+                expires: now + profile.snapshot_ttl,
+                restores: 0,
+                branches: 0,
+            },
+        );
+        self.pending_snap_captured += 1;
+    }
+
+    /// Tear down a busy instance immediately after its invocation — the
+    /// ephemeral lifecycle's release. Unlike [`AzPlatform::release`], the
+    /// FI never idles and no expire event is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot does not hold `id` or the FI is not busy.
+    pub fn retire(&mut self, id: InstanceId, slot: SlotKey, now: SimTime) {
+        let inst = self
+            .instances
+            .get_mut(slot)
+            .expect("retire of unknown instance");
+        assert_eq!(inst.id, id, "retire slot/id mismatch");
+        assert!(inst.busy, "retire of idle instance");
+        let deployment = inst.deployment;
+        let busy = self
+            .busy_counts
+            .get_mut(&deployment)
+            .expect("busy count tracked");
+        *busy -= 1;
+        self.destroy(slot);
+        // Ephemeral deployments may still snapshot-capture if configured
+        // (mode gating inside makes this a no-op otherwise).
+        self.maybe_capture_snapshot(deployment, now);
     }
 
     /// Handle an expire event: destroy the instance if the slot still
@@ -610,6 +988,9 @@ impl AzPlatform {
         }
         if let Some(stack) = self.warm_idle.get_mut(&inst.deployment) {
             stack.retain(|&(x, _)| x != inst.id);
+        }
+        if let Some(pool) = self.pools.get_mut(&inst.deployment) {
+            pool.idle.retain(|&(x, _)| x != inst.id);
         }
     }
 
@@ -829,18 +1210,18 @@ mod tests {
         let mut p = platform("us-east-2a");
         let dep = DeploymentId::from_raw(1);
         let t0 = SimTime::ZERO;
-        let (a, slot_a, cold_a) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
-        assert!(cold_a);
+        let (a, slot_a, class_a) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
+        assert_eq!(class_a, StartClass::Cold);
         p.release(
             a,
             slot_a,
             t0 + SimDuration::from_millis(100),
             SimDuration::from_mins(6),
         );
-        let (b, slot_b, cold_b) = p
+        let (b, slot_b, class_b) = p
             .acquire(dep, 2048, Arch::X86_64, t0 + SimDuration::from_millis(200))
             .unwrap();
-        assert!(!cold_b, "second request should reuse the warm FI");
+        assert_eq!(class_b, StartClass::Warm, "second request reuses warm FI");
         assert_eq!(a, b);
         assert_eq!(slot_a, slot_b, "warm reuse keeps the slot");
         assert_eq!(p.instance(a).unwrap().invocations, 2);
@@ -851,8 +1232,8 @@ mod tests {
         let mut p = platform("us-east-2a");
         let dep = DeploymentId::from_raw(1);
         let (a, _, _) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
-        let (b, _, cold) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
-        assert!(cold);
+        let (b, _, class) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        assert_eq!(class, StartClass::Cold);
         assert_ne!(a, b);
         assert_eq!(p.instance_count(), 2);
     }
@@ -869,7 +1250,7 @@ mod tests {
             SimTime::ZERO + SimDuration::from_millis(10),
             SimDuration::from_mins(6),
         );
-        let (b, _, cold) = p
+        let (b, _, class) = p
             .acquire(
                 d2,
                 2048,
@@ -877,7 +1258,11 @@ mod tests {
                 SimTime::ZERO + SimDuration::from_millis(20),
             )
             .unwrap();
-        assert!(cold, "different deployment must not reuse the FI");
+        assert_eq!(
+            class,
+            StartClass::Cold,
+            "different deployment must not reuse the FI"
+        );
         assert_ne!(a, b);
     }
 
@@ -940,16 +1325,222 @@ mod tests {
             p.expire(a, slot_a, epoch, deadline),
             "valid expiry destroys"
         );
-        // The next cold placement reuses the freed slot (LIFO free list).
-        let (b, slot_b, cold) = p.acquire(dep, 2048, Arch::X86_64, deadline).unwrap();
-        assert!(cold);
-        assert_eq!(slot_a, slot_b, "slot recycled");
+        // The next cold placement reuses the freed slot index (LIFO free
+        // list) under a fresh generation, so the stale key cannot alias.
+        let (b, slot_b, class) = p.acquire(dep, 2048, Arch::X86_64, deadline).unwrap();
+        assert_eq!(class, StartClass::Cold);
+        assert_eq!(slot_a.index(), slot_b.index(), "slot index recycled");
+        assert_ne!(slot_a, slot_b, "generation advanced on recycle");
         assert_ne!(a, b);
         // A stale expire addressed to the *old* FI must not touch the new
         // occupant, even with a matching epoch counter.
         assert!(!p.expire(a, slot_a, epoch, deadline + SimDuration::from_mins(20)));
         assert!(p.instance(b).is_some());
         assert_eq!(p.instance_count(), 1);
+    }
+
+    #[test]
+    fn ephemeral_retire_tears_down_immediately() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        p.set_profile(
+            dep,
+            ExecProfile::for_mode(ExecMode::Ephemeral),
+            2048,
+            Arch::X86_64,
+            SimTime::ZERO,
+        );
+        let (a, slot, class) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        assert_eq!(class, StartClass::Cold);
+        assert_eq!(p.instance(a).unwrap().mode, ExecMode::Ephemeral);
+        p.retire(a, slot, SimTime::ZERO + SimDuration::from_millis(100));
+        assert!(p.instance(a).is_none(), "ephemeral FI destroyed on retire");
+        assert_eq!(p.instance_count(), 0);
+        // The next request pays cold again.
+        let (_, _, class2) = p
+            .acquire(
+                dep,
+                2048,
+                Arch::X86_64,
+                SimTime::ZERO + SimDuration::from_millis(200),
+            )
+            .unwrap();
+        assert_eq!(class2, StartClass::Cold);
+    }
+
+    #[test]
+    fn checkpointed_mode_restores_after_warm_pool_drains() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        p.set_profile(
+            dep,
+            ExecProfile::for_mode(ExecMode::Checkpointed),
+            2048,
+            Arch::X86_64,
+            SimTime::ZERO,
+        );
+        let t0 = SimTime::ZERO;
+        let (a, slot, class) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
+        assert_eq!(class, StartClass::Cold, "no snapshot yet");
+        // First release captures the snapshot.
+        let (deadline, epoch) = p.release(a, slot, t0, SimDuration::from_mins(5));
+        assert!(p.snapshot(dep).is_some(), "snapshot captured at release");
+        // Keep-alive lapses: the warm FI is gone...
+        assert!(p.expire(a, slot, epoch, deadline));
+        // ...but the next placement restores instead of cold-booting.
+        let (b, _, class2) = p
+            .acquire(
+                dep,
+                2048,
+                Arch::X86_64,
+                deadline + SimDuration::from_mins(1),
+            )
+            .unwrap();
+        assert_eq!(class2, StartClass::Restored);
+        assert_eq!(
+            p.instance(b).unwrap().parent_snapshot,
+            Some(p.snapshot(dep).unwrap().id)
+        );
+        assert_eq!(p.snapshot(dep).unwrap().restores, 1);
+    }
+
+    #[test]
+    fn branched_mode_clones_share_one_parent() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        p.set_profile(
+            dep,
+            ExecProfile::for_mode(ExecMode::Branched),
+            2048,
+            Arch::X86_64,
+            SimTime::ZERO,
+        );
+        let t0 = SimTime::ZERO;
+        let (a, slot, _) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
+        p.release(
+            a,
+            slot,
+            t0 + SimDuration::from_millis(50),
+            SimDuration::from_mins(5),
+        );
+        let parent = p.snapshot(dep).unwrap().id;
+        // Concurrent burst: the single warm FI serves one request, every
+        // additional placement branches off the shared parent.
+        let t1 = t0 + SimDuration::from_millis(100);
+        let mut branched = 0u32;
+        let mut ids = Vec::new();
+        for _ in 0..6 {
+            let (id, _, class) = p.acquire(dep, 2048, Arch::X86_64, t1).unwrap();
+            ids.push(id);
+            if class == StartClass::Branched {
+                branched += 1;
+                assert_eq!(p.instance(id).unwrap().parent_snapshot, Some(parent));
+            }
+        }
+        assert!(branched >= 4, "burst placements branch: {branched}/6");
+        assert_eq!(p.snapshot(dep).unwrap().branches, u64::from(branched));
+    }
+
+    #[test]
+    fn snapshot_ttl_eviction_is_monotone() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        let ttl = SimDuration::from_mins(10);
+        p.set_profile(
+            dep,
+            ExecProfile::for_mode(ExecMode::Checkpointed).with_snapshot_ttl(ttl),
+            2048,
+            Arch::X86_64,
+            SimTime::ZERO,
+        );
+        let t0 = SimTime::ZERO;
+        let (a, slot, _) = p.acquire(dep, 2048, Arch::X86_64, t0).unwrap();
+        let (deadline, epoch) = p.release(a, slot, t0, SimDuration::from_mins(5));
+        let expires = p.snapshot(dep).unwrap().expires;
+        assert_eq!(expires, t0 + ttl);
+        p.expire(a, slot, epoch, deadline);
+        assert_eq!(p.snapshots_evicted_total(), 0);
+        // Past the TTL the snapshot is evicted on lookup and the start
+        // falls back to cold; the eviction counter only ever grows.
+        let (_, _, class) = p.acquire(dep, 2048, Arch::X86_64, expires).unwrap();
+        assert_eq!(class, StartClass::Cold, "expired snapshot cannot restore");
+        assert_eq!(p.snapshots_evicted_total(), 1);
+    }
+
+    #[test]
+    fn fixed_pool_provisions_and_serves_pooled_starts() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        let profile = ExecProfile::default().with_pool(PoolPolicy::Fixed { target: 3, cap: 4 });
+        let provisioned = p.set_profile(dep, profile, 2048, Arch::X86_64, SimTime::ZERO);
+        assert_eq!(provisioned, 3);
+        assert_eq!(p.pool_occupancy(dep), 3);
+        assert_eq!(p.instance_count(), 3);
+        // A burst larger than the pool: pooled starts first, then cold.
+        let mut classes = Vec::new();
+        for _ in 0..5 {
+            let (_, _, class) = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+            classes.push(class);
+        }
+        let pooled = classes.iter().filter(|&&c| c == StartClass::Pooled).count();
+        let cold = classes.iter().filter(|&&c| c == StartClass::Cold).count();
+        assert_eq!(pooled, 3, "pool drains first: {classes:?}");
+        assert_eq!(cold, 2);
+        assert_eq!(p.pool_occupancy(dep), 0);
+        // The tick refills back to target, never above the cap.
+        let stats = p.pool_tick(SimTime::ZERO + SimDuration::from_mins(1));
+        assert_eq!(stats.provisioned, 3);
+        assert_eq!(stats.occupancy, 3);
+        assert!(p.pool_occupancy(dep) as u32 <= profile.pool.cap());
+    }
+
+    #[test]
+    fn demand_pool_tracks_arrivals_and_drains_when_idle() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        let profile = ExecProfile::default().with_pool(PoolPolicy::DemandEwma {
+            alpha_x256: 256,
+            cap: 8,
+        });
+        p.set_profile(dep, profile, 2048, Arch::X86_64, SimTime::ZERO);
+        assert_eq!(p.pool_occupancy(dep), 0, "EWMA pool starts empty");
+        // A window with 5 arrivals drives the target to 5 (alpha = 1).
+        for _ in 0..5 {
+            let _ = p.acquire(dep, 2048, Arch::X86_64, SimTime::ZERO).unwrap();
+        }
+        let stats = p.pool_tick(SimTime::ZERO + SimDuration::from_mins(1));
+        assert_eq!(stats.provisioned, 5);
+        assert_eq!(p.pool_occupancy(dep), 5);
+        // Demand stops: the next tick retargets to zero and trims.
+        let stats2 = p.pool_tick(SimTime::ZERO + SimDuration::from_mins(2));
+        assert_eq!(stats2.trimmed, 5);
+        assert_eq!(p.pool_occupancy(dep), 0);
+    }
+
+    #[test]
+    fn pool_occupancy_never_exceeds_cap_under_churn() {
+        let mut p = platform("us-east-2a");
+        let dep = DeploymentId::from_raw(1);
+        let cap = 4u32;
+        let profile = ExecProfile::default().with_pool(PoolPolicy::DemandEwma {
+            alpha_x256: 128,
+            cap,
+        });
+        p.set_profile(dep, profile, 2048, Arch::X86_64, SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for wave in 0..20u64 {
+            // Bursts of varying size, some far over the cap.
+            for _ in 0..(wave % 11) {
+                let _ = p.acquire(dep, 2048, Arch::X86_64, t);
+            }
+            t += SimDuration::from_mins(1);
+            p.pool_tick(t);
+            assert!(
+                p.pool_occupancy(dep) as u32 <= cap,
+                "wave {wave}: occupancy {} over cap {cap}",
+                p.pool_occupancy(dep)
+            );
+        }
     }
 
     #[test]

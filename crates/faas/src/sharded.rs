@@ -574,6 +574,34 @@ mod tests {
     }
 
     #[test]
+    fn digest_is_shard_invariant_with_exec_modes_active() {
+        // Same invariance with the full mode machinery live in every
+        // lane: checkpointed instances restoring from snapshots, a fixed
+        // pre-warm pool, and the recurring pool tick. Lane configs carry
+        // the profile, so each lane's deploy arms its own pool.
+        use crate::lifecycle::{ExecMode, ExecProfile, PoolPolicy};
+        let run = |shards: usize| {
+            let catalog = Catalog::paper_world(17);
+            let zones = azs(&["us-west-1a", "us-east-2a", "eu-north-1a", "eu-central-1a"]);
+            let mut cfg = FleetConfig::new(17);
+            cfg.exec_profile = ExecProfile::for_mode(ExecMode::Checkpointed)
+                .with_pool(PoolPolicy::Fixed { target: 8, cap: 8 });
+            let mut fleet = ShardedFleet::new(&catalog, cfg, &zones, 10_240, shards);
+            fleet.run(&stress_requests(zones.len()))
+        };
+        let one = run(1);
+        let two = run(2);
+        let eight = run(8);
+        assert_eq!(one.digest, two.digest);
+        assert_eq!(one.digest, eight.digest);
+        assert_eq!(one.lane_digests, eight.lane_digests);
+        assert_eq!(one.counts, eight.counts);
+        assert_eq!(one.events, eight.events);
+        assert!(one.counts.forwarded > 0, "stress mix should forward");
+        assert_eq!(one.counts.completed, one.submitted);
+    }
+
+    #[test]
     fn window_is_min_cross_lane_latency() {
         let catalog = Catalog::paper_world(3);
         let zones = azs(&["us-west-1a", "us-east-2a", "eu-central-1a"]);

@@ -779,9 +779,9 @@ impl MetricsRegistry {
     }
 }
 
-/// Request span phases: submit → route → cold/warm start → execute.
-/// (Billing is a counter concern; the phases here partition wall-clock
-/// latency.)
+/// Request span phases: submit → route → cold/restore/warm start →
+/// execute. (Billing is a counter concern; the phases here partition
+/// wall-clock latency.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanPhase {
     /// Time between first submission and the final attempt's dispatch:
@@ -789,6 +789,9 @@ pub enum SpanPhase {
     Route,
     /// Cold-start initialization of the final attempt.
     ColdStart,
+    /// Snapshot-restore (or CoW-branch) initialization of the final
+    /// attempt — the execution-mode start class between cold and warm.
+    Restore,
     /// Warm dispatch overhead of the final attempt.
     WarmStart,
     /// Function execution until the client hears the response.
@@ -801,6 +804,7 @@ impl SpanPhase {
         match self {
             SpanPhase::Route => "route",
             SpanPhase::ColdStart => "cold_start",
+            SpanPhase::Restore => "restore_start",
             SpanPhase::WarmStart => "warm_start",
             SpanPhase::Execute => "execute",
         }

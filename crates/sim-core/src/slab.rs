@@ -1,29 +1,44 @@
 //! Slab allocator for hot simulation state.
 //!
 //! A `Slab<T>` is a vector of reusable slots addressed by a dense
-//! [`SlotKey`] (`u32`). Freed slots go on a LIFO free list and are handed
-//! back to the next insert, so a steady-state simulation — which creates and
-//! destroys function instances and in-flight request records continuously —
-//! reaches a fixed working set and stops allocating entirely. Lookup is an
-//! array index instead of the `BTreeMap` walk the platform previously paid
-//! on every acquire/release/expire.
+//! [`SlotKey`] (`u32` index + `u32` generation). Freed slots go on a LIFO
+//! free list and are handed back to the next insert, so a steady-state
+//! simulation — which creates and destroys function instances and
+//! in-flight request records continuously — reaches a fixed working set
+//! and stops allocating entirely. Lookup is an array index instead of the
+//! `BTreeMap` walk the platform previously paid on every
+//! acquire/release/expire.
 //!
 //! Determinism: the slab is single-threaded and slot assignment depends only
 //! on the sequence of `insert`/`remove` calls, which in this engine is
-//! itself a pure function of the seed. Slots are recycled, so a stale key
-//! can point at a *different* live occupant; callers that hold keys across
-//! simulated time (e.g. timer events about a function instance) must pair
-//! the key with an identity check (instance id, epoch) before acting — see
-//! `AzPlatform` for the pattern.
+//! itself a pure function of the seed. Slots are recycled, but every
+//! recycle bumps the slot's **generation**, and a [`SlotKey`] only
+//! resolves while its generation matches the slot's: a stale key held
+//! across simulated time (e.g. a timer event about a retired function
+//! instance whose slot has since been reissued) returns `None` from
+//! [`Slab::get`] instead of silently aliasing the new occupant. Callers
+//! may still layer identity checks (instance id, epoch) on top — see
+//! `AzPlatform` — but the generation makes stale-key access a detected
+//! miss rather than undefined simulation behaviour.
 
-/// Dense handle into a [`Slab`].
+/// Generational handle into a [`Slab`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct SlotKey(u32);
+pub struct SlotKey {
+    index: u32,
+    generation: u32,
+}
 
 impl SlotKey {
-    /// Raw slot index (stable for the lifetime of the occupant).
+    /// Raw slot index (stable for the lifetime of the occupant; reused —
+    /// with a new generation — after removal).
     pub const fn index(self) -> usize {
-        self.0 as usize
+        self.index as usize
+    }
+
+    /// The key's generation: a slot's generation is bumped on every
+    /// removal, so a key resolves only while its occupant is alive.
+    pub const fn generation(self) -> u32 {
+        self.generation
     }
 }
 
@@ -38,6 +53,9 @@ const NIL: u32 = u32::MAX;
 /// A reusable-slot arena; see the module docs.
 pub struct Slab<T> {
     slots: Vec<Slot<T>>,
+    /// Current generation of each slot, parallel to `slots`. Bumped on
+    /// removal so stale keys miss instead of aliasing.
+    generations: Vec<u32>,
     free_head: u32,
     len: usize,
 }
@@ -53,6 +71,7 @@ impl<T> Slab<T> {
     pub fn new() -> Self {
         Slab {
             slots: Vec::new(),
+            generations: Vec::new(),
             free_head: NIL,
             len: 0,
         }
@@ -62,6 +81,7 @@ impl<T> Slab<T> {
     pub fn with_capacity(cap: usize) -> Self {
         Slab {
             slots: Vec::with_capacity(cap),
+            generations: Vec::with_capacity(cap),
             free_head: NIL,
             len: 0,
         }
@@ -77,48 +97,73 @@ impl<T> Slab<T> {
                 Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
             }
             self.slots[idx as usize] = Slot::Occupied(value);
-            SlotKey(idx)
+            SlotKey {
+                index: idx,
+                generation: self.generations[idx as usize],
+            }
         } else {
             let idx = u32::try_from(self.slots.len()).expect("slab exceeds u32 slots");
             self.slots.push(Slot::Occupied(value));
-            SlotKey(idx)
+            self.generations.push(0);
+            SlotKey {
+                index: idx,
+                generation: 0,
+            }
         }
     }
 
-    /// Remove and return the occupant of `key`.
+    /// Remove and return the occupant of `key`, bumping the slot's
+    /// generation so every outstanding copy of `key` goes stale.
     ///
     /// # Panics
     ///
-    /// Panics if the slot is vacant — a remove of a stale key is always a
-    /// caller bug (identity checks belong *before* the remove).
+    /// Panics if the slot is vacant or the key's generation is stale — a
+    /// remove through a dead key is always a caller bug (identity checks
+    /// belong *before* the remove).
     pub fn remove(&mut self, key: SlotKey) -> T {
+        assert_eq!(
+            self.generations[key.index()],
+            key.generation,
+            "slab: remove through stale key for slot {}",
+            key.index
+        );
         let slot = std::mem::replace(&mut self.slots[key.index()], Slot::Vacant(self.free_head));
         match slot {
             Slot::Occupied(value) => {
-                self.free_head = key.0;
+                self.free_head = key.index;
+                self.generations[key.index()] = self.generations[key.index()].wrapping_add(1);
                 self.len -= 1;
                 value
             }
             Slot::Vacant(next) => {
                 // Undo the replace so the free list stays intact.
                 self.slots[key.index()] = Slot::Vacant(next);
-                panic!("slab: remove of vacant slot {}", key.0);
+                panic!("slab: remove of vacant slot {}", key.index);
             }
         }
     }
 
-    /// Shared access to the occupant of `key`, if the slot is occupied.
+    /// Shared access to the occupant of `key`: `None` if the slot is
+    /// vacant or the key's generation is stale (the occupant it named has
+    /// been removed, even if the slot has been reissued since).
     #[inline]
     pub fn get(&self, key: SlotKey) -> Option<&T> {
+        if self.generations.get(key.index()) != Some(&key.generation) {
+            return None;
+        }
         match self.slots.get(key.index()) {
             Some(Slot::Occupied(v)) => Some(v),
             _ => None,
         }
     }
 
-    /// Exclusive access to the occupant of `key`, if the slot is occupied.
+    /// Exclusive access to the occupant of `key`, under the same
+    /// generation check as [`Slab::get`].
     #[inline]
     pub fn get_mut(&mut self, key: SlotKey) -> Option<&mut T> {
+        if self.generations.get(key.index()) != Some(&key.generation) {
+            return None;
+        }
         match self.slots.get_mut(key.index()) {
             Some(Slot::Occupied(v)) => Some(v),
             _ => None,
@@ -144,14 +189,22 @@ impl<T> Slab<T> {
     /// Iterate over live occupants in slot order (deterministic).
     pub fn iter(&self) -> impl Iterator<Item = (SlotKey, &T)> {
         self.slots.iter().enumerate().filter_map(|(i, s)| match s {
-            Slot::Occupied(v) => Some((SlotKey(i as u32), v)),
+            Slot::Occupied(v) => Some((
+                SlotKey {
+                    index: i as u32,
+                    generation: self.generations[i],
+                },
+                v,
+            )),
             Slot::Vacant(_) => None,
         })
     }
 
-    /// Drop all occupants and reset the free list.
+    /// Drop all occupants and reset the free list (generations restart:
+    /// keys from before a `clear` must not be retained).
     pub fn clear(&mut self) {
         self.slots.clear();
+        self.generations.clear();
         self.free_head = NIL;
         self.len = 0;
     }
@@ -184,22 +237,54 @@ mod tests {
     }
 
     #[test]
-    fn freed_slots_are_reused_lifo() {
+    fn freed_slots_are_reused_lifo_with_fresh_generations() {
         let mut slab = Slab::new();
         let a = slab.insert(1);
         let b = slab.insert(2);
         let c = slab.insert(3);
         slab.remove(b);
         slab.remove(a);
-        // LIFO: a was freed last, so it is reused first.
-        assert_eq!(slab.insert(4), a);
-        assert_eq!(slab.insert(5), b);
+        // LIFO: a's slot was freed last, so it is reused first — under a
+        // bumped generation, so the old key stays stale.
+        let a2 = slab.insert(4);
+        assert_eq!(a2.index(), a.index());
+        assert_ne!(a2, a, "recycled slot must carry a new generation");
+        let b2 = slab.insert(5);
+        assert_eq!(b2.index(), b.index());
         // No free slots left: grows.
         let d = slab.insert(6);
         assert_eq!(d.index(), 3);
         assert_eq!(slab.capacity_slots(), 4);
         assert_eq!(slab.len(), 4);
         let _ = c;
+    }
+
+    #[test]
+    fn stale_key_misses_after_slot_reuse() {
+        let mut slab = Slab::new();
+        let a = slab.insert("old");
+        slab.remove(a);
+        let b = slab.insert("new");
+        assert_eq!(b.index(), a.index(), "slot recycled");
+        assert_eq!(slab.get(a), None, "stale key must not alias new occupant");
+        assert_eq!(slab.get_mut(a), None);
+        assert_eq!(slab.get(b), Some(&"new"));
+    }
+
+    #[test]
+    fn generation_survives_multiple_recycles() {
+        let mut slab = Slab::new();
+        let mut keys = Vec::new();
+        for i in 0..10 {
+            let k = slab.insert(i);
+            keys.push(k);
+            slab.remove(k);
+        }
+        let live = slab.insert(99);
+        for k in keys {
+            assert_eq!(slab.get(k), None, "every historical key is stale");
+        }
+        assert_eq!(slab.get(live), Some(&99));
     }
 
     #[test]
@@ -228,11 +313,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "remove of vacant slot")]
+    fn iter_keys_resolve() {
+        let mut slab = Slab::new();
+        let a = slab.insert(10);
+        slab.remove(a);
+        slab.insert(20);
+        slab.insert(30);
+        for (k, v) in slab.iter() {
+            assert_eq!(slab.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "remove through stale key")]
     fn double_remove_panics() {
         let mut slab = Slab::new();
         let k = slab.insert(());
         slab.remove(k);
+        // The successful remove bumped the generation, so the second
+        // remove through the same key is caught as stale.
+        slab.remove(k);
+    }
+
+    #[test]
+    #[should_panic(expected = "remove through stale key")]
+    fn stale_remove_panics() {
+        let mut slab = Slab::new();
+        let k = slab.insert(1);
+        slab.remove(k);
+        slab.insert(2);
         slab.remove(k);
     }
 }

@@ -203,3 +203,66 @@ fn unreached_fault_plan_is_metrics_neutral() {
         "an unreached FaultPlan changed the metric bytes"
     );
 }
+
+#[test]
+fn exec_mode_sweep_is_jobs_invariant() {
+    // The lifecycle matrix — six exec modes, each with its own pool /
+    // snapshot state machine — must render byte-identically whether the
+    // sweep runner uses 1, 2 or 8 worker threads.
+    use sky_bench::exec_modes::{fig_exec_modes_rows, render_fig_exec_modes};
+    use sky_bench::sweep::Jobs;
+    use sky_bench::Scale;
+
+    let reference = render_fig_exec_modes(&fig_exec_modes_rows(Scale::Quick, Jobs::serial()));
+    for jobs in [1, 2, 8] {
+        let rendered = render_fig_exec_modes(&fig_exec_modes_rows(Scale::Quick, Jobs::new(jobs)));
+        assert_eq!(
+            rendered, reference,
+            "--jobs {jobs} changed the fig_exec_modes bytes"
+        );
+    }
+}
+
+#[test]
+fn mode_routing_sweep_is_jobs_invariant() {
+    // The steering x mode grid runs the CPU-gated client against
+    // snapshot-restoring deployments; retries, restores and declines
+    // must all stay on per-cell RNG streams.
+    use sky_bench::exec_modes::{ablation_mode_routing_rows, render_ablation_mode_routing};
+    use sky_bench::sweep::Jobs;
+    use sky_bench::Scale;
+
+    let reference =
+        render_ablation_mode_routing(&ablation_mode_routing_rows(Scale::Quick, Jobs::serial()));
+    for jobs in [1, 2, 8] {
+        let rendered = render_ablation_mode_routing(&ablation_mode_routing_rows(
+            Scale::Quick,
+            Jobs::new(jobs),
+        ));
+        assert_eq!(
+            rendered, reference,
+            "--jobs {jobs} changed the ablation_mode_routing bytes"
+        );
+    }
+}
+
+#[test]
+fn exec_mode_metric_snapshots_are_jobs_invariant() {
+    // Merged per-arm metric snapshots of the lifecycle matrix must
+    // export byte-identical Prometheus text at any worker count.
+    use sky_bench::exec_modes::fig_exec_modes_with_metrics;
+    use sky_bench::sweep::Jobs;
+    use sky_bench::Scale;
+
+    let (_, reference) = fig_exec_modes_with_metrics(Scale::Quick, Jobs::serial());
+    assert!(!reference.entries.is_empty(), "snapshot must not be empty");
+    let ref_prom = reference.to_prometheus_text();
+    for jobs in [1, 2, 8] {
+        let (_, snap) = fig_exec_modes_with_metrics(Scale::Quick, Jobs::new(jobs));
+        assert_eq!(
+            snap.to_prometheus_text(),
+            ref_prom,
+            "--jobs {jobs} changed the fig_exec_modes metric bytes"
+        );
+    }
+}

@@ -41,8 +41,9 @@ fn registry_names_are_unique_and_well_formed() {
     }
     assert_eq!(
         seen.len(),
-        25,
-        "expected the 24 ported binaries plus bench_engine_fleet"
+        27,
+        "expected the 24 ported binaries plus bench_engine_fleet, \
+         fig_exec_modes and ablation_mode_routing"
     );
 }
 

@@ -555,3 +555,300 @@ fn backoff_delays_are_monotone_and_bounded_for_random_policies() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Execution-mode lifecycle properties (exec-mode subsystem).
+// ---------------------------------------------------------------------
+
+use sky_faas::{
+    BatchRequest, ExecMode, ExecProfile, FiEvent, FiState, PoolPolicy, RequestBody, StartClass,
+};
+
+/// The FI state machine's transition graph must be exactly the legal
+/// edge set: every listed edge steps, every unlisted `(state, event)`
+/// pair is rejected, `Retired` is absorbing, and every state is
+/// reachable from some start class's initial state.
+#[test]
+fn fi_state_machine_is_exactly_the_legal_edge_set() {
+    use FiEvent::*;
+    use FiState::*;
+    const STATES: [FiState; 6] = [
+        Provisioning,
+        Restoring,
+        Branching,
+        Active,
+        WarmIdle,
+        Retired,
+    ];
+    const EVENTS: [FiEvent; 4] = [Ready, Dispatch, Release, Retire];
+    const LEGAL: [(FiState, FiEvent, FiState); 7] = [
+        (Provisioning, Ready, Active),
+        (Restoring, Ready, Active),
+        (Branching, Ready, Active),
+        (Active, Release, WarmIdle),
+        (Active, Retire, Retired),
+        (WarmIdle, Dispatch, Active),
+        (WarmIdle, Retire, Retired),
+    ];
+    for state in STATES {
+        for event in EVENTS {
+            let expected = LEGAL
+                .iter()
+                .find(|&&(s, e, _)| s == state && e == event)
+                .map(|&(_, _, next)| next);
+            assert_eq!(
+                state.step(event),
+                expected,
+                "transition table mismatch at ({state:?}, {event:?})"
+            );
+        }
+    }
+    // Retired is absorbing.
+    for event in EVENTS {
+        assert_eq!(Retired.step(event), None);
+    }
+    // Every state is reachable: the three init states and WarmIdle come
+    // straight from `initial`, and Active/Retired from legal edges.
+    let initials: Vec<FiState> = [
+        StartClass::Cold,
+        StartClass::Restored,
+        StartClass::Branched,
+        StartClass::Pooled,
+        StartClass::Warm,
+    ]
+    .into_iter()
+    .map(FiState::initial)
+    .collect();
+    let mut reachable: Vec<FiState> = initials.clone();
+    loop {
+        let mut grew = false;
+        for &s in &reachable.clone() {
+            for e in EVENTS {
+                if let Some(next) = s.step(e) {
+                    if !reachable.contains(&next) {
+                        reachable.push(next);
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    for state in STATES {
+        assert!(
+            reachable.contains(&state),
+            "{state:?} unreachable from the start classes"
+        );
+    }
+}
+
+fn random_mode_engine(seed: u64) -> (sky_faas::FaasEngine, Vec<sky_faas::DeploymentId>) {
+    use sky_cloud::{Arch, Catalog, Provider};
+    use sky_faas::{FaasEngine, FleetConfig};
+    let mut engine = FaasEngine::new(Catalog::paper_world(seed), FleetConfig::new(seed));
+    let account = engine.create_account(Provider::Aws);
+    let az: AzId = "us-east-2a".parse().unwrap();
+    let mut rng = SimRng::seed_from(SEED).derive_idx("mode-deploy", seed);
+    let deps: Vec<sky_faas::DeploymentId> = ExecMode::ALL
+        .iter()
+        .map(|&mode| {
+            let dep = engine
+                .deploy(account, &az, 2048, Arch::X86_64)
+                .expect("deploys");
+            let mut profile = ExecProfile::for_mode(mode);
+            if rng.chance(0.5) {
+                profile = profile.with_pool(PoolPolicy::Fixed {
+                    target: rng.range_inclusive(1, 4) as u32,
+                    cap: rng.range_inclusive(4, 6) as u32,
+                });
+            }
+            engine.set_exec_profile(dep, profile);
+            dep
+        })
+        .collect();
+    (engine, deps)
+}
+
+/// Under randomized multi-mode traffic, the per-`(az, mode)` billing
+/// slices must partition the billed total exactly — no request is ever
+/// billed under two modes, none escapes its slice — and the per-class
+/// start counters must likewise partition total starts.
+#[test]
+fn mode_billing_and_start_classes_partition_totals_under_random_traffic() {
+    let mut rng = SimRng::seed_from(SEED).derive("mode-billing");
+    for round in 0..4u64 {
+        let (mut engine, deps) = random_mode_engine(round);
+        for _ in 0..6 {
+            let n = rng.range_inclusive(2, 14) as usize;
+            let requests: Vec<BatchRequest> = (0..n)
+                .map(|_| BatchRequest {
+                    deployment: deps[rng.next_below(deps.len() as u64) as usize],
+                    offset: SimDuration::from_millis(rng.next_below(400)),
+                    body: RequestBody::Sleep {
+                        duration: SimDuration::from_millis(rng.range_inclusive(20, 400)),
+                    },
+                })
+                .collect();
+            engine.run_batch(requests);
+            engine.advance_by(SimDuration::from_mins(rng.range_inclusive(1, 14)));
+        }
+        let snap = engine.metrics_snapshot();
+        assert_eq!(
+            snap.counter_sum("faas", "billed_mb_us_mode"),
+            snap.counter_sum("faas", "billed_mb_us"),
+            "round {round}: mode slices must partition the billed total"
+        );
+        let class_total: u64 = [
+            "cold_starts",
+            "warm_starts",
+            "restored_starts",
+            "branched_starts",
+            "pooled_starts",
+        ]
+        .iter()
+        .map(|name| snap.counter_sum("faas", name))
+        .sum();
+        // Sleep bodies never hit the result cache and the fleet is far
+        // below saturation, so every attempt dispatches on exactly one
+        // FI and carries exactly one start class.
+        let attempts = snap.counter_sum("faas", "attempts");
+        assert!(attempts > 0, "round {round}: traffic must dispatch");
+        assert_eq!(
+            class_total, attempts,
+            "round {round}: start classes must partition attempts"
+        );
+    }
+}
+
+/// Pre-warm pool occupancy must never exceed the policy cap, at any
+/// observation point, under random bursts, idle gaps and pool ticks.
+#[test]
+fn pool_occupancy_never_exceeds_cap() {
+    use sky_cloud::{Arch, Catalog, Provider};
+    use sky_faas::{FaasEngine, FleetConfig};
+    let mut rng = SimRng::seed_from(SEED).derive("pool-cap");
+    let az: AzId = "us-east-2a".parse().unwrap();
+    for round in 0..4u64 {
+        let mut engine = FaasEngine::new(Catalog::paper_world(round), FleetConfig::new(round));
+        let account = engine.create_account(Provider::Aws);
+        let dep = engine
+            .deploy(account, &az, 2048, Arch::X86_64)
+            .expect("deploys");
+        let cap = rng.range_inclusive(1, 8) as u32;
+        let policy = if rng.chance(0.5) {
+            PoolPolicy::Fixed {
+                target: rng.range_inclusive(1, 12) as u32,
+                cap,
+            }
+        } else {
+            PoolPolicy::DemandEwma {
+                alpha_x256: rng.range_inclusive(16, 256) as u32,
+                cap,
+            }
+        };
+        engine.set_exec_profile(dep, ExecProfile::default().with_pool(policy));
+        for _ in 0..10 {
+            let n = rng.next_below(10) as usize;
+            let requests: Vec<BatchRequest> = (0..n)
+                .map(|_| BatchRequest {
+                    deployment: dep,
+                    offset: SimDuration::from_millis(rng.next_below(200)),
+                    body: RequestBody::Sleep {
+                        duration: SimDuration::from_millis(rng.range_inclusive(20, 300)),
+                    },
+                })
+                .collect();
+            engine.run_batch(requests);
+            let occupancy = engine.platform(&az).unwrap().pool_occupancy(dep);
+            assert!(
+                occupancy <= cap as usize,
+                "round {round}: occupancy {occupancy} exceeds cap {cap}"
+            );
+            engine.advance_by(SimDuration::from_secs(rng.range_inclusive(10, 600)));
+            let occupancy = engine.platform(&az).unwrap().pool_occupancy(dep);
+            assert!(
+                occupancy <= cap as usize,
+                "round {round}: post-advance occupancy {occupancy} exceeds cap {cap}"
+            );
+        }
+    }
+}
+
+/// Snapshot TTL eviction is monotone: the eviction counter never
+/// decreases, a live snapshot's expiry never moves earlier, and once
+/// the TTL passes with no refresh the snapshot is gone.
+#[test]
+fn snapshot_ttl_eviction_is_monotone() {
+    use sky_cloud::{Arch, Catalog, Provider};
+    use sky_faas::{FaasEngine, FleetConfig};
+    let mut rng = SimRng::seed_from(SEED).derive("snap-ttl");
+    let az: AzId = "us-east-2a".parse().unwrap();
+    for round in 0..4u64 {
+        let ttl = SimDuration::from_mins(rng.range_inclusive(5, 20));
+        let mut engine = FaasEngine::new(Catalog::paper_world(round), FleetConfig::new(round));
+        let account = engine.create_account(Provider::Aws);
+        let dep = engine
+            .deploy(account, &az, 2048, Arch::X86_64)
+            .expect("deploys");
+        engine.set_exec_profile(
+            dep,
+            ExecProfile::for_mode(ExecMode::Checkpointed).with_snapshot_ttl(ttl),
+        );
+        let mut evicted_last = 0u64;
+        let mut expires_last = None;
+        for _ in 0..8 {
+            if rng.chance(0.6) {
+                engine.run_batch(vec![BatchRequest {
+                    deployment: dep,
+                    offset: SimDuration::ZERO,
+                    body: RequestBody::Sleep {
+                        duration: SimDuration::from_millis(100),
+                    },
+                }]);
+            }
+            engine.advance_by(SimDuration::from_mins(rng.range_inclusive(1, 30)));
+            let platform = engine.platform(&az).unwrap();
+            let evicted = platform.snapshots_evicted_total();
+            assert!(
+                evicted >= evicted_last,
+                "round {round}: eviction counter must be monotone"
+            );
+            evicted_last = evicted;
+            if let Some(snap) = platform.snapshot(dep) {
+                assert!(
+                    snap.expires > snap.created,
+                    "round {round}: TTL window must be non-empty"
+                );
+                assert_eq!(
+                    snap.expires,
+                    snap.created + ttl,
+                    "round {round}: expiry is exactly created + TTL"
+                );
+                if let Some(last) = expires_last {
+                    assert!(
+                        snap.expires >= last,
+                        "round {round}: refresh never shortens the deadline"
+                    );
+                }
+                expires_last = Some(snap.expires);
+            }
+        }
+        // Quiesce past the TTL: the snapshot must not outlive it. The
+        // registry evicts lazily (on the next acquire), so observe
+        // through a fresh request's start class instead of the map.
+        engine.advance_by(ttl + SimDuration::from_mins(1));
+        let outcomes = engine.run_batch(vec![BatchRequest {
+            deployment: dep,
+            offset: SimDuration::ZERO,
+            body: RequestBody::Sleep {
+                duration: SimDuration::from_millis(100),
+            },
+        }]);
+        assert!(
+            outcomes[0].status.report().map(|r| r.new_container) != Some(false),
+            "round {round}: an expired snapshot must not serve a restore"
+        );
+    }
+}

@@ -150,3 +150,59 @@ fn shed_requests_still_close_their_spans() {
     let (e2e_n, _) = span_hist_totals(&snap, "e2e_us");
     assert_eq!(e2e_n, n as u64, "shed requests still record an e2e span");
 }
+
+#[test]
+fn restore_spans_extend_the_phase_partition() {
+    // Under a snapshot-restoring lifecycle the start phase gains a third
+    // class: the exact identity becomes
+    //   Σ route + Σ cold + Σ restore + Σ warm + Σ execute == Σ e2e
+    // and every span still starts exactly once — cold, restored (which
+    // also covers CoW branches) or warm.
+    use sky_faas::{ExecMode, ExecProfile};
+
+    let mut engine = new_engine(47);
+    let account = engine.create_account(Provider::Aws);
+    let az: sky_cloud::AzId = "us-east-2a".parse().unwrap();
+    let dep = engine.deploy(account, &az, 2048, Arch::X86_64).unwrap();
+    engine.set_exec_profile(dep, ExecProfile::for_mode(ExecMode::Checkpointed));
+    let mut rng = SimRng::seed_from(0x5fa2_2027);
+    for _ in 0..4 {
+        let n = rng.range_inclusive(10, 40) as usize;
+        let requests: Vec<BatchRequest> = (0..n)
+            .map(|i| BatchRequest {
+                deployment: dep,
+                offset: SimDuration::from_millis(i as u64 * rng.range_inclusive(0, 9)),
+                body: RequestBody::Sleep {
+                    duration: SimDuration::from_millis(rng.range_inclusive(20, 400)),
+                },
+            })
+            .collect();
+        engine.run_batch(requests);
+        // Long enough for keep-alive to lapse (forcing restores), short
+        // enough to stay inside the 30-minute snapshot TTL.
+        engine.advance_by(SimDuration::from_mins(rng.range_inclusive(6, 20)));
+    }
+
+    let snap = engine.metrics_snapshot();
+    let (e2e_n, e2e_sum) = span_hist_totals(&snap, "e2e_us");
+    let (route_n, route_sum) = span_hist_totals(&snap, "route_us");
+    let (cold_n, cold_sum) = span_hist_totals(&snap, "cold_start_us");
+    let (restore_n, restore_sum) = span_hist_totals(&snap, "restore_start_us");
+    let (warm_n, warm_sum) = span_hist_totals(&snap, "warm_start_us");
+    let (exec_n, exec_sum) = span_hist_totals(&snap, "execute_us");
+
+    assert!(restore_n > 0, "the schedule must exercise restored starts");
+    assert_eq!(e2e_n, engine.spans().closed_total());
+    assert_eq!(route_n, e2e_n, "every span records a route phase");
+    assert_eq!(exec_n, e2e_n, "every span records an execute phase");
+    assert_eq!(
+        cold_n + restore_n + warm_n,
+        e2e_n,
+        "every span starts exactly once: cold, restored or warm"
+    );
+    assert_eq!(
+        route_sum + cold_sum + restore_sum + warm_sum + exec_sum,
+        e2e_sum,
+        "phase durations must sum exactly to end-to-end latency"
+    );
+}
