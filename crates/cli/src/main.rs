@@ -52,8 +52,8 @@ fn main() {
 }
 
 fn run(raw: Vec<String>) -> Result<(), String> {
-    let args =
-        Args::parse_with_switches(raw, &["all", "json", "verbose"]).map_err(|e| e.to_string())?;
+    let args = Args::parse_with_switches(raw, &["all", "json", "verbose", "fix-pragmas", "write"])
+        .map_err(|e| e.to_string())?;
     let seed = args.flag_u64("seed", 42).map_err(|e| e.to_string())?;
     match args.positional(0) {
         None | Some("help") | Some("--help") => {
@@ -133,9 +133,13 @@ fn print_help() {
          \x20                                         deterministic metrics rollup of the\n\
          \x20                                         standard experiments (per-AZ and\n\
          \x20                                         per-policy breakdowns)\n\
-         \x20 lint         [--root PATH] [--format human|json]\n\
-         \x20                                         determinism static analysis (rules\n\
-         \x20                                         D001-D007; exits 1 on findings)\n\
+         \x20 lint         [--root PATH] [--format human|json] [--jobs N]\n\
+         \x20                                         determinism static + semantic\n\
+         \x20                                         analysis (rules D001-D011; exits 1\n\
+         \x20                                         on findings)\n\
+         \x20 lint --fix-pragmas [--write]            delete unused sky-lint pragmas\n\
+         \x20                                         (P002); prints a diff, applies\n\
+         \x20                                         only with --write\n\
          \n\
          global flags: --seed N (default 42), --json on characterize,\n\
          \x20             --jobs N (worker threads for exp run and multi-zone\n\
@@ -551,7 +555,9 @@ fn cmd_report(args: &Args) -> Result<(), String> {
 
 /// `skyward lint` — the determinism static-analysis pass, same engine
 /// as the standalone `sky-lint` binary. Exits 1 when findings exist so
-/// scripts and CI can gate on it.
+/// scripts and CI can gate on it. `--fix-pragmas` switches to the
+/// stale-pragma cleanup mode: print the planned edits as a diff, apply
+/// them only under `--write`.
 fn cmd_lint(args: &Args) -> Result<(), String> {
     let format = args.flag("format").unwrap_or("human");
     if format != "human" && format != "json" {
@@ -565,7 +571,22 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
                 .ok_or("no workspace root (Cargo.toml with [workspace]) above the current directory; pass --root PATH")?
         }
     };
-    let findings = sky_lint::lint_workspace(&root).map_err(|e| e.to_string())?;
+    if args.flag("fix-pragmas").is_some() {
+        let fixes = sky_lint::plan_pragma_fixes(&root).map_err(|e| e.to_string())?;
+        print!("{}", sky_lint::render_pragma_fixes(&fixes));
+        if fixes.is_empty() {
+            return Ok(());
+        }
+        if args.flag("write").is_some() {
+            let n = sky_lint::apply_pragma_fixes(&root, &fixes).map_err(|e| e.to_string())?;
+            println!("applied fixes in {n} file(s)");
+        } else {
+            println!("dry run: pass --write to apply");
+        }
+        return Ok(());
+    }
+    let jobs = args.flag_u64("jobs", 1).map_err(|e| e.to_string())?.max(1) as usize;
+    let findings = sky_lint::lint_workspace_with_jobs(&root, jobs).map_err(|e| e.to_string())?;
     match format {
         "json" => print!("{}", sky_lint::render_json(&findings)),
         _ => print!("{}", sky_lint::render_human(&findings)),

@@ -1,0 +1,20 @@
+//! D008 clean fixture: the same helper and loop shapes as the dirty
+//! twin, but each root hands out every label exactly once and per-item
+//! streams go through the sanctioned `derive_idx` escape.
+
+pub fn spawn_churn(rng: &SimRng) -> SimRng {
+    rng.derive("churn")
+}
+
+pub fn independent(root: &SimRng) -> (SimRng, SimRng) {
+    let mine = root.derive("faults");
+    let theirs = spawn_churn(&root);
+    (mine, theirs)
+}
+
+pub fn warm_loop(root: &SimRng) {
+    for az in 0..4 {
+        let host = root.derive_idx("host", az);
+        host.gen_range(0..8);
+    }
+}

@@ -1,0 +1,13 @@
+//! D009 clean fixture: every identity keeps one kind, every handle is
+//! touched with its own kind's method — including shadowed `let h`
+//! rebindings, which must resolve in source order.
+
+pub fn register_all(reg: &MetricsRegistry) {
+    let h = reg.counter("faas", "invocations", &[]);
+    reg.add(h, 1);
+    let h = reg.gauge("faas", "queue_depth", &[]);
+    reg.set_gauge(h, 3);
+    let h = reg.histogram("faas", "exec_us", &[]);
+    reg.observe(h, 120);
+    reg.observe_duration(h, 7);
+}

@@ -1,0 +1,18 @@
+//! D010 clean fixture: the opener never closes the span itself, but a
+//! callee on its call-graph path does — pairing across function
+//! boundaries is exactly what the rule must accept.
+
+pub struct Tracer {
+    spans: SpanLedger,
+}
+
+impl Tracer {
+    pub fn handle(&mut self, now: u64) {
+        self.spans.open(7, now);
+        self.finish(now);
+    }
+
+    pub fn finish(&mut self, now: u64) {
+        self.spans.close(7, now, 0);
+    }
+}

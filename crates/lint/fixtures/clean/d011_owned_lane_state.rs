@@ -1,0 +1,18 @@
+//! D011 clean fixture (poses as `crates/faas/src/sharded/` lane code):
+//! each lane owns its state outright and results are merged in lane
+//! index order at the barrier; the only static is an immutable scalar.
+
+static LANE_COUNT: usize = 8;
+
+pub struct LaneState {
+    pub completed: u64,
+    pub results: Vec<u64>,
+}
+
+pub fn merge(lanes: Vec<LaneState>) -> u64 {
+    let mut total = 0;
+    for lane in lanes {
+        total += lane.completed;
+    }
+    total + LANE_COUNT as u64
+}

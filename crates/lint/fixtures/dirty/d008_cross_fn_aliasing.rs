@@ -1,0 +1,25 @@
+//! D008 dirty fixture: stream-label collisions that only appear across
+//! function boundaries (D004 is silent on both).
+//!
+//! `correlated` derives "churn" directly *and* hands the same root to
+//! `spawn_churn`, which derives "churn" again — two "independent"
+//! subsystems now read byte-identical streams. `warm_loop` derives a
+//! loop-invariant label inside a loop: every iteration gets the same
+//! stream.
+
+pub fn spawn_churn(rng: &SimRng) -> SimRng {
+    rng.derive("churn")
+}
+
+pub fn correlated(root: &SimRng) -> (SimRng, SimRng) {
+    let mine = root.derive("churn");
+    let theirs = spawn_churn(&root);
+    (mine, theirs)
+}
+
+pub fn warm_loop(root: &SimRng) {
+    for _az in 0..4 {
+        let host = root.derive("host");
+        host.gen_range(0..8);
+    }
+}

@@ -1,0 +1,12 @@
+//! D009 dirty fixture: one metric identity registered under two kinds
+//! (the registry panics on this at runtime), plus a handle registered
+//! as one kind but touched as another.
+
+pub fn register_all(reg: &MetricsRegistry) {
+    let c = reg.counter("faas", "invocations", &[]);
+    reg.add(c, 1);
+    let h = reg.histogram("faas", "invocations", &[]);
+    reg.observe(h, 42);
+    let g = reg.gauge("faas", "queue_depth", &[]);
+    reg.add(g, 1);
+}

@@ -1,0 +1,17 @@
+//! D010 dirty fixture: a span is opened but no function reachable from
+//! the opener ever closes it — the phase ledger leaks an open phase.
+
+pub struct Tracer {
+    spans: SpanLedger,
+}
+
+impl Tracer {
+    pub fn handle(&mut self, now: u64) {
+        self.spans.open(7, now);
+        self.route(now);
+    }
+
+    pub fn route(&mut self, now: u64) {
+        let _ = now;
+    }
+}

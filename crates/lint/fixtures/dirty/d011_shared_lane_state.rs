@@ -1,0 +1,20 @@
+//! D011 dirty fixture (poses as `crates/faas/src/sharded/` lane code):
+//! every flavour of cross-lane shared mutable state — `static mut`, an
+//! interior-mutable static, a `lazy_static!` global, and a struct whose
+//! `Arc<Mutex<_>>` field lets lanes contend on one lock.
+
+static mut COMPLETED: u64 = 0;
+
+static RESULTS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+lazy_static! {
+    static ref REGIONS: Vec<String> = Vec::new();
+}
+
+pub struct LaneShared {
+    pub results: Arc<Mutex<Vec<u64>>>,
+}
+
+pub fn drain(shared: &LaneShared) -> usize {
+    shared.results.lock().unwrap().len()
+}

@@ -7,26 +7,45 @@
 //! wall-clock read, an ambient RNG, an aliased stream label or an
 //! unsorted exporter ever reaches a golden.
 //!
+//! Two analysis layers share one pipeline:
+//!
+//! * **token rules** (D001–D007, [`rules`]) — per-file, resolvable on
+//!   the raw token stream;
+//! * **semantic rules** (D008–D011, [`semantic`]) — interprocedural,
+//!   run over a [`model::WorkspaceModel`] built by a lightweight
+//!   item-level parser ([`parser`]) with an intra-crate call graph
+//!   ([`graph`]).
+//!
 //! Three entry points ship the same pass:
 //!
-//! * the `sky-lint` binary (`--format human|json`, stable sorted
-//!   output, exit 1 on findings) — the CI gate;
-//! * the `skyward lint` CLI subcommand;
-//! * this library API ([`lint_source`], [`lint_workspace`]) — what the
-//!   fixture golden tests drive.
+//! * the `sky-lint` binary (`--format human|json`, `--jobs N`, stable
+//!   sorted output, exit 1 on findings) — the CI gate;
+//! * the `skyward lint` CLI subcommand (plus `--fix-pragmas`);
+//! * this library API ([`lint_source`], [`lint_workspace`],
+//!   [`lint_workspace_with_jobs`]) — what the fixture golden tests
+//!   drive.
 //!
-//! Rules are documented on [`rules`]; suppression syntax on [`pragma`].
+//! Rules are documented on [`rules`] and [`semantic`]; suppression
+//! syntax on [`pragma`]. Output is sorted by `(path, line, col, rule)`
+//! and the per-file phase is order-independent, so reports are
+//! byte-identical across file discovery order *and* `--jobs`.
 
+pub mod graph;
 pub mod lexer;
+pub mod model;
+pub mod parser;
 pub mod pragma;
 pub mod rules;
+pub mod semantic;
 
 pub use pragma::{Pragma, PragmaError};
-pub use rules::{lint_source, Finding, RULE_IDS, SIM_CRATES, WALLCLOCK_ALLOWLIST};
+pub use rules::{Finding, RULE_IDS, SIM_CRATES, WALLCLOCK_ALLOWLIST};
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use model::{FileModel, WorkspaceModel};
 
 /// Directory names never scanned, at any depth: build output, VCS
 /// metadata, and the vendored third-party stand-ins (not ours to lint).
@@ -77,17 +96,129 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
+/// One file after the per-file (parallelizable) phase: raw token
+/// findings, parsed pragmas, and the extracted semantic model.
+struct Prepped {
+    path: String,
+    pragmas: Vec<Pragma>,
+    pragma_errors: Vec<PragmaError>,
+    raw: Vec<Finding>,
+    model: FileModel,
+}
+
+/// The per-file phase: lex, token rules, parse, fact extraction. Pure
+/// per file — safe to run files in any order or in parallel.
+fn prepare(rel_path: &str, source: &str) -> Prepped {
+    let lexed = lexer::lex(source);
+    let (pragmas, pragma_errors) = pragma::parse_pragmas(&lexed.comments);
+    let raw = rules::token_findings(rel_path, &lexed);
+    let ast = parser::parse_file(&lexed);
+    let model = model::extract_file(rel_path, &lexed, &ast);
+    Prepped {
+        path: rel_path.to_string(),
+        pragmas,
+        pragma_errors,
+        raw,
+        model,
+    }
+}
+
+/// The serial phase: assemble the workspace model, run the semantic
+/// rules, then apply pragma suppression and hygiene per file.
+fn finish(mut files: Vec<Prepped>) -> Vec<Finding> {
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    let ws = WorkspaceModel::from_files(files.iter().map(|p| p.model.clone()).collect());
+    let mut semantic = semantic::semantic_findings(&ws);
+
+    let mut findings = Vec::new();
+    for p in &mut files {
+        let mut raw = std::mem::take(&mut p.raw);
+        raw.extend(
+            semantic
+                .extract_if(.., |f| f.path == p.path)
+                .collect::<Vec<_>>(),
+        );
+        findings.extend(
+            raw.into_iter()
+                .filter(|f| !pragma::suppresses(&mut p.pragmas, f.rule, f.line)),
+        );
+        for e in &p.pragma_errors {
+            findings.push(Finding {
+                path: p.path.clone(),
+                line: e.line(),
+                col: 1,
+                rule: "P001",
+                message: e.message(),
+                hint: "write `// sky-lint: allow(D00x, <reason>)` with a non-empty reason"
+                    .to_string(),
+            });
+        }
+        for pr in &p.pragmas {
+            if !pr.used {
+                findings.push(Finding {
+                    path: p.path.clone(),
+                    line: pr.line,
+                    col: 1,
+                    rule: "P002",
+                    message: format!(
+                        "unused sky-lint pragma: allow({}) suppresses nothing on its line",
+                        pr.rule
+                    ),
+                    hint: "delete the stale pragma (or move it next to the site it justifies)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Lint one file's source through the full pipeline (token + semantic
+/// rules + pragmas). `rel_path` must be workspace-relative with `/`
+/// separators — it selects which rules apply. Interprocedural effects
+/// are naturally limited to this one file; cross-file analysis needs
+/// [`lint_workspace`].
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    finish(vec![prepare(rel_path, source)])
+}
+
 /// Lint every `.rs` file under `root`. Findings come back sorted by
 /// `(path, line, col, rule)` — stable across discovery order.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    lint_workspace_with_jobs(root, 1)
+}
+
+/// [`lint_workspace`] with the per-file phase fanned out over `jobs`
+/// threads. The file list is split into contiguous chunks, each worker
+/// fills its own pre-allocated slot, and chunks are merged in file
+/// order — so the output is byte-identical to `jobs = 1`.
+pub fn lint_workspace_with_jobs(root: &Path, jobs: usize) -> io::Result<Vec<Finding>> {
     let files = collect_workspace_files(root)?;
-    let mut findings = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
-        let source = fs::read_to_string(root.join(rel))?;
-        findings.extend(lint_source(rel, &source));
+        sources.push((rel.as_str(), fs::read_to_string(root.join(rel))?));
     }
-    sort_findings(&mut findings);
-    Ok(findings)
+    let jobs = jobs.clamp(1, sources.len().max(1));
+    let prepped: Vec<Prepped> = if jobs <= 1 {
+        sources.iter().map(|(p, s)| prepare(p, s)).collect()
+    } else {
+        let chunk = sources.len().div_ceil(jobs);
+        let mut slots: Vec<Vec<Prepped>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = sources
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(|(p, s)| prepare(p, s)).collect()))
+                .collect();
+            // Join in spawn (= file) order: the merge is deterministic
+            // whatever order the workers finish in.
+            for h in handles {
+                slots.push(h.join().unwrap_or_default());
+            }
+        });
+        slots.into_iter().flatten().collect()
+    };
+    Ok(finish(prepped))
 }
 
 /// Canonical finding order: path, then position, then rule.
@@ -112,6 +243,113 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
         dir = d.parent();
     }
     None
+}
+
+/// One planned removal of an unused (`P002`) pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaFix {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line to rewrite.
+    pub line: u32,
+    /// The current line content.
+    pub old: String,
+    /// Replacement: `None` deletes the whole line (standalone pragma
+    /// comment), `Some` keeps the code and strips the trailing pragma.
+    pub new: Option<String>,
+}
+
+/// Plan machine-applicable fixes for every unused-pragma (`P002`)
+/// finding under `root`: standalone pragma lines are deleted, trailing
+/// pragmas are stripped from their code line.
+pub fn plan_pragma_fixes(root: &Path) -> io::Result<Vec<PragmaFix>> {
+    let findings = lint_workspace(root)?;
+    let mut fixes = Vec::new();
+    for f in findings.iter().filter(|f| f.rule == "P002") {
+        let source = fs::read_to_string(root.join(&f.path))?;
+        let Some(content) = source.lines().nth(f.line as usize - 1) else {
+            continue;
+        };
+        let Some(at) = content.find("//") else {
+            continue;
+        };
+        let before = &content[..at];
+        let new = if before.trim().is_empty() {
+            None
+        } else {
+            Some(before.trim_end().to_string())
+        };
+        fixes.push(PragmaFix {
+            path: f.path.clone(),
+            line: f.line,
+            old: content.to_string(),
+            new,
+        });
+    }
+    Ok(fixes)
+}
+
+/// Render planned pragma fixes as a unified-style diff.
+pub fn render_pragma_fixes(fixes: &[PragmaFix]) -> String {
+    let mut out = String::new();
+    let mut last_path = "";
+    for f in fixes {
+        if f.path != last_path {
+            out.push_str(&format!("--- {}\n+++ {}\n", f.path, f.path));
+            last_path = &f.path;
+        }
+        out.push_str(&format!("@@ line {} @@\n-{}\n", f.line, f.old));
+        if let Some(new) = &f.new {
+            out.push_str(&format!("+{new}\n"));
+        }
+    }
+    if fixes.is_empty() {
+        out.push_str("sky-lint: no unused pragmas to fix\n");
+    } else {
+        out.push_str(&format!(
+            "sky-lint: {} unused pragma{} to remove\n",
+            fixes.len(),
+            if fixes.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Apply planned pragma fixes to the files under `root`. Lines are
+/// rewritten bottom-up per file so earlier fixes never shift later
+/// line numbers. Returns the number of files changed.
+pub fn apply_pragma_fixes(root: &Path, fixes: &[PragmaFix]) -> io::Result<usize> {
+    let mut by_file: Vec<(&str, Vec<&PragmaFix>)> = Vec::new();
+    for f in fixes {
+        match by_file.iter_mut().find(|(p, _)| *p == f.path) {
+            Some((_, v)) => v.push(f),
+            None => by_file.push((&f.path, vec![f])),
+        }
+    }
+    for (path, file_fixes) in &mut by_file {
+        let path: &str = path;
+        let source = fs::read_to_string(root.join(path))?;
+        let mut lines: Vec<String> = source.lines().map(|l| l.to_string()).collect();
+        file_fixes.sort_by_key(|f| std::cmp::Reverse(f.line));
+        for f in file_fixes.iter() {
+            let idx = f.line as usize - 1;
+            if lines.get(idx).map(|l| l.as_str()) != Some(f.old.as_str()) {
+                continue; // file changed underneath the plan; skip
+            }
+            match &f.new {
+                Some(new) => lines[idx] = new.clone(),
+                None => {
+                    lines.remove(idx);
+                }
+            }
+        }
+        let mut rebuilt = lines.join("\n");
+        if source.ends_with('\n') {
+            rebuilt.push('\n');
+        }
+        fs::write(root.join(path), rebuilt)?;
+    }
+    Ok(by_file.len())
 }
 
 /// Render findings as human-readable text (one finding per pair of
@@ -218,5 +456,46 @@ mod tests {
         let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
         let root = find_workspace_root(&here).expect("workspace root");
         assert!(root.join("crates/lint").is_dir());
+    }
+
+    #[test]
+    fn semantic_findings_are_suppressible_by_pragma() {
+        let dirty = lint_source(
+            "crates/faas/src/x.rs",
+            "fn f(rng: &mut SimRng) { for h in 0..2 { sink(rng.derive(\"h\")); } }",
+        );
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].rule, "D008");
+        let clean = lint_source(
+            "crates/faas/src/x.rs",
+            "fn f(rng: &mut SimRng) {\n\
+                 // sky-lint: allow(D008, the loop intentionally replays one stream)\n\
+                 for h in 0..2 { sink(rng.derive(\"h\")); }\n\
+             }",
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn pragma_fix_rendering_and_shapes() {
+        let fixes = vec![
+            PragmaFix {
+                path: "crates/faas/src/a.rs".into(),
+                line: 3,
+                old: "// sky-lint: allow(D001, stale)".into(),
+                new: None,
+            },
+            PragmaFix {
+                path: "crates/faas/src/a.rs".into(),
+                line: 9,
+                old: "let x = 1; // sky-lint: allow(D005, stale)".into(),
+                new: Some("let x = 1;".into()),
+            },
+        ];
+        let diff = render_pragma_fixes(&fixes);
+        assert!(diff.contains("-// sky-lint: allow(D001, stale)"));
+        assert!(diff.contains("+let x = 1;"));
+        assert!(diff.contains("2 unused pragmas"));
+        assert!(render_pragma_fixes(&[]).contains("no unused pragmas"));
     }
 }

@@ -1,13 +1,14 @@
 //! `sky-lint` binary — the CI determinism gate.
 //!
 //! ```text
-//! sky-lint [--root PATH] [--format human|json]
+//! sky-lint [--root PATH] [--format human|json] [--jobs N]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings, `2` usage or I/O error. Output
 //! is sorted by `(path, line, col, rule)` and paths are workspace-
 //! relative with `/` separators, so the bytes are identical across
-//! machines, filesystems and discovery orders.
+//! machines, filesystems, discovery orders — and `--jobs` settings
+//! (the parallel per-file phase merges in file order).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,7 +24,7 @@ fn main() -> ExitCode {
         }
         Err(message) => {
             eprintln!("sky-lint: error: {message}");
-            eprintln!("usage: sky-lint [--root PATH] [--format human|json]");
+            eprintln!("usage: sky-lint [--root PATH] [--format human|json] [--jobs N]");
             ExitCode::from(2)
         }
     }
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
 fn run() -> Result<bool, String> {
     let mut root: Option<PathBuf> = None;
     let mut format = "human".to_string();
+    let mut jobs = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let (flag, inline) = match arg.split_once('=') {
@@ -47,6 +49,12 @@ fn run() -> Result<bool, String> {
         match flag.as_str() {
             "--root" => root = Some(PathBuf::from(value("--root")?)),
             "--format" => format = value("--format")?,
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|_| "--jobs must be a positive integer".to_string())?
+                    .max(1)
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -63,7 +71,7 @@ fn run() -> Result<bool, String> {
                 .ok_or("no workspace root found above the current directory")?
         }
     };
-    let findings = sky_lint::lint_workspace(&root).map_err(|e| e.to_string())?;
+    let findings = sky_lint::lint_workspace_with_jobs(&root, jobs).map_err(|e| e.to_string())?;
     let rendered = match format.as_str() {
         "json" => sky_lint::render_json(&findings),
         _ => sky_lint::render_human(&findings),

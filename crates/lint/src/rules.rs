@@ -1,12 +1,15 @@
-//! The determinism rules (D001–D007) plus the pragma-hygiene findings
-//! (P001 malformed pragma, P002 unused pragma).
+//! The token-level determinism rules (D001–D007). The interprocedural
+//! rules (D008–D011) live in [`crate::semantic`]; the pragma-hygiene
+//! findings (P001 malformed pragma, P002 unused pragma) are emitted by
+//! the pipeline in `lib.rs`.
 //!
-//! Every rule is resolvable at token level — deliberately: the gate
-//! must run in offline CI with zero dependencies, and a rule that needs
-//! whole-program type inference is a rule whose false-negative modes
-//! nobody can reason about. Where a rule is a heuristic approximation
-//! of the real invariant (D005, D006), the approximation is documented
-//! here and in `DESIGN.md` §9.
+//! Every rule here is resolvable at token level — deliberately: the
+//! gate must run in offline CI with zero dependencies, and a rule that
+//! needs whole-program type inference is a rule whose false-negative
+//! modes nobody can reason about. Where a rule is a heuristic
+//! approximation of the real invariant (D005, D006), the approximation
+//! is documented here and in `DESIGN.md` §9; the semantic rules'
+//! approximations are documented on [`crate::semantic`] and §13.
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -17,13 +20,18 @@
 //! | D005 | no float `+=`/`.sum()` accumulation over money identifiers in sim-affecting crates |
 //! | D006 | no `pub` hash-keyed map fields in `#[derive(Serialize)]` snapshot types |
 //! | D007 | no unordered parallel reductions (`.lock()` + `push`/`extend`/`insert`/`append` on one line) in sim crates or `bench` |
+//! | D008 | RNG lineage: no sibling-stream label collisions across function boundaries, no loop-invariant labels derived in loops |
+//! | D009 | metrics contracts: one kind per `(subsystem, name)` workspace-wide; handles touched only with their kind's methods |
+//! | D010 | span pairing: every opened span reaches a `close` through the intra-crate call graph |
+//! | D011 | cross-lane state: no `static mut` / interior-mutable statics / `lazy_static!` in parallel crates, no `Arc<Mutex<_>>`/`Arc<RwLock<_>>` fields reachable from sharded lane code |
 
 use crate::lexer::{Lexed, Tok, Token};
-use crate::pragma::{parse_pragmas, suppresses};
 
 /// All suppressible rule ids (P001/P002 are not suppressible: pragma
 /// hygiene cannot be pragma'd away).
-pub const RULE_IDS: [&str; 7] = ["D001", "D002", "D003", "D004", "D005", "D006", "D007"];
+pub const RULE_IDS: [&str; 11] = [
+    "D001", "D002", "D003", "D004", "D005", "D006", "D007", "D008", "D009", "D010", "D011",
+];
 
 /// Crates whose code runs inside (or feeds state into) the seeded
 /// simulation — the D001/D005 scope.
@@ -78,58 +86,20 @@ fn scope_of(rel_path: &str) -> FileScope {
     }
 }
 
-/// Lint one file's source. `rel_path` must be workspace-relative with
-/// `/` separators — it selects which rules apply.
-pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    let lexed = crate::lexer::lex(source);
+/// Raw token-level findings (D001–D007) for one file — no pragma
+/// suppression, no hygiene findings; the pipeline in `lib.rs` applies
+/// those after merging in the semantic findings.
+pub(crate) fn token_findings(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
     let scope = scope_of(rel_path);
-    let (mut pragmas, pragma_errors) = parse_pragmas(&lexed.comments);
-
     let mut raw: Vec<Finding> = Vec::new();
-    rule_d001_hash_collections(rel_path, &lexed, scope, &mut raw);
-    rule_d002_wall_clock(rel_path, &lexed, scope, &mut raw);
-    rule_d003_ambient_entropy(rel_path, &lexed, &mut raw);
-    rule_d004_duplicate_stream_labels(rel_path, &lexed, &mut raw);
-    rule_d005_float_money(rel_path, &lexed, scope, &mut raw);
-    rule_d006_serialized_hash_maps(rel_path, &lexed, &mut raw);
-    rule_d007_unordered_parallel_reductions(rel_path, &lexed, scope, &mut raw);
-
-    let mut findings: Vec<Finding> = raw
-        .into_iter()
-        .filter(|f| !suppresses(&mut pragmas, f.rule, f.line))
-        .collect();
-
-    for e in &pragma_errors {
-        findings.push(Finding {
-            path: rel_path.to_string(),
-            line: e.line(),
-            col: 1,
-            rule: "P001",
-            message: e.message(),
-            hint: "write `// sky-lint: allow(D00x, <reason>)` with a non-empty reason".to_string(),
-        });
-    }
-    for p in &pragmas {
-        if !p.used {
-            findings.push(Finding {
-                path: rel_path.to_string(),
-                line: p.line,
-                col: 1,
-                rule: "P002",
-                message: format!(
-                    "unused sky-lint pragma: allow({}) suppresses nothing on its line",
-                    p.rule
-                ),
-                hint: "delete the stale pragma (or move it next to the site it justifies)"
-                    .to_string(),
-            });
-        }
-    }
-
-    findings.sort_by(|a, b| {
-        (a.line, a.col, a.rule, &a.message).cmp(&(b.line, b.col, b.rule, &b.message))
-    });
-    findings
+    rule_d001_hash_collections(rel_path, lexed, scope, &mut raw);
+    rule_d002_wall_clock(rel_path, lexed, scope, &mut raw);
+    rule_d003_ambient_entropy(rel_path, lexed, &mut raw);
+    rule_d004_duplicate_stream_labels(rel_path, lexed, &mut raw);
+    rule_d005_float_money(rel_path, lexed, scope, &mut raw);
+    rule_d006_serialized_hash_maps(rel_path, lexed, &mut raw);
+    rule_d007_unordered_parallel_reductions(rel_path, lexed, scope, &mut raw);
+    raw
 }
 
 fn push_once_per_line(out: &mut Vec<Finding>, f: Finding) {

@@ -34,6 +34,7 @@ use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 // sky-lint: allow(D001, HashMap here backs lookup-only interning indexes; exposition paths sort - see the per-field pragmas)
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::fmt::Write as _;
 
 /// Number of log₂ buckets: bucket 0 holds the value 0, bucket `b ≥ 1`
@@ -555,6 +556,34 @@ struct MetricKey {
     labels: Vec<(u32, u32)>,
 }
 
+/// A metric identity was re-registered as a different kind — e.g. a
+/// counter looked up as a histogram. Returned by the `try_*`
+/// registration methods; the panicking wrappers (`counter`, `gauge`,
+/// `histogram`) turn it into a panic at the offending call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricKindMismatch {
+    /// Subsystem segment of the colliding identity.
+    pub subsystem: String,
+    /// Name segment of the colliding identity.
+    pub name: String,
+    /// Kind the identity was first registered with.
+    pub existing: &'static str,
+    /// Kind the rejected registration asked for.
+    pub requested: &'static str,
+}
+
+impl fmt::Display for MetricKindMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "metric {}/{} re-registered as a different kind: first {}, now {}",
+            self.subsystem, self.name, self.existing, self.requested
+        )
+    }
+}
+
+impl std::error::Error for MetricKindMismatch {}
+
 /// The live registry: interned identities, dense storage, `O(1)`
 /// handle-based updates.
 #[derive(Debug, Clone, Default)]
@@ -618,35 +647,45 @@ impl MetricsRegistry {
         name: &str,
         labels: &[(&str, &str)],
         data: MetricData,
-    ) -> MetricHandle {
+    ) -> Result<MetricHandle, MetricKindMismatch> {
         let key = self.key(subsystem, name, labels);
         if let Some(&h) = self.index.get(&key) {
             let existing = &self.metrics[h.0 as usize].1;
-            assert_eq!(
-                existing.kind_label(),
-                data.kind_label(),
-                "metric {subsystem}/{name} re-registered as a different kind"
-            );
-            return h;
+            if existing.kind_label() != data.kind_label() {
+                return Err(MetricKindMismatch {
+                    subsystem: subsystem.to_string(),
+                    name: name.to_string(),
+                    existing: existing.kind_label(),
+                    requested: data.kind_label(),
+                });
+            }
+            return Ok(h);
         }
         let h = MetricHandle(self.metrics.len() as u32);
         self.metrics.push((key.clone(), data));
         self.index.insert(key, h);
-        h
+        Ok(h)
     }
 
-    /// Register (or look up) a counter.
-    pub fn counter(
+    /// Register (or look up) a counter, reporting a kind collision as
+    /// an error instead of panicking.
+    pub fn try_counter(
         &mut self,
         subsystem: &str,
         name: &str,
         labels: &[(&str, &str)],
-    ) -> MetricHandle {
+    ) -> Result<MetricHandle, MetricKindMismatch> {
         self.register(subsystem, name, labels, MetricData::Counter(0))
     }
 
-    /// Register (or look up) a gauge.
-    pub fn gauge(&mut self, subsystem: &str, name: &str, labels: &[(&str, &str)]) -> MetricHandle {
+    /// Register (or look up) a gauge, reporting a kind collision as an
+    /// error instead of panicking.
+    pub fn try_gauge(
+        &mut self,
+        subsystem: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<MetricHandle, MetricKindMismatch> {
         self.register(
             subsystem,
             name,
@@ -658,19 +697,64 @@ impl MetricsRegistry {
         )
     }
 
-    /// Register (or look up) a histogram.
-    pub fn histogram(
+    /// Register (or look up) a histogram, reporting a kind collision as
+    /// an error instead of panicking.
+    pub fn try_histogram(
         &mut self,
         subsystem: &str,
         name: &str,
         labels: &[(&str, &str)],
-    ) -> MetricHandle {
+    ) -> Result<MetricHandle, MetricKindMismatch> {
         self.register(
             subsystem,
             name,
             labels,
             MetricData::Histogram(LogHistogram::new()),
         )
+    }
+
+    /// Register (or look up) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identity is already registered as another kind;
+    /// use [`MetricsRegistry::try_counter`] to handle that as an error.
+    pub fn counter(
+        &mut self,
+        subsystem: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> MetricHandle {
+        self.try_counter(subsystem, name, labels)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Register (or look up) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identity is already registered as another kind;
+    /// use [`MetricsRegistry::try_gauge`] to handle that as an error.
+    pub fn gauge(&mut self, subsystem: &str, name: &str, labels: &[(&str, &str)]) -> MetricHandle {
+        self.try_gauge(subsystem, name, labels)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Register (or look up) a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identity is already registered as another kind;
+    /// use [`MetricsRegistry::try_histogram`] to handle that as an
+    /// error.
+    pub fn histogram(
+        &mut self,
+        subsystem: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> MetricHandle {
+        self.try_histogram(subsystem, name, labels)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Add to a counter.
@@ -973,8 +1057,28 @@ mod tests {
     #[should_panic(expected = "different kind")]
     fn registry_rejects_kind_collision() {
         let mut r = MetricsRegistry::new();
-        r.counter("faas", "requests", &[]);
-        r.histogram("faas", "requests", &[]);
+        r.counter("test", "kind_probe", &[]);
+        // sky-lint: allow(D009, deliberate kind collision: this test pins the panicking wrapper's behaviour)
+        r.histogram("test", "kind_probe", &[]);
+    }
+
+    #[test]
+    fn try_register_reports_kind_mismatch_as_error() {
+        let mut r = MetricsRegistry::new();
+        let c = r.try_counter("test", "kind_probe", &[]).unwrap();
+        assert_eq!(r.try_counter("test", "kind_probe", &[]).unwrap(), c);
+        // sky-lint: allow(D009, deliberate kind collision: this test pins the error payload)
+        let err = r.try_histogram("test", "kind_probe", &[]).unwrap_err();
+        assert_eq!(err.subsystem, "test");
+        assert_eq!(err.name, "kind_probe");
+        assert_eq!(err.existing, "counter");
+        assert_eq!(err.requested, "histogram");
+        assert!(err
+            .to_string()
+            .contains("re-registered as a different kind"));
+        // The failed registration must not have disturbed the registry.
+        r.add(c, 2);
+        assert_eq!(r.counter_value(c), 2);
     }
 
     #[test]
