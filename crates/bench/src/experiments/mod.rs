@@ -12,6 +12,7 @@
 //! DESIGN.md §10).
 
 pub mod ablation_ban_sets;
+pub mod ablation_drift_lag;
 pub mod ablation_mode_routing;
 pub mod ablation_passive;
 pub mod ablation_staleness;
@@ -34,6 +35,7 @@ pub mod fig6_polls_to_accuracy;
 pub mod fig7_temporal_drift;
 pub mod fig8_hourly_variation;
 pub mod fig9_cpu_performance;
+pub mod fig_drift_regret;
 pub mod fig_exec_modes;
 pub mod fig_faults;
 pub mod latency_tradeoff;

@@ -178,6 +178,8 @@ pub fn all() -> &'static [&'static dyn Experiment] {
         &fig_faults::FigFaults,
         &fig_exec_modes::FigExecModes,
         &ablation_mode_routing::AblationModeRouting,
+        &fig_drift_regret::FigDriftRegret,
+        &ablation_drift_lag::AblationDriftLag,
         &calibration_probe::CalibrationProbe,
         &bench_engine::BenchEngine,
         &bench_engine_fleet::BenchEngineFleet,

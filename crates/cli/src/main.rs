@@ -9,10 +9,12 @@
 //!                      [--scale quick|full] [--jobs N] [--seed N]
 //!                      [--out DIR]
 //! skyward characterize <az>[,<az>...] [--polls N] [--jobs N] [--seed N] [--json]
+//!                      [--stream]
 //! skyward saturate     <az> [--seed N]
 //! skyward profile      <workload> <az> [--runs N] [--seed N]
 //! skyward route        <workload> --baseline <az> [--candidates a,b,c]
-//!                      [--policy baseline|regional|retry-slow|focus|hybrid]
+//!                      [--policy baseline|regional|retry-slow|focus|hybrid
+//!                       |ucb-az|thompson-az]
 //!                      [--burst N] [--seed N]
 //! skyward faults       [--jobs N] [--scale quick|full]
 //! skyward report       [--jobs N] [--scale quick|full] [--format table|prom|json]
@@ -34,8 +36,9 @@ use sky_core::sim::series::Table;
 use sky_core::sim::SimDuration;
 use sky_core::workloads::{PerfModel, WorkloadKind};
 use sky_core::{
-    savings_fraction, CampaignConfig, CharacterizationStore, RetryMode, RouterConfig,
-    RoutingPolicy, SamplingCampaign, SmartRouter, WorkloadProfiler,
+    savings_fraction, CampaignConfig, CharacterizationStore, Characterizer, RetryMode,
+    RouterConfig, RoutingPolicy, SamplingCampaign, SmartRouter, StreamingCharacterizer,
+    StreamingConfig, WorkloadProfiler,
 };
 
 fn main() {
@@ -52,8 +55,11 @@ fn main() {
 }
 
 fn run(raw: Vec<String>) -> Result<(), String> {
-    let args = Args::parse_with_switches(raw, &["all", "json", "verbose", "fix-pragmas", "write"])
-        .map_err(|e| e.to_string())?;
+    let args = Args::parse_with_switches(
+        raw,
+        &["all", "json", "verbose", "fix-pragmas", "write", "stream"],
+    )
+    .map_err(|e| e.to_string())?;
     let seed = args.flag_u64("seed", 42).map_err(|e| e.to_string())?;
     match args.positional(0) {
         None | Some("help") | Some("--help") => {
@@ -121,10 +127,14 @@ fn print_help() {
          \x20                                         per experiment, else stdout)\n\
          \x20 characterize <az>[,<az>...] [--polls N] estimate zones' CPU mixes\n\
          \x20              [--jobs N]                 (zones characterized in parallel)\n\
+         \x20              [--stream]                 follow the campaign with observed\n\
+         \x20                                         production traffic through the\n\
+         \x20                                         streaming estimator (EWMA + CUSUM)\n\
          \x20 saturate     <az>                       poll a zone to its failure point\n\
          \x20 profile      <workload> <az> [--runs N] per-CPU runtimes for a workload\n\
          \x20 route        <workload> --baseline <az> [--candidates a,b,c]\n\
-         \x20              [--policy baseline|regional|retry-slow|focus|hybrid]\n\
+         \x20              [--policy baseline|regional|retry-slow|focus|hybrid\n\
+         \x20               |ucb-az|thompson-az]\n\
          \x20              [--burst N]                compare a policy against the baseline\n\
          \x20 faults       [--jobs N] [--scale quick|full]\n\
          \x20                                         baseline vs resilient client under\n\
@@ -217,6 +227,7 @@ fn cmd_characterize(args: &Args, seed: u64) -> Result<(), String> {
     }
     let polls = args.flag_u64("polls", 6).map_err(|e| e.to_string())? as usize;
     let json = args.flag("json").is_some();
+    let stream = args.flag("stream").is_some();
     // `Jobs::from_env` also honours `--jobs N` from argv, but routing it
     // through the parser gives proper errors for bad values.
     let jobs = match args.flag("jobs") {
@@ -227,7 +238,9 @@ fn cmd_characterize(args: &Args, seed: u64) -> Result<(), String> {
     // Each zone is an independent sweep cell with its own seeded engine,
     // so multi-zone characterizations fan out over `--jobs` threads and
     // print in the order the zones were named.
-    let reports = sweep::run(azs, jobs, |_, az| characterize_zone(az, polls, seed, json));
+    let reports = sweep::run(azs, jobs, |_, az| {
+        characterize_zone(az, polls, seed, json, stream)
+    });
     for report in reports {
         println!("{}", report?);
     }
@@ -235,8 +248,16 @@ fn cmd_characterize(args: &Args, seed: u64) -> Result<(), String> {
 }
 
 /// Characterize one zone in a fresh engine and render its report (one
-/// JSON document per zone under `--json`).
-fn characterize_zone(az: &AzId, polls: usize, seed: u64, json: bool) -> Result<String, String> {
+/// JSON document per zone under `--json`). With `stream`, the one-shot
+/// campaign seeds a [`StreamingCharacterizer`] that then watches a round
+/// of production traffic through the engine's observation hook.
+fn characterize_zone(
+    az: &AzId,
+    polls: usize,
+    seed: u64,
+    json: bool,
+    stream: bool,
+) -> Result<String, String> {
     let mut engine = engine_for(seed);
     let spec = engine
         .catalog()
@@ -255,8 +276,19 @@ fn characterize_zone(az: &AzId, polls: usize, seed: u64, json: bool) -> Result<S
     .map_err(|e| e.to_string())?;
     campaign.run_polls(&mut engine, polls);
     let mix = campaign.characterization().to_mix();
+    let streaming = if stream {
+        Some(stream_production_round(
+            &mut engine,
+            account,
+            az,
+            seed,
+            &mix,
+        )?)
+    } else {
+        None
+    };
     if json {
-        let value = serde_json::json!({
+        let mut value = serde_json::json!({
             "az": az.to_string(),
             "polls": polls,
             "unique_fis": campaign.characterization().unique_fis(),
@@ -265,6 +297,19 @@ fn characterize_zone(az: &AzId, polls: usize, seed: u64, json: bool) -> Result<S
                 serde_json::json!({"cpu": cpu.model_name(), "share": share})
             }).collect::<Vec<_>>(),
         });
+        if let Some(s) = &streaming {
+            let entry = serde_json::json!({
+                "observations": s.observations,
+                "cusum_x10k": s.cusum_x10k,
+                "detector_fired": s.fired,
+                "mix": s.mix.iter().map(|(cpu, share)| {
+                    serde_json::json!({"cpu": cpu.model_name(), "share": share})
+                }).collect::<Vec<_>>(),
+            });
+            if let serde_json::Value::Map(entries) = &mut value {
+                entries.push(("streaming".to_string(), entry));
+            }
+        }
         return Ok(serde_json::to_string_pretty(&value).expect("serializable"));
     }
     let mut table = Table::new(
@@ -278,13 +323,82 @@ fn characterize_zone(az: &AzId, polls: usize, seed: u64, json: bool) -> Result<S
             cpu.model_name().to_string(),
         ]);
     }
-    Ok(format!(
+    let mut report = format!(
         "{}\n{} unique FIs from {} reports; spend ${:.4}",
         table.render(),
         campaign.characterization().unique_fis(),
         campaign.characterization().reports(),
         campaign.total_cost_usd()
-    ))
+    );
+    if let Some(s) = &streaming {
+        let mut out = Table::new(
+            format!(
+                "{az}: streaming estimate after {} observed completion(s)",
+                s.observations
+            ),
+            &["cpu", "share %", "model"],
+        );
+        for (cpu, share) in s.mix.iter() {
+            out.row(&[
+                cpu.short_label().to_string(),
+                format!("{:.1}", share * 100.0),
+                cpu.model_name().to_string(),
+            ]);
+        }
+        report.push_str(&format!(
+            "\n{}\ndetector: cusum {} x10k, {}",
+            out.render(),
+            s.cusum_x10k,
+            if s.fired {
+                "FIRED (re-probe recommended)"
+            } else {
+                "quiet"
+            }
+        ));
+    }
+    Ok(report)
+}
+
+/// What one `--stream` round observed.
+struct StreamingReport {
+    observations: u64,
+    cusum_x10k: i64,
+    fired: bool,
+    mix: sky_core::cloud::CpuMix,
+}
+
+/// Seed a streaming characterizer with the campaign's snapshot, then run
+/// a short round of production traffic through the observation hook and
+/// report the decayed estimate plus the detector state.
+fn stream_production_round(
+    engine: &mut FaasEngine,
+    account: sky_core::faas::AccountId,
+    az: &AzId,
+    seed: u64,
+    probed: &sky_core::cloud::CpuMix,
+) -> Result<StreamingReport, String> {
+    let dep = engine
+        .deploy(account, az, 2048, Arch::X86_64)
+        .map_err(|e| e.to_string())?;
+    let mut chr = StreamingCharacterizer::new(StreamingConfig::default());
+    chr.record_probe(az, engine.now(), probed);
+    engine.advance_by(SimDuration::from_mins(10));
+    engine.set_observation_hook(true);
+    let mut profiler = WorkloadProfiler::new();
+    profiler.profile(engine, dep, WorkloadKind::Zipper, 160, 200, seed);
+    engine.set_observation_hook(false);
+    for report in engine.take_observations(az) {
+        chr.observe(az, &report);
+    }
+    let mix = chr
+        .estimate(az)
+        .ok_or("no completions observed in the production round")?;
+    Ok(StreamingReport {
+        observations: chr.observations(az),
+        cusum_x10k: chr.cusum_x10k(az),
+        fired: chr.detector_fired(az),
+        mix,
+    })
 }
 
 fn cmd_saturate(args: &Args, seed: u64) -> Result<(), String> {
@@ -628,6 +742,12 @@ fn cmd_route(args: &Args, seed: u64) -> Result<(), String> {
         "hybrid" => RoutingPolicy::Hybrid {
             candidates: candidates.clone(),
             mode: RetryMode::RetrySlow,
+        },
+        "ucb-az" => RoutingPolicy::UcbAz {
+            candidates: candidates.clone(),
+        },
+        "thompson-az" => RoutingPolicy::ThompsonAz {
+            candidates: candidates.clone(),
         },
         other => return Err(format!("unknown policy {other:?}")),
     };

@@ -9,10 +9,25 @@
 use serde::{Deserialize, Serialize};
 use sky_cloud::{CpuMix, CpuType};
 use sky_faas::SaafReport;
-use sky_sim::SimTime;
+use sky_sim::{SimDuration, SimTime};
 // sky-lint: allow(D001, seen_fis is membership-only - see its field pragma)
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
+
+/// The single shared notion of "estimate age": how long ago the evidence
+/// behind an estimate was observed. Everything that reasons about
+/// recency — the store's staleness policy, the temporal campaigns'
+/// drift curves and the streaming estimator — goes through this helper
+/// instead of re-deriving the subtraction locally.
+pub fn estimate_age(observed_at: SimTime, now: SimTime) -> SimDuration {
+    now.saturating_since(observed_at)
+}
+
+/// [`estimate_age`] in fractional days — the unit Figure 7 plots drift
+/// against.
+pub fn age_in_days(observed_at: SimTime, now: SimTime) -> f64 {
+    estimate_age(observed_at, now).as_secs_f64() / 86_400.0
+}
 
 /// An accumulating CPU characterization for one deployment target
 /// (typically an AZ).
@@ -109,6 +124,12 @@ impl Characterization {
     /// Time of last observation.
     pub fn last_at(&self) -> Option<SimTime> {
         self.last_at
+    }
+
+    /// Age of the estimate at `now` — time since the last supporting
+    /// observation (see [`estimate_age`]).
+    pub fn age(&self, now: SimTime) -> Option<SimDuration> {
+        self.last_at.map(|at| estimate_age(at, now))
     }
 
     /// Whether nothing has been observed.

@@ -15,6 +15,10 @@
 //! * [`router`] — the **smart routing system** (§3.4–3.5): regional
 //!   routing, retry-slow / focus-fastest CPU gating, region hopping, and
 //!   the hybrid strategy that the paper reports up to 18.2 % savings for;
+//! * [`streaming`] — the online [`Characterizer`]s: the paper's static
+//!   probe-only comparator plus the streaming estimator (decayed
+//!   fixed-point EWMA fed by every completed invocation, CUSUM drift
+//!   detection, budgeted re-probing);
 //! * [`temporal`] — the EX-4 campaign drivers for day- and hour-scale
 //!   drift measurement;
 //! * [`scheduler`] — the adaptive re-sampling scheduler that spends
@@ -59,6 +63,7 @@ pub mod router;
 pub mod sampling;
 pub mod scheduler;
 pub mod store;
+pub mod streaming;
 pub mod temporal;
 
 pub use characterization::Characterization;
@@ -74,6 +79,7 @@ pub use router::{
 pub use sampling::{CampaignConfig, CampaignResult, PollConfig, PollStats, SamplingCampaign};
 pub use scheduler::{SamplingScheduler, SchedulerConfig};
 pub use store::{CharacterizationStore, Snapshot, StabilityClass};
+pub use streaming::{Characterizer, StaticCharacterizer, StreamingCharacterizer, StreamingConfig};
 pub use temporal::{run_temporal_campaign, ObservationRecord, TemporalConfig, TemporalResult};
 
 /// Re-export of the cloud-topology substrate.

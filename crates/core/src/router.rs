@@ -111,6 +111,22 @@ pub enum RoutingPolicy {
         /// Candidate zones.
         candidates: Vec<AzId>,
     },
+    /// UCB1 bandit over candidate zones: exploit the arm with the lowest
+    /// observed cost per completed request, minus an exploration bonus
+    /// that shrinks as the arm accumulates pulls. Needs no
+    /// characterization store at all — the live cost feedback *is* the
+    /// estimate (DESIGN.md §14).
+    UcbAz {
+        /// Candidate zones (the bandit's arms).
+        candidates: Vec<AzId>,
+    },
+    /// Thompson sampling over candidate zones: each burst draws a
+    /// plausible mean cost per arm from a Gaussian posterior (on the
+    /// dedicated `"bandit"` rng stream) and routes to the cheapest draw.
+    ThompsonAz {
+        /// Candidate zones (the bandit's arms).
+        candidates: Vec<AzId>,
+    },
 }
 
 impl RoutingPolicy {
@@ -123,6 +139,8 @@ impl RoutingPolicy {
             RoutingPolicy::RegionHop { .. } => "region-hop",
             RoutingPolicy::Hybrid { .. } => "hybrid",
             RoutingPolicy::CarbonAware { .. } => "carbon-aware",
+            RoutingPolicy::UcbAz { .. } => "ucb-az",
+            RoutingPolicy::ThompsonAz { .. } => "thompson-az",
         }
     }
 }
@@ -227,6 +245,59 @@ pub fn savings_fraction(baseline_cost: f64, optimized_cost: f64) -> f64 {
     }
 }
 
+/// Integer nano-USD conversion — the same rounding the engine's metered
+/// billing uses, so bandit reward state stays integer.
+fn nano_usd(cost: f64) -> u64 {
+    (cost * 1e9).round() as u64
+}
+
+/// Pulls an arm's reward window covers. Windowed statistics track
+/// drifting zones instead of averaging over a stale past (the
+/// sliding-window UCB variant for non-stationary bandits).
+const BANDIT_WINDOW: usize = 8;
+
+/// Per-arm bandit statistics: lifetime pulls (for the exploration
+/// bonus) plus a sliding window of integer burst rewards.
+#[derive(Debug, Default, Clone)]
+struct ArmStats {
+    /// Lifetime pulls of this arm.
+    pulls: u64,
+    /// Last [`BANDIT_WINDOW`] pulls: (completed requests, burst cost in
+    /// nano-USD).
+    window: std::collections::VecDeque<(u64, u64)>,
+}
+
+impl ArmStats {
+    fn record(&mut self, completed: u64, cost_nanousd: u64) {
+        self.pulls += 1;
+        if self.window.len() == BANDIT_WINDOW {
+            self.window.pop_front();
+        }
+        self.window.push_back((completed, cost_nanousd));
+    }
+
+    /// Mean cost per completed request over the window, nano-USD.
+    /// `None` when every windowed burst failed outright.
+    fn mean_loss_nanousd(&self) -> Option<f64> {
+        let (completed, cost_nanousd) = self
+            .window
+            .iter()
+            .fold((0_u64, 0_u64), |(c, n), &(wc, wn)| (c + wc, n + wn));
+        (completed > 0).then(|| cost_nanousd as f64 / completed as f64)
+    }
+}
+
+/// Shared state of the bandit routing policies.
+#[derive(Debug, Default)]
+struct BanditState {
+    /// Lazily seeded from the catalog seed at the first bandit decision:
+    /// `SimRng::seed_from(seed).derive("bandit")`. A dedicated stream,
+    /// so runs that never route through a bandit policy consume nothing
+    /// from it (the platform `fault_rng` isolation idiom).
+    rng: Option<SimRng>,
+    arms: BTreeMap<AzId, ArmStats>,
+}
+
 /// The smart router: knowledge (store + table) plus policy execution.
 #[derive(Debug, Default)]
 pub struct SmartRouter {
@@ -241,6 +312,9 @@ pub struct SmartRouter {
     /// threads (each sweep cell owns its own), so `RefCell` cannot
     /// observe contention and determinism is unaffected.
     metrics: std::cell::RefCell<sky_sim::MetricsRegistry>,
+    /// Arm statistics for the bandit policies (same `RefCell` rationale
+    /// as `metrics`: single-owner, `&self` API).
+    bandit: std::cell::RefCell<BanditState>,
 }
 
 impl SmartRouter {
@@ -251,7 +325,95 @@ impl SmartRouter {
             table,
             config,
             metrics: std::cell::RefCell::new(sky_sim::MetricsRegistry::new()),
+            bandit: std::cell::RefCell::new(BanditState::default()),
         }
+    }
+
+    /// Mutable access to the characterization store, so a streaming
+    /// characterizer can refresh the router's knowledge between bursts.
+    pub fn store_mut(&mut self) -> &mut CharacterizationStore {
+        &mut self.store
+    }
+
+    /// Lifetime bandit pulls recorded for a zone.
+    pub fn bandit_pulls(&self, az: &AzId) -> u64 {
+        self.bandit
+            .borrow()
+            .arms
+            .get(az)
+            .map(|a| a.pulls)
+            .unwrap_or(0)
+    }
+
+    /// Choose an arm for the bandit policies. Arms are pulled once each
+    /// in candidate order first; afterwards UCB1 scores
+    /// `loss − scale·√(2·ln N / n)` (exploration bonus self-scaled by
+    /// the mean observed loss) and Thompson draws a Gaussian posterior
+    /// sample per arm on the dedicated `"bandit"` stream. Ties resolve
+    /// to the earliest candidate, so decisions are deterministic.
+    fn choose_az_bandit(&self, candidates: &[AzId], thompson: bool, seed: u64) -> AzId {
+        assert!(!candidates.is_empty(), "need at least one candidate zone");
+        let state = &mut *self.bandit.borrow_mut();
+        if let Some(az) = candidates
+            .iter()
+            .find(|az| state.arms.get(az).is_none_or(|a| a.pulls == 0))
+        {
+            return az.clone();
+        }
+        let rng = state
+            .rng
+            .get_or_insert_with(|| SimRng::seed_from(seed).derive("bandit"));
+        let total: u64 = candidates.iter().map(|az| state.arms[az].pulls).sum();
+        let losses: Vec<f64> = candidates
+            .iter()
+            .map(|az| state.arms[az].mean_loss_nanousd().unwrap_or(f64::INFINITY))
+            .collect();
+        let finite: Vec<f64> = losses.iter().copied().filter(|l| l.is_finite()).collect();
+        let mean = if finite.is_empty() {
+            1.0
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        };
+        // The exploration bonus is scaled by the observed loss *spread*,
+        // not the absolute loss level: burst costs cluster tightly (the
+        // arms differ by a few percent), so a mean-scaled bonus would
+        // drown the gap and never stop exploring. Floor at 2 % of the
+        // mean so a degenerate spread still explores a little.
+        let spread = finite.iter().fold(0.0_f64, |acc, &l| acc.max(l))
+            - finite.iter().fold(f64::INFINITY, |acc, &l| acc.min(l));
+        let scale = if spread.is_finite() && spread > mean * 0.02 {
+            spread
+        } else {
+            mean * 0.02
+        };
+        let mut best: Option<(usize, f64)> = None;
+        for (i, az) in candidates.iter().enumerate() {
+            let pulls = state.arms[az].pulls as f64;
+            // An all-failed window scores as a heavy (but finite) loss so
+            // the arm can still resurface once the exploration bonus (or
+            // a Thompson draw) outweighs it.
+            let loss = if losses[i].is_finite() {
+                losses[i]
+            } else {
+                scale * 100.0
+            };
+            let score = if thompson {
+                rng.next_normal(loss, scale / pulls.sqrt())
+            } else {
+                loss - scale * (2.0 * (total as f64).ln() / pulls).sqrt()
+            };
+            if best.is_none_or(|(_, b)| score < b) {
+                best = Some((i, score));
+            }
+        }
+        candidates[best.expect("non-empty candidates").0].clone()
+    }
+
+    /// Fold a bandit burst's outcome into its arm's statistics.
+    fn record_bandit(&self, report: &BurstReport) {
+        let mut state = self.bandit.borrow_mut();
+        let arm = state.arms.entry(report.az.clone()).or_default();
+        arm.record(report.completed as u64, nano_usd(report.total_cost_usd()));
     }
 
     /// Export the router's placement metrics as a mergeable snapshot.
@@ -427,6 +589,14 @@ impl SmartRouter {
                 self.choose_az_carbon(candidates, now, engine.catalog()),
                 None,
             ),
+            RoutingPolicy::UcbAz { candidates } => (
+                self.choose_az_bandit(candidates, false, engine.catalog().seed()),
+                None,
+            ),
+            RoutingPolicy::ThompsonAz { candidates } => (
+                self.choose_az_bandit(candidates, true, engine.catalog().seed()),
+                None,
+            ),
         };
         let rtt = self.rtt_to(&az, engine.catalog());
         let deployment =
@@ -471,7 +641,14 @@ impl SmartRouter {
                 (outcomes.len() - completed) as u64,
             );
         }
-        self.summarize(az, rtt, &outcomes)
+        let report = self.summarize(az, rtt, &outcomes);
+        if matches!(
+            policy,
+            RoutingPolicy::UcbAz { .. } | RoutingPolicy::ThompsonAz { .. }
+        ) {
+            self.record_bandit(&report);
+        }
+        report
     }
 
     fn summarize(
@@ -878,5 +1055,86 @@ mod tests {
         assert!((savings_fraction(100.0, 80.0) - 0.2).abs() < 1e-12);
         assert!(savings_fraction(100.0, 120.0) < 0.0);
         assert_eq!(savings_fraction(0.0, 5.0), 0.0);
+    }
+
+    /// Run `days` daily bandit bursts and return the visit sequence.
+    fn bandit_run(thompson: bool, seed: u64, days: u64) -> Vec<AzId> {
+        let mut e = FaasEngine::new(Catalog::paper_world(seed), FleetConfig::new(seed));
+        let account = e.create_account(Provider::Aws);
+        // us-west-1b leans on 2.9 GHz / EPYC hardware (Zipper runtime
+        // factor ≈1.11× the 2.5 GHz baseline), us-east-2a is homogeneous
+        // 2.5 GHz — the bandit should learn to prefer the cheaper zone.
+        let zones = [az("us-west-1b"), az("us-east-2a")];
+        let deps: BTreeMap<AzId, sky_faas::DeploymentId> = zones
+            .iter()
+            .map(|z| (z.clone(), e.deploy(account, z, 2048, Arch::X86_64).unwrap()))
+            .collect();
+        let router = SmartRouter::default();
+        let candidates = zones.to_vec();
+        let policy = if thompson {
+            RoutingPolicy::ThompsonAz {
+                candidates: candidates.clone(),
+            }
+        } else {
+            RoutingPolicy::UcbAz {
+                candidates: candidates.clone(),
+            }
+        };
+        let mut visits = Vec::new();
+        for day in 1..=days {
+            e.advance_to(SimTime::start_of_day(day) + SimDuration::from_hours(2));
+            let report = router.run_burst(&mut e, WorkloadKind::Zipper, 80, &policy, |z| {
+                deps.get(z).copied()
+            });
+            visits.push(report.az);
+        }
+        assert_eq!(
+            visits.len() as u64,
+            router.bandit_pulls(&zones[0]) + router.bandit_pulls(&zones[1])
+        );
+        visits
+    }
+
+    #[test]
+    fn bandit_policies_explore_then_exploit_the_cheap_zone() {
+        for thompson in [false, true] {
+            let visits = bandit_run(thompson, 77, 10);
+            // Both arms tried at least once (forced initial sweep).
+            assert!(visits.contains(&az("us-east-2a")));
+            assert!(visits.contains(&az("us-west-1b")));
+            // The homogeneous 2.5 GHz zone runs Zipper ~11 % cheaper than
+            // the EPYC/2.9-heavy mix and wins the majority of pulls.
+            let cheap = visits.iter().filter(|z| **z == az("us-east-2a")).count();
+            assert!(
+                cheap > visits.len() / 2,
+                "thompson={thompson}: cheap zone pulled {cheap}/{}",
+                visits.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bandit_decisions_are_deterministic_given_seed() {
+        for thompson in [false, true] {
+            let a = bandit_run(thompson, 21, 8);
+            let b = bandit_run(thompson, 21, 8);
+            assert_eq!(a, b, "thompson={thompson}");
+        }
+    }
+
+    #[test]
+    fn bandit_labels_are_stable() {
+        let c = vec![az("us-east-2a")];
+        assert_eq!(
+            RoutingPolicy::UcbAz {
+                candidates: c.clone()
+            }
+            .label(),
+            "ucb-az"
+        );
+        assert_eq!(
+            RoutingPolicy::ThompsonAz { candidates: c }.label(),
+            "thompson-az"
+        );
     }
 }

@@ -6,6 +6,7 @@
 //! sampling scheduler can spend probes where they matter (paper §4.4's
 //! suggestion, implemented).
 
+use crate::characterization::{age_in_days, estimate_age};
 use serde::{Deserialize, Serialize};
 use sky_cloud::{AzId, CpuMix};
 use sky_sim::{SimDuration, SimTime};
@@ -122,12 +123,12 @@ impl CharacterizationStore {
     /// The most recent snapshot no older than `max_age` at time `now`.
     pub fn fresh(&self, az: &AzId, now: SimTime) -> Option<&Snapshot> {
         self.latest(az)
-            .filter(|s| now.saturating_since(s.at) <= self.max_age)
+            .filter(|s| estimate_age(s.at, now) <= self.max_age)
     }
 
     /// Age of the latest snapshot at `now`.
     pub fn age(&self, az: &AzId, now: SimTime) -> Option<SimDuration> {
-        self.latest(az).map(|s| now.saturating_since(s.at))
+        self.latest(az).map(|s| estimate_age(s.at, now))
     }
 
     /// Full history for a zone, oldest first.
@@ -158,10 +159,7 @@ impl CharacterizationStore {
         };
         history
             .iter()
-            .map(|s| {
-                let days = s.at.saturating_since(first.at).as_secs_f64() / 86_400.0;
-                (days, s.mix.ape_percent(&first.mix))
-            })
+            .map(|s| (age_in_days(first.at, s.at), s.mix.ape_percent(&first.mix)))
             .collect()
     }
 

@@ -81,7 +81,9 @@ pub struct TemporalResult {
 
 impl TemporalResult {
     /// Figure 7's series for one zone: APE of each observation vs the
-    /// zone's first observation, indexed by days since the first.
+    /// zone's first observation, indexed by days since the first (ages
+    /// computed through [`crate::characterization::age_in_days`] — the
+    /// same recency math the store and streaming estimator use).
     pub fn drift_series(&self, az: &AzId) -> Vec<(f64, f64)> {
         self.store.drift_from_first(az)
     }

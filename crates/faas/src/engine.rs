@@ -439,6 +439,12 @@ pub struct FaasEngine {
     /// are overwritten by the next successful completion of their key,
     /// so the map is bounded by the distinct request shapes in play.
     result_cache: BTreeMap<ResultCacheKey, (SimTime, SaafReport)>,
+    /// Observation hook for the streaming characterizer: while enabled,
+    /// every successful completion's SAAF report is also buffered on its
+    /// platform (drained via [`FaasEngine::take_observations`]). Off by
+    /// default — the hook reads terminal state only, so enabling it can
+    /// never perturb event order or RNG streams.
+    observe_completions: bool,
 }
 
 impl std::fmt::Debug for FaasEngine {
@@ -478,6 +484,29 @@ impl FaasEngine {
             batch_pending: 0,
             response_payloads: Slab::new(),
             result_cache: BTreeMap::new(),
+            observe_completions: false,
+        }
+    }
+
+    /// Enable or disable the completion observation hook. While enabled,
+    /// every successful invocation's SAAF report is buffered per zone
+    /// for [`take_observations`](Self::take_observations) — the feedback
+    /// path of the streaming characterizer.
+    pub fn set_observation_hook(&mut self, enabled: bool) {
+        self.observe_completions = enabled;
+    }
+
+    /// Whether the completion observation hook is enabled.
+    pub fn observation_hook(&self) -> bool {
+        self.observe_completions
+    }
+
+    /// Drain the buffered completion reports for a zone, in completion
+    /// order. Empty unless the observation hook is enabled.
+    pub fn take_observations(&mut self, az: &AzId) -> Vec<SaafReport> {
+        match self.az_index.get(az) {
+            Some(&idx) => self.platforms[idx as usize].take_observations(),
+            None => Vec::new(),
         }
     }
 
@@ -1083,6 +1112,12 @@ impl FaasEngine {
             .add(handles.billed_mb_us_mode[mode.index()], billed_mb_us);
         self.metrics
             .add(handles.cost_nanousd, nano_usd(cost) + nano_usd(retry_cost));
+
+        if self.observe_completions {
+            if let InvocationStatus::Success(report) = &status {
+                self.platforms[az_idx].push_observation(report.clone());
+            }
+        }
 
         let outcome = InvocationOutcome {
             index: idx,

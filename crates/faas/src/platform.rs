@@ -9,6 +9,7 @@
 
 use crate::ids::{DeploymentId, HostId, InstanceId};
 use crate::lifecycle::{ExecMode, ExecProfile, PoolPolicy, SnapshotId, StartClass};
+use crate::report::SaafReport;
 use sky_cloud::{Arch, AzSpec, ChurnModel, CpuMix, CpuType, DiurnalModel, FaultKind};
 use sky_sim::{SimDuration, SimRng, SimTime, Slab, SlotKey};
 use std::collections::BTreeMap;
@@ -275,6 +276,11 @@ pub struct AzPlatform {
     /// perturbs placement randomness — a no-fault run stays
     /// byte-identical to a run whose fault windows are never reached.
     fault_rng: SimRng,
+    /// Completed-invocation SAAF reports buffered for the streaming
+    /// characterizer, in completion order. Only populated while the
+    /// engine's observation hook is enabled; drained by
+    /// [`AzPlatform::take_observations`].
+    observations: Vec<SaafReport>,
     rng: SimRng,
 }
 
@@ -327,6 +333,7 @@ impl AzPlatform {
             gray_degradation: None,
             cold_storm: None,
             fault_rng: rng.derive("faults"),
+            observations: Vec::new(),
             rng,
             spec,
         };
@@ -394,6 +401,23 @@ impl AzPlatform {
         }
         let pairs: Vec<(CpuType, u64)> = counts.into_iter().collect();
         CpuMix::from_counts(&pairs)
+    }
+
+    /// Buffer a completed invocation's SAAF report for the streaming
+    /// characterizer (only called while the engine's observation hook is
+    /// enabled).
+    pub(crate) fn push_observation(&mut self, report: SaafReport) {
+        self.observations.push(report);
+    }
+
+    /// Drain the buffered completion reports, in completion order.
+    pub fn take_observations(&mut self) -> Vec<SaafReport> {
+        std::mem::take(&mut self.observations)
+    }
+
+    /// Buffered completion reports awaiting drain.
+    pub fn pending_observations(&self) -> usize {
+        self.observations.len()
     }
 
     /// Number of hosts currently provisioned (x86 + arm).

@@ -41,9 +41,10 @@ fn registry_names_are_unique_and_well_formed() {
     }
     assert_eq!(
         seen.len(),
-        27,
+        29,
         "expected the 24 ported binaries plus bench_engine_fleet, \
-         fig_exec_modes and ablation_mode_routing"
+         fig_exec_modes, ablation_mode_routing, fig_drift_regret and \
+         ablation_drift_lag"
     );
 }
 
@@ -83,6 +84,8 @@ fn deterministic_experiments_are_jobs_invariant_at_quick_scale() {
         "fig_faults",
         "ablation_staleness",
         "fig5_progressive_sampling",
+        "fig_drift_regret",
+        "ablation_drift_lag",
     ] {
         let exp: &dyn Experiment = registry::find(name).expect("registered");
         assert!(exp.deterministic(), "{name} should be golden-gated");
